@@ -1,0 +1,298 @@
+package conn
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ett"
+	"repro/internal/graph"
+	"repro/internal/graphgen"
+	"repro/internal/hdt"
+	"repro/internal/parallel"
+	"repro/internal/static"
+	"repro/internal/unionfind"
+)
+
+// The benchmarks mirror the experiments of cmd/benchconn (E1..E10, see
+// DESIGN.md §4): one bench family per claim of the paper's analysis, sized
+// for the Go benchmark harness. Run with
+//
+//	go test -bench=. -benchmem
+//
+// ReportMetric publishes the per-item cost (ns/query, ns/edge) that the
+// paper's bounds speak about; wall-clock comparisons live in cmd/benchconn.
+
+func buildCore(n int, es []graph.Edge, alg core.Algorithm) *core.Conn {
+	c := core.New(n, core.WithAlgorithm(alg))
+	for _, b := range graphgen.Batches(es, 1<<16) {
+		c.BatchInsert(b)
+	}
+	return c
+}
+
+// E1 — Theorem 3: batch connectivity queries, k sweep.
+func BenchmarkE1BatchQuery(b *testing.B) {
+	n := 1 << 16
+	c := buildCore(n, graphgen.RandomSpanningTree(n, 1), core.SearchInterleaved)
+	for _, k := range []int{1, 64, 4096, 65536} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			qs := graphgen.QueryBatch(n, k, 2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.BatchConnected(qs)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*k), "ns/query")
+		})
+	}
+}
+
+// E2 — Theorem 4: batch insertion, k sweep.
+func BenchmarkE2BatchInsert(b *testing.B) {
+	n := 1 << 16
+	for _, k := range []int{64, 1024, 16384} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			es := graphgen.RandomGraph(n, n, 3)
+			batches := graphgen.Batches(es, k)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				c := core.New(n)
+				b.StartTimer()
+				for _, batch := range batches {
+					c.BatchInsert(batch)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(es)), "ns/edge")
+		})
+	}
+}
+
+// E3 — Theorem 9 (headline): deletion cost vs batch size Δ.
+func BenchmarkE3DeleteBatchSweep(b *testing.B) {
+	n := 1 << 13
+	m := 4 * n
+	for _, delta := range []int{16, 256, 4096} {
+		b.Run(fmt.Sprintf("delta=%d", delta), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				es := graphgen.RandomGraph(n, m, 5)
+				c := buildCore(n, es, core.SearchInterleaved)
+				graphgen.Shuffle(es, int64(delta))
+				batches := graphgen.Batches(es, delta)
+				b.StartTimer()
+				for _, batch := range batches {
+					c.BatchDelete(batch)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*m), "ns/edge")
+		})
+	}
+}
+
+// E4 — Theorem 6: total deletion work vs the sequential HDT baseline.
+func BenchmarkE4VsHDT(b *testing.B) {
+	n := 1 << 12
+	m := 4 * n
+	b.Run("hdt", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			es := graphgen.RandomGraph(n, m, 7)
+			h := hdt.New(n)
+			for _, e := range es {
+				h.Insert(e.U, e.V)
+			}
+			graphgen.Shuffle(es, 7)
+			b.StartTimer()
+			for _, e := range es {
+				h.Delete(e.U, e.V)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*m), "ns/edge")
+	})
+	for _, delta := range []int{1, 1024} {
+		b.Run(fmt.Sprintf("batch/delta=%d", delta), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				es := graphgen.RandomGraph(n, m, 7)
+				c := buildCore(n, es, core.SearchInterleaved)
+				graphgen.Shuffle(es, 7)
+				batches := graphgen.Batches(es, delta)
+				b.StartTimer()
+				for _, batch := range batches {
+					c.BatchDelete(batch)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*m), "ns/edge")
+		})
+	}
+}
+
+// E5 — depth bounds: deletion throughput vs worker count.
+func BenchmarkE5Scalability(b *testing.B) {
+	n := 1 << 13
+	m := 4 * n
+	for _, p := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			old := parallel.SetWorkers(p)
+			defer parallel.SetWorkers(old)
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				es := graphgen.RandomGraph(n, m, 9)
+				c := buildCore(n, es, core.SearchInterleaved)
+				graphgen.Shuffle(es, 9)
+				batches := graphgen.Batches(es, 8192)
+				b.StartTimer()
+				for _, batch := range batches {
+					c.BatchDelete(batch)
+				}
+			}
+		})
+	}
+}
+
+// E6 — Theorem 2: ETT substrate batch operations.
+func BenchmarkE6ETT(b *testing.B) {
+	n := 1 << 16
+	tree := graphgen.RandomSpanningTree(n, 11)
+	k := 16384
+	b.Run("link", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			f := ett.New(n)
+			f.BatchLink(tree[:n-1-k])
+			b.StartTimer()
+			f.BatchLink(tree[n-1-k:])
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*k), "ns/link")
+	})
+	b.Run("cut", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			f := ett.New(n)
+			f.BatchLink(tree)
+			b.StartTimer()
+			f.BatchCut(tree[n-1-k:])
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*k), "ns/cut")
+	})
+	b.Run("query", func(b *testing.B) {
+		f := ett.New(n)
+		f.BatchLink(tree)
+		qs := graphgen.QueryBatch(n, k, 11)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f.BatchConnected(qs)
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*k), "ns/query")
+	})
+}
+
+// E7 — §3 vs §4 ablation on a shatter-heavy workload.
+func BenchmarkE7Ablation(b *testing.B) {
+	n := 1 << 12
+	spokes := graphgen.Star(n)
+	backbone := graphgen.RandomGraph(n, 2*n, 13)
+	for _, alg := range []struct {
+		name string
+		a    core.Algorithm
+	}{{"simple", core.SearchSimple}, {"interleaved", core.SearchInterleaved}} {
+		b.Run(alg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				c := core.New(n, core.WithAlgorithm(alg.a))
+				c.BatchInsert(spokes)
+				c.BatchInsert(backbone)
+				b.StartTimer()
+				c.BatchDelete(spokes)
+			}
+		})
+	}
+}
+
+// E8 — §1 motivation: per-batch delete+query versus static recompute.
+func BenchmarkE8VsStatic(b *testing.B) {
+	n := 1 << 14
+	m := 4 * n
+	for _, delta := range []int{16, 1024} {
+		b.Run(fmt.Sprintf("dynamic/delta=%d", delta), func(b *testing.B) {
+			es := graphgen.RandomGraph(n, m, 15)
+			c := buildCore(n, es, core.SearchInterleaved)
+			qs := graphgen.QueryBatch(n, 256, 15)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				batch := es[(i*delta)%(m-delta) : (i*delta)%(m-delta)+delta]
+				c.BatchDelete(batch)
+				c.BatchConnected(qs)
+				b.StopTimer()
+				c.BatchInsert(batch)
+				b.StartTimer()
+			}
+		})
+		b.Run(fmt.Sprintf("static/delta=%d", delta), func(b *testing.B) {
+			es := graphgen.RandomGraph(n, m, 15)
+			st := static.New(n)
+			st.BatchInsert(es)
+			qs := graphgen.QueryBatch(n, 256, 15)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				batch := es[(i*delta)%(m-delta) : (i*delta)%(m-delta)+delta]
+				st.BatchDelete(batch)
+				st.BatchConnected(qs)
+				b.StopTimer()
+				st.BatchInsert(batch)
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// E9 — context: insertion-only stream against plain union-find.
+func BenchmarkE9InsertOnly(b *testing.B) {
+	n := 1 << 16
+	es := graphgen.RandomGraph(n, 2*n, 17)
+	b.Run("batch-dynamic", func(b *testing.B) {
+		batches := graphgen.Batches(es, 8192)
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			c := core.New(n)
+			b.StartTimer()
+			for _, batch := range batches {
+				c.BatchInsert(batch)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(es)), "ns/edge")
+	})
+	b.Run("union-find", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			u := unionfind.New(n)
+			b.StartTimer()
+			for _, e := range es {
+				u.Union(e.U, e.V)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(es)), "ns/edge")
+	})
+}
+
+// E10 — amortization: pushdown totals against the m·lg n budget.
+func BenchmarkE10LevelDynamics(b *testing.B) {
+	n := 1 << 12
+	m := 4 * n
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		es := graphgen.RandomGraph(n, m, 19)
+		c := buildCore(n, es, core.SearchInterleaved)
+		graphgen.Shuffle(es, 19)
+		b.StartTimer()
+		for _, batch := range graphgen.Batches(es[:m/2], 32) {
+			c.BatchDelete(batch)
+		}
+		b.StopTimer()
+		s := c.Stats()
+		lgn := 12
+		b.ReportMetric(float64(s.Pushdowns+s.TreePushes)/float64(int64(m)*int64(lgn)), "pushdown-budget-frac")
+		b.StartTimer()
+	}
+}

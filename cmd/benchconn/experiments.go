@@ -1,0 +1,404 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ett"
+	"repro/internal/graph"
+	"repro/internal/graphgen"
+	"repro/internal/hdt"
+	"repro/internal/parallel"
+	"repro/internal/skiplist"
+	"repro/internal/static"
+	"repro/internal/treap"
+	"repro/internal/unionfind"
+)
+
+// timeIt runs f once and returns the wall-clock duration.
+func timeIt(f func()) time.Duration {
+	t0 := time.Now()
+	f()
+	return time.Since(t0)
+}
+
+// nsPer formats a per-item cost.
+func nsPer(d time.Duration, items int) string {
+	if items == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%8.0f", float64(d.Nanoseconds())/float64(items))
+}
+
+// buildConn loads a Conn with the given edges in large batches.
+func buildConn(n int, es []graph.Edge, alg core.Algorithm) *core.Conn {
+	c := core.New(n, core.WithAlgorithm(alg))
+	for _, b := range graphgen.Batches(es, 1<<16) {
+		c.BatchInsert(b)
+	}
+	return c
+}
+
+// ---------------------------------------------------------------- E1
+
+func runE1(cfg config) {
+	n := cfg.size(1<<18, 1<<14)
+	header("e1", "batch connectivity queries", "per-query cost falls as k grows: O(k lg(1+n/k)) total  [Thm 3]")
+	es := graphgen.RandomSpanningTree(n, cfg.seed)
+	c := buildConn(n, es, core.SearchInterleaved)
+	fmt.Printf("n=%d (random spanning tree)\n", n)
+	fmt.Printf("%10s %12s %10s\n", "k", "total", "ns/query")
+	for k := 1; k <= n; k *= 8 {
+		qs := graphgen.QueryBatch(n, k, cfg.seed+int64(k))
+		reps := 1
+		if k < 4096 {
+			reps = 4096 / k // average tiny batches over repetitions
+		}
+		d := timeIt(func() {
+			for r := 0; r < reps; r++ {
+				c.BatchConnected(qs)
+			}
+		})
+		fmt.Printf("%10d %12v %10s\n", k, (d / time.Duration(reps)).Round(time.Microsecond), nsPer(d, k*reps))
+	}
+}
+
+// ---------------------------------------------------------------- E2
+
+func runE2(cfg config) {
+	n := cfg.size(1<<17, 1<<13)
+	m := n
+	header("e2", "batch insertions", "per-edge insert cost falls as k grows: O(k lg(1+n/k)) total  [Thm 4]")
+	fmt.Printf("n=%d, inserting m=%d random edges in batches of k\n", n, m)
+	fmt.Printf("%10s %12s %10s\n", "k", "total", "ns/edge")
+	for _, k := range []int{16, 128, 1024, 8192, 65536} {
+		if k > m {
+			break
+		}
+		es := graphgen.RandomGraph(n, m, cfg.seed)
+		c := core.New(n)
+		batches := graphgen.Batches(es, k)
+		d := timeIt(func() {
+			for _, b := range batches {
+				c.BatchInsert(b)
+			}
+		})
+		fmt.Printf("%10d %12v %10s\n", k, d.Round(time.Millisecond), nsPer(d, m))
+	}
+}
+
+// ---------------------------------------------------------------- E3
+
+func runE3(cfg config) {
+	n := cfg.size(1<<15, 1<<12)
+	m := 4 * n
+	header("e3", "batch deletions vs average batch size Δ",
+		"amortized work/edge O(lg n · lg(1+n/Δ)): cost falls as Δ grows  [Thm 9, headline]")
+	fmt.Printf("n=%d, m=%d random edges; delete ALL edges in batches of Δ\n", n, m)
+	fmt.Printf("%10s %12s %10s %12s %12s %12s\n", "Δ", "total", "ns/edge", "pushdowns", "treepushes", "replaced")
+	for _, delta := range []int{1, 8, 64, 512, 4096, 32768} {
+		if delta > m {
+			break
+		}
+		es := graphgen.RandomGraph(n, m, cfg.seed)
+		c := buildConn(n, es, core.SearchInterleaved)
+		graphgen.Shuffle(es, cfg.seed+int64(delta))
+		batches := graphgen.Batches(es, delta)
+		before := c.Stats()
+		d := timeIt(func() {
+			for _, b := range batches {
+				c.BatchDelete(b)
+			}
+		})
+		after := c.Stats()
+		fmt.Printf("%10d %12v %10s %12d %12d %12d\n", delta, d.Round(time.Millisecond),
+			nsPer(d, m), after.Pushdowns-before.Pushdowns, after.TreePushes-before.TreePushes,
+			after.Replaced-before.Replaced)
+	}
+}
+
+// ---------------------------------------------------------------- E4
+
+func runE4(cfg config) {
+	n := cfg.size(1<<14, 1<<11)
+	m := 4 * n
+	header("e4", "parallel batch-dynamic vs sequential HDT",
+		"work-efficient w.r.t. HDT; asymptotically faster for large batches  [Thm 6/9]")
+	fmt.Printf("n=%d, m=%d; delete all edges in batches of Δ (HDT processes them one at a time)\n", n, m)
+	fmt.Printf("%10s %14s %14s %10s\n", "Δ", "batch-dynamic", "HDT", "speedup")
+	for _, delta := range []int{1, 64, 1024, 16384} {
+		if delta > m {
+			break
+		}
+		es := graphgen.RandomGraph(n, m, cfg.seed)
+		c := buildConn(n, es, core.SearchInterleaved)
+		h := hdt.New(n)
+		for _, e := range es {
+			h.Insert(e.U, e.V)
+		}
+		graphgen.Shuffle(es, cfg.seed+int64(delta))
+		batches := graphgen.Batches(es, delta)
+		dDyn := timeIt(func() {
+			for _, b := range batches {
+				c.BatchDelete(b)
+			}
+		})
+		dHDT := timeIt(func() {
+			for _, e := range es {
+				h.Delete(e.U, e.V)
+			}
+		})
+		fmt.Printf("%10d %14v %14v %9.2fx\n", delta,
+			dDyn.Round(time.Millisecond), dHDT.Round(time.Millisecond),
+			float64(dHDT)/float64(dDyn))
+	}
+}
+
+// ---------------------------------------------------------------- E5
+
+func runE5(cfg config) {
+	n := cfg.size(1<<15, 1<<12)
+	m := 4 * n
+	delta := 16384
+	if delta > m {
+		delta = m
+	}
+	header("e5", "speedup vs worker count P",
+		"polylog depth ⇒ update throughput scales with workers")
+	fmt.Printf("n=%d, m=%d, Δ=%d; delete all edges per worker setting\n", n, m, delta)
+	fmt.Printf("%10s %12s %10s\n", "P", "total", "speedup")
+	var base time.Duration
+	for _, p := range []int{1, 2, 4, 8, 16, 24} {
+		es := graphgen.RandomGraph(n, m, cfg.seed)
+		c := buildConn(n, es, core.SearchInterleaved)
+		graphgen.Shuffle(es, cfg.seed)
+		batches := graphgen.Batches(es, delta)
+		old := parallel.SetWorkers(p)
+		d := timeIt(func() {
+			for _, b := range batches {
+				c.BatchDelete(b)
+			}
+		})
+		parallel.SetWorkers(old)
+		if p == 1 {
+			base = d
+		}
+		fmt.Printf("%10d %12v %9.2fx\n", p, d.Round(time.Millisecond), float64(base)/float64(d))
+	}
+}
+
+// ---------------------------------------------------------------- E6
+
+func runE6(cfg config) {
+	n := cfg.size(1<<17, 1<<13)
+	header("e6", "batch-parallel Euler-tour-tree substrate",
+		"k links / cuts / queries in O(k lg(1+n/k)) work  [Thm 2]")
+	fmt.Printf("n=%d; per-op cost for batch links, cuts, connectivity queries\n", n)
+	fmt.Printf("%10s %10s %10s %10s\n", "k", "link", "cut", "query")
+	tree := graphgen.RandomSpanningTree(n, cfg.seed)
+	for _, k := range []int{64, 1024, 16384, n / 4} {
+		if k > n-1 {
+			break
+		}
+		f := ett.New(n)
+		f.BatchLink(tree[:n-1-k]) // leave k links to time
+		rest := tree[n-1-k:]
+		dLink := timeIt(func() { f.BatchLink(rest) })
+		qs := graphgen.QueryBatch(n, k, cfg.seed)
+		dQuery := timeIt(func() { f.BatchConnected(qs) })
+		dCut := timeIt(func() { f.BatchCut(rest) })
+		fmt.Printf("%10d %10s %10s %10s\n", k,
+			nsPer(dLink, k), nsPer(dCut, k), nsPer(dQuery, k))
+	}
+}
+
+// ---------------------------------------------------------------- E7
+
+func runE7(cfg config) {
+	n := cfg.size(1<<14, 1<<11)
+	header("e7", "ablation: Algorithm 4 (simple) vs Algorithm 5 (interleaved)",
+		"interleaved needs O(lg n) oracle rounds per level vs O(lg² n); fewer rounds, less re-examination")
+	// Shatter-heavy workload: star + backbone path, delete all spokes.
+	spokes := graphgen.Star(n)
+	backbone := graphgen.RandomGraph(n, 2*n, cfg.seed)
+	fmt.Printf("n=%d; star shatter + %d backbone edges; delete all %d spokes in one batch\n",
+		n, len(backbone), len(spokes))
+	fmt.Printf("%14s %12s %10s %10s %12s\n", "algorithm", "total", "rounds", "phases", "examined")
+	for _, alg := range []struct {
+		name string
+		a    core.Algorithm
+	}{{"simple", core.SearchSimple}, {"interleaved", core.SearchInterleaved}} {
+		c := core.New(n, core.WithAlgorithm(alg.a))
+		c.BatchInsert(spokes)
+		c.BatchInsert(backbone)
+		before := c.Stats()
+		d := timeIt(func() { c.BatchDelete(spokes) })
+		s := c.Stats()
+		fmt.Printf("%14s %12v %10d %10d %12d\n", alg.name, d.Round(time.Millisecond),
+			s.Rounds-before.Rounds, s.Phases-before.Phases, s.EdgesExamined-before.EdgesExamined)
+	}
+}
+
+// ---------------------------------------------------------------- E8
+
+func runE8(cfg config) {
+	n := cfg.size(1<<16, 1<<13)
+	m := 16 * n
+	header("e8", "batch-dynamic vs static recompute",
+		"static costs O(m+n) per batch regardless of Δ; dynamic wins for small batches  [§1]")
+	fmt.Printf("n=%d, m=%d; per-batch cost of delete+query, batch size sweep\n", n, m)
+	fmt.Printf("%10s %14s %14s %10s\n", "Δ", "dynamic", "static", "dyn/stat")
+	for _, delta := range []int{1, 8, 64, 512, 4096, 32768} {
+		if delta > m/2 {
+			break
+		}
+		es := graphgen.RandomGraph(n, m, cfg.seed)
+		c := buildConn(n, es, core.SearchInterleaved)
+		st := static.New(n)
+		st.BatchInsert(es)
+		st.BatchConnected(graphgen.QueryBatch(n, 1, cfg.seed)) // settle
+		rounds := 6
+		qs := graphgen.QueryBatch(n, 256, cfg.seed)
+		var dDyn, dStat time.Duration
+		for r := 0; r < rounds; r++ {
+			batch := es[r*delta : (r+1)*delta]
+			dDyn += timeIt(func() {
+				c.BatchDelete(batch)
+				c.BatchConnected(qs)
+			})
+			dStat += timeIt(func() {
+				st.BatchDelete(batch)
+				st.BatchConnected(qs)
+			})
+		}
+		fmt.Printf("%10d %14v %14v %9.2fx\n", delta,
+			(dDyn / time.Duration(rounds)).Round(time.Microsecond),
+			(dStat / time.Duration(rounds)).Round(time.Microsecond),
+			float64(dDyn)/float64(dStat))
+	}
+}
+
+// ---------------------------------------------------------------- E9
+
+func runE9(cfg config) {
+	n := cfg.size(1<<17, 1<<13)
+	m := 2 * n
+	header("e9", "insertion-only stream vs union-find baseline",
+		"incremental union-find (Simsiri et al.) is the right tool when nothing is deleted; context for the fully-dynamic overhead")
+	fmt.Printf("n=%d, m=%d random insertions in batches of 8192\n", n, m)
+	es := graphgen.RandomGraph(n, m, cfg.seed)
+	batches := graphgen.Batches(es, 8192)
+	c := core.New(n)
+	dCore := timeIt(func() {
+		for _, b := range batches {
+			c.BatchInsert(b)
+		}
+	})
+	uf := unionfind.New(n)
+	dUF := timeIt(func() {
+		for _, e := range es {
+			uf.Union(e.U, e.V)
+		}
+	})
+	fmt.Printf("%18s %12s %10s\n", "structure", "total", "ns/edge")
+	fmt.Printf("%18s %12v %10s\n", "batch-dynamic", dCore.Round(time.Millisecond), nsPer(dCore, m))
+	fmt.Printf("%18s %12v %10s\n", "union-find", dUF.Round(time.Millisecond), nsPer(dUF, m))
+	fmt.Printf("(union-find cannot delete; the gap is the price of full dynamism)\n")
+}
+
+// ---------------------------------------------------------------- E10
+
+func runE10(cfg config) {
+	n := cfg.size(1<<14, 1<<11)
+	m := 4 * n
+	header("e10", "level dynamics",
+		"every edge descends ≤ lg n levels: total pushdowns bounded by m·lg n  [amortization]")
+	es := graphgen.RandomGraph(n, m, cfg.seed)
+	c := buildConn(n, es, core.SearchInterleaved)
+	graphgen.Shuffle(es, cfg.seed)
+	// Delete half the edges in small batches to force deep searches.
+	for _, b := range graphgen.Batches(es[:m/2], 32) {
+		c.BatchDelete(b)
+	}
+	s := c.Stats()
+	lgn := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		lgn++
+	}
+	bound := int64(m) * int64(lgn)
+	fmt.Printf("n=%d, m=%d, deleted %d edges in batches of 32\n", n, m, m/2)
+	fmt.Printf("non-tree pushdowns: %d, tree pushdowns: %d, bound m·lg n = %d (%.1f%% used)\n",
+		s.Pushdowns, s.TreePushes, bound,
+		100*float64(s.Pushdowns+s.TreePushes)/float64(bound))
+	fmt.Printf("replacements: %d, search rounds: %d, level searches: %d\n",
+		s.Replaced, s.Rounds, s.LevelSearches)
+}
+
+// ---------------------------------------------------------------- E11
+
+func runE11(cfg config) {
+	n := cfg.size(1<<17, 1<<13)
+	ops := n / 4
+	header("e11", "sequence substrate ablation: treap vs skip list",
+		"both give O(lg n) expected split/join/rank; the paper uses the skip list, this library's ETT uses the treap")
+	fmt.Printf("n=%d elements, %d random rotate (split+join+join) operations\n", n, ops)
+	rng := func(seed int64) func() int64 {
+		s := uint64(seed)
+		return func() int64 {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			return int64(s % uint64(n))
+		}
+	}
+	// Treap.
+	var troot *treap.Node
+	tnodes := make([]*treap.Node, n)
+	for i := 0; i < n; i++ {
+		tnodes[i] = treap.NewNode(treap.Value{Cnt: 1}, i)
+		troot = treap.Join(troot, tnodes[i])
+	}
+	next := rng(cfg.seed)
+	dTreap := timeIt(func() {
+		for i := 0; i < ops; i++ {
+			x := tnodes[next()]
+			a, b := treap.SplitBefore(x)
+			troot = treap.Join(b, a)
+		}
+	})
+	// Skip list.
+	sl := skiplist.NewList()
+	snodes := make([]*skiplist.Node, n)
+	for i := 0; i < n; i++ {
+		snodes[i] = skiplist.NewNode(skiplist.Value{Cnt: 1}, i)
+		skiplist.Append(sl, snodes[i])
+	}
+	next = rng(cfg.seed)
+	dSkip := timeIt(func() {
+		for i := 0; i < ops; i++ {
+			x := snodes[next()]
+			a, b := skiplist.SplitBefore(x)
+			nl := skiplist.NewList()
+			skiplist.Join(nl, b)
+			skiplist.Join(nl, a)
+			sl = nl
+		}
+	})
+	// Rank queries.
+	next = rng(cfg.seed + 1)
+	dTreapIdx := timeIt(func() {
+		for i := 0; i < ops; i++ {
+			_ = treap.Index(tnodes[next()])
+		}
+	})
+	next = rng(cfg.seed + 1)
+	dSkipIdx := timeIt(func() {
+		for i := 0; i < ops; i++ {
+			_ = skiplist.Index(snodes[next()])
+		}
+	})
+	fmt.Printf("%12s %14s %14s\n", "operation", "treap", "skip list")
+	fmt.Printf("%12s %14s %14s\n", "rotate", nsPer(dTreap, ops), nsPer(dSkip, ops))
+	fmt.Printf("%12s %14s %14s\n", "rank", nsPer(dTreapIdx, ops), nsPer(dSkipIdx, ops))
+}

@@ -1,0 +1,175 @@
+// Conncli is a stream processor for dynamic connectivity: it reads a
+// whitespace-separated command stream (file or stdin), applies updates in
+// batches, and prints query answers. It is the shape of tool the paper's
+// introduction motivates — ingesting bursts of graph changes while
+// interleaving connectivity questions.
+//
+// Command language (one command per line; '#' starts a comment):
+//
+//	n <count>        declare the vertex universe (must come first)
+//	+ <u> <v>        insert edge (buffered into the current batch)
+//	- <u> <v>        delete edge (buffered)
+//	? <u> <v>        connectivity query (flushes pending updates first)
+//	flush            apply pending updates now
+//	components       print the number of connected components
+//	size <u>         print the size of u's component
+//	stats            print internal counters
+//
+// Updates accumulate until a query/flush/EOF, then apply as two batches
+// (deletions, then insertions), so a burst of '+'/'-' lines costs two
+// parallel batch operations regardless of its length.
+//
+//	go run ./cmd/conncli workload.txt
+//	generate-stream | go run ./cmd/conncli
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	conn "repro"
+)
+
+func main() {
+	in := os.Stdin
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	if err := run(in, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+type session struct {
+	g    *conn.Graph
+	ins  []conn.Edge
+	dels []conn.Edge
+	out  io.Writer
+}
+
+func (s *session) flush() {
+	if s.g == nil {
+		return
+	}
+	if len(s.dels) > 0 {
+		s.g.DeleteEdges(s.dels)
+		s.dels = s.dels[:0]
+	}
+	if len(s.ins) > 0 {
+		s.g.InsertEdges(s.ins)
+		s.ins = s.ins[:0]
+	}
+}
+
+func run(in io.Reader, out io.Writer) error {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	s := &session{out: out}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = strings.TrimSpace(text[:i])
+		}
+		if text == "" {
+			continue
+		}
+		if err := s.exec(text); err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+	}
+	s.flush()
+	return sc.Err()
+}
+
+func (s *session) exec(text string) error {
+	fields := strings.Fields(text)
+	cmd := fields[0]
+	argN := func(i int) (int32, error) {
+		if i >= len(fields) {
+			return 0, fmt.Errorf("%s: missing argument %d", cmd, i)
+		}
+		v, err := strconv.Atoi(fields[i])
+		if err != nil {
+			return 0, fmt.Errorf("%s: bad argument %q", cmd, fields[i])
+		}
+		return int32(v), nil
+	}
+	if cmd != "n" && s.g == nil {
+		return fmt.Errorf("%s before 'n <count>'", cmd)
+	}
+	switch cmd {
+	case "n":
+		v, err := argN(1)
+		if err != nil {
+			return err
+		}
+		if s.g != nil {
+			return fmt.Errorf("universe already declared")
+		}
+		if v <= 0 {
+			return fmt.Errorf("n must be positive")
+		}
+		s.g = conn.New(int(v))
+	case "+", "-":
+		u, err := argN(1)
+		if err != nil {
+			return err
+		}
+		v, err := argN(2)
+		if err != nil {
+			return err
+		}
+		if u < 0 || v < 0 || int(u) >= s.g.N() || int(v) >= s.g.N() {
+			return fmt.Errorf("vertex out of range [0,%d)", s.g.N())
+		}
+		if cmd == "+" {
+			s.ins = append(s.ins, conn.Edge{U: u, V: v})
+		} else {
+			s.dels = append(s.dels, conn.Edge{U: u, V: v})
+		}
+	case "?":
+		u, err := argN(1)
+		if err != nil {
+			return err
+		}
+		v, err := argN(2)
+		if err != nil {
+			return err
+		}
+		s.flush()
+		fmt.Fprintln(s.out, s.g.Connected(u, v))
+	case "flush":
+		s.flush()
+	case "components":
+		s.flush()
+		fmt.Fprintln(s.out, s.g.NumComponents())
+	case "size":
+		u, err := argN(1)
+		if err != nil {
+			return err
+		}
+		s.flush()
+		fmt.Fprintln(s.out, s.g.ComponentSize(u))
+	case "stats":
+		s.flush()
+		st := s.g.Stats()
+		fmt.Fprintf(s.out, "edges=%d inserts=%d deletes=%d replaced=%d pushdowns=%d\n",
+			s.g.NumEdges(), st.Inserts, st.Deletes, st.Replaced, st.Pushdowns+st.TreePushes)
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+	return nil
+}

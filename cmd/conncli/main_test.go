@@ -1,0 +1,100 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runScript(t *testing.T, script string) (string, error) {
+	t.Helper()
+	var out strings.Builder
+	err := run(strings.NewReader(script), &out)
+	return out.String(), err
+}
+
+func TestBasicScript(t *testing.T) {
+	got, err := runScript(t, `
+# build a triangle and probe it
+n 10
++ 0 1
++ 1 2
+? 0 2
+- 1 2
++ 0 2   # replacement path
+? 1 2
+components
+size 0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "true\ntrue\n8\n3\n"
+	if got != want {
+		t.Fatalf("output %q, want %q", got, want)
+	}
+}
+
+func TestBatchingSemantics(t *testing.T) {
+	// Insert and delete of the same edge in one pending window: deletes
+	// apply first, so the edge survives.
+	got, err := runScript(t, `
+n 4
++ 0 1
+flush
+- 0 1
++ 0 1
+? 0 1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "true\n" {
+		t.Fatalf("output %q", got)
+	}
+}
+
+func TestStatsAndFlushAtEOF(t *testing.T) {
+	got, err := runScript(t, `
+n 5
++ 0 1
+stats
++ 1 2
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got, "edges=1 inserts=1") {
+		t.Fatalf("stats output %q", got)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		script string
+		msg    string
+	}{
+		{"+ 0 1", "before 'n"},
+		{"n 5\nn 6", "already declared"},
+		{"n 0", "positive"},
+		{"n 5\n+ 0 9", "out of range"},
+		{"n 5\n+ 0", "missing argument"},
+		{"n 5\n+ 0 x", "bad argument"},
+		{"n 5\nbogus", "unknown command"},
+	}
+	for _, c := range cases {
+		_, err := runScript(t, c.script)
+		if err == nil || !strings.Contains(err.Error(), c.msg) {
+			t.Fatalf("script %q: error %v, want containing %q", c.script, err, c.msg)
+		}
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	got, err := runScript(t, "\n# comment only\nn 3\n\n+ 0 1 # trailing\n? 0 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "true\n" {
+		t.Fatalf("output %q", got)
+	}
+}

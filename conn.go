@@ -1,0 +1,152 @@
+// Package conn is a parallel batch-dynamic graph connectivity library — a Go
+// implementation of "Parallel Batch-Dynamic Graph Connectivity" (Acar,
+// Anderson, Blelloch, Dhulipala; SPAA 2019).
+//
+// A Graph over n vertices supports batches of edge insertions, edge
+// deletions, and connectivity queries:
+//
+//	g := conn.New(1 << 20)
+//	g.InsertEdges([]conn.Edge{{0, 1}, {1, 2}})
+//	ok := g.Connected(0, 2)             // true
+//	g.DeleteEdges([]conn.Edge{{1, 2}})
+//	ans := g.ConnectedBatch([]conn.Edge{{0, 2}, {0, 1}}) // false, true
+//
+// Guarantees (Theorem 1 of the paper): across a workload whose deletion
+// batches average Δ edges, updates cost O(lg n · lg(1+n/Δ)) expected
+// amortized work per edge; a batch of k queries costs O(k lg(1+n/k))
+// expected work and O(lg n) depth; deletion batches run in O(lg^3 n) depth.
+// Internally the structure keeps ceil(lg n) nested spanning forests in
+// batch-parallel Euler-tour trees; see internal/core for the algorithms and
+// DESIGN.md for the system inventory.
+package conn
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Edge is an undirected edge between two vertex ids in [0, n). Orientation
+// is irrelevant: {U, V} and {V, U} denote the same edge.
+type Edge struct {
+	U, V int32
+}
+
+// Algorithm selects the deletion search strategy.
+type Algorithm = core.Algorithm
+
+const (
+	// Interleaved is Algorithm 5 of the paper (default): O(lg^3 n)-depth
+	// deletions and the improved work bound.
+	Interleaved = core.SearchInterleaved
+	// Simple is Algorithm 4: the first, O(lg^4 n)-depth variant. Exposed
+	// for benchmarking the paper's ablation.
+	Simple = core.SearchSimple
+)
+
+// Graph is a dynamic undirected graph with batch-parallel connectivity.
+// Methods must not be called concurrently with one another; each batch call
+// is internally parallel.
+type Graph struct {
+	c *core.Conn
+}
+
+// Option configures a Graph.
+type Option func(*options)
+
+type options struct {
+	alg Algorithm
+}
+
+// WithAlgorithm selects the deletion search algorithm (default Interleaved).
+func WithAlgorithm(a Algorithm) Option {
+	return func(o *options) { o.alg = a }
+}
+
+// New creates an empty graph on n vertices (ids 0..n-1). Panics if n <= 0.
+func New(n int, opts ...Option) *Graph {
+	if n <= 0 {
+		panic(fmt.Sprintf("conn: New(%d): vertex count must be positive", n))
+	}
+	o := options{alg: Interleaved}
+	for _, f := range opts {
+		f(&o)
+	}
+	return &Graph{c: core.New(n, core.WithAlgorithm(o.alg))}
+}
+
+func toInternal(es []Edge) []graph.Edge {
+	out := make([]graph.Edge, len(es))
+	for i, e := range es {
+		out[i] = graph.Edge{U: e.U, V: e.V}
+	}
+	return out
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.c.N() }
+
+// NumEdges returns the number of edges currently present.
+func (g *Graph) NumEdges() int { return g.c.NumEdges() }
+
+// HasEdge reports whether the edge {u, v} is present.
+func (g *Graph) HasEdge(u, v int32) bool { return g.c.HasEdge(u, v) }
+
+// InsertEdges adds a batch of edges in parallel. Self-loops, duplicate
+// batch entries and already-present edges are ignored. Returns the number
+// of edges actually added.
+func (g *Graph) InsertEdges(es []Edge) int {
+	return g.c.BatchInsert(toInternal(es))
+}
+
+// DeleteEdges removes a batch of edges in parallel; absent edges are
+// ignored. Returns the number of edges actually removed.
+func (g *Graph) DeleteEdges(es []Edge) int {
+	return g.c.BatchDelete(toInternal(es))
+}
+
+// Connected reports whether u and v are in the same connected component.
+func (g *Graph) Connected(u, v int32) bool { return g.c.Connected(u, v) }
+
+// ConnectedBatch answers k connectivity queries in parallel; result i
+// corresponds to query pair i.
+func (g *Graph) ConnectedBatch(qs []Edge) []bool {
+	return g.c.BatchConnected(toInternal(qs))
+}
+
+// Components returns a dense component labelling: lbl[u] == lbl[v] iff u and
+// v are connected. O(n) plus a representative walk per vertex.
+func (g *Graph) Components() []int32 { return g.c.Components() }
+
+// NumComponents returns the number of connected components (isolated
+// vertices count as components).
+func (g *Graph) NumComponents() int { return g.c.NumComponents() }
+
+// ComponentSize returns the number of vertices in u's connected component
+// (at least 1). O(lg n) expected.
+func (g *Graph) ComponentSize(u int32) int64 { return g.c.ComponentSize(u) }
+
+// SpanningForest returns the edges of a spanning forest of the current
+// graph (the structure's top-level forest). Useful for exporting a
+// connectivity certificate; order is unspecified.
+func (g *Graph) SpanningForest() []Edge {
+	es := g.c.SpanningForest()
+	out := make([]Edge, len(es))
+	for i, e := range es {
+		out[i] = Edge{U: e.U, V: e.V}
+	}
+	return out
+}
+
+// Stats exposes internal work counters (level decreases, replacement edges,
+// search rounds); useful for experiments and tuning.
+type Stats = core.Stats
+
+// Stats returns accumulated internal counters.
+func (g *Graph) Stats() Stats { return g.c.Stats() }
+
+// CheckInvariants validates the complete internal level structure (the two
+// HDT invariants, forest nesting, counter/list agreement, and connectivity
+// versus a union-find oracle). Intended for tests; O(n lg n + m).
+func (g *Graph) CheckInvariants() error { return g.c.CheckInvariants() }

@@ -1,0 +1,187 @@
+package conn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/graphgen"
+	"repro/internal/hdt"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	g := New(8)
+	if got := g.InsertEdges([]Edge{{0, 1}, {1, 2}, {3, 4}}); got != 3 {
+		t.Fatalf("InsertEdges = %d", got)
+	}
+	if !g.Connected(0, 2) || g.Connected(0, 3) {
+		t.Fatal("connectivity wrong")
+	}
+	ans := g.ConnectedBatch([]Edge{{0, 2}, {2, 3}, {3, 4}})
+	if !ans[0] || ans[1] || !ans[2] {
+		t.Fatalf("ConnectedBatch = %v", ans)
+	}
+	if got := g.DeleteEdges([]Edge{{1, 2}}); got != 1 {
+		t.Fatalf("DeleteEdges = %d", got)
+	}
+	if g.Connected(0, 2) {
+		t.Fatal("still connected after bridge deletion")
+	}
+	if g.NumEdges() != 2 || g.N() != 8 {
+		t.Fatalf("NumEdges=%d N=%d", g.NumEdges(), g.N())
+	}
+	// {0,1}, {3,4}, and singletons 2, 5, 6, 7.
+	if g.NumComponents() != 6 {
+		t.Fatalf("NumComponents = %d", g.NumComponents())
+	}
+	if !g.HasEdge(0, 1) || g.HasEdge(1, 2) {
+		t.Fatal("HasEdge wrong")
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) should panic")
+		}
+	}()
+	New(0)
+}
+
+func TestBothAlgorithmsExposed(t *testing.T) {
+	for _, alg := range []Algorithm{Interleaved, Simple} {
+		g := New(16, WithAlgorithm(alg))
+		g.InsertEdges([]Edge{{0, 1}, {1, 2}, {0, 2}, {2, 3}})
+		g.DeleteEdges([]Edge{{1, 2}, {2, 3}})
+		if !g.Connected(0, 2) || g.Connected(0, 3) {
+			t.Fatalf("alg %v: wrong connectivity", alg)
+		}
+	}
+}
+
+// TestAgreesWithHDTOnWorkload runs the same scripted workload through the
+// public batch-parallel structure and the sequential HDT baseline and
+// requires identical query answers throughout.
+func TestAgreesWithHDTOnWorkload(t *testing.T) {
+	n := 128
+	w := graphgen.MixedWorkload(n, 400, 50, 40, 8, 64, 9)
+	for _, alg := range []Algorithm{Interleaved, Simple} {
+		g := New(n, WithAlgorithm(alg))
+		h := hdt.New(n)
+		for oi, op := range w.Ops {
+			switch op.Kind {
+			case graphgen.OpInsert:
+				es := make([]Edge, len(op.Edges))
+				for i, e := range op.Edges {
+					es[i] = Edge{e.U, e.V}
+					h.Insert(e.U, e.V)
+				}
+				g.InsertEdges(es)
+			case graphgen.OpDelete:
+				es := make([]Edge, len(op.Edges))
+				for i, e := range op.Edges {
+					es[i] = Edge{e.U, e.V}
+					h.Delete(e.U, e.V)
+				}
+				g.DeleteEdges(es)
+			case graphgen.OpQuery:
+				qs := make([]Edge, len(op.Edges))
+				for i, e := range op.Edges {
+					qs[i] = Edge{e.U, e.V}
+				}
+				got := g.ConnectedBatch(qs)
+				for i, q := range op.Edges {
+					want := h.Connected(q.U, q.V)
+					if got[i] != want {
+						t.Fatalf("alg %v op %d: query (%d,%d) = %v, HDT says %v",
+							alg, oi, q.U, q.V, got[i], want)
+					}
+				}
+			}
+		}
+		if g.NumEdges() != h.NumEdges() {
+			t.Fatalf("alg %v: edge counts diverge: %d vs %d", alg, g.NumEdges(), h.NumEdges())
+		}
+	}
+}
+
+func TestComponentsMatchLabels(t *testing.T) {
+	g := New(100)
+	es := graphgen.RandomGraph(100, 80, 3)
+	batch := make([]Edge, len(es))
+	for i, e := range es {
+		batch[i] = Edge{e.U, e.V}
+	}
+	g.InsertEdges(batch)
+	lbl := g.Components()
+	for trial := 0; trial < 500; trial++ {
+		u := int32(trial % 100)
+		v := int32((trial * 7) % 100)
+		if (lbl[u] == lbl[v]) != g.Connected(u, v) {
+			t.Fatalf("labels disagree with Connected(%d,%d)", u, v)
+		}
+	}
+}
+
+func TestStatsExposed(t *testing.T) {
+	g := New(32)
+	g.InsertEdges([]Edge{{0, 1}, {1, 2}, {0, 2}})
+	g.DeleteEdges([]Edge{{0, 1}})
+	s := g.Stats()
+	if s.Inserts != 3 || s.Deletes != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestLargeRandomPublicAPI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rng := rand.New(rand.NewSource(31))
+	n := 512
+	g := New(n)
+	h := hdt.New(n)
+	live := map[uint64]graph.Edge{}
+	for step := 0; step < 25; step++ {
+		var ins []Edge
+		for j := 0; j < 200; j++ {
+			u := int32(rng.Intn(n))
+			v := int32(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			ins = append(ins, Edge{u, v})
+		}
+		g.InsertEdges(ins)
+		for _, e := range ins {
+			ge := graph.Edge{U: e.U, V: e.V}.Canon()
+			if h.Insert(e.U, e.V) {
+				live[ge.Key()] = ge
+			}
+		}
+		var del []Edge
+		for _, e := range live {
+			if rng.Intn(3) == 0 {
+				del = append(del, Edge{e.U, e.V})
+			}
+		}
+		g.DeleteEdges(del)
+		for _, e := range del {
+			h.Delete(e.U, e.V)
+			delete(live, graph.Edge{U: e.U, V: e.V}.Key())
+		}
+		for q := 0; q < 300; q++ {
+			u := int32(rng.Intn(n))
+			v := int32(rng.Intn(n))
+			if g.Connected(u, v) != h.Connected(u, v) {
+				t.Fatalf("step %d: disagreement on (%d,%d)", step, u, v)
+			}
+		}
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,93 @@
+// Socialstream simulates the workload from the paper's introduction: a large
+// social network whose friendship graph changes in bursts — thousands of
+// users connect or disconnect "at the same time" — while an analytics layer
+// continuously asks whether pairs of users belong to the same community
+// (connected component).
+//
+// The stream is processed in batches: each tick applies one batch of edge
+// insertions (new friendships), one batch of deletions (unfriend/deactivate
+// events), and a batch of connectivity probes. Batch-dynamic processing
+// turns each tick into three parallel bulk operations instead of thousands
+// of serialized pointer updates.
+//
+//	go run ./examples/socialstream [-n 100000] [-ticks 20]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"time"
+
+	conn "repro"
+	"repro/internal/graphgen"
+)
+
+func main() {
+	n := flag.Int("n", 100_000, "number of users")
+	ticks := flag.Int("ticks", 20, "stream ticks to simulate")
+	batch := flag.Int("batch", 4096, "friendship events per tick")
+	probes := flag.Int("probes", 8192, "connectivity probes per tick")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	fmt.Printf("building base social graph: %d users, power-law degree…\n", *n)
+	base := graphgen.PowerLaw(*n, 4, *seed)
+	g := conn.New(*n)
+	start := time.Now()
+	baseEdges := make([]conn.Edge, len(base))
+	for i, e := range base {
+		baseEdges[i] = conn.Edge{U: e.U, V: e.V}
+	}
+	g.InsertEdges(baseEdges)
+	fmt.Printf("base graph: %d friendships in %v, %d communities\n",
+		g.NumEdges(), time.Since(start).Round(time.Millisecond), g.NumComponents())
+
+	rng := rand.New(rand.NewSource(*seed + 1))
+	var totalOps, totalProbes int
+	tickStart := time.Now()
+	for tick := 0; tick < *ticks; tick++ {
+		// New friendships: bursty random attachments.
+		var ins []conn.Edge
+		for len(ins) < *batch {
+			u := int32(rng.Intn(*n))
+			v := int32(rng.Intn(*n))
+			if u != v {
+				ins = append(ins, conn.Edge{U: u, V: v})
+			}
+		}
+		// Unfriend events: sample from the base edge set.
+		var del []conn.Edge
+		for len(del) < *batch/2 {
+			e := base[rng.Intn(len(base))]
+			del = append(del, conn.Edge{U: e.U, V: e.V})
+		}
+		gained := g.InsertEdges(ins)
+		lost := g.DeleteEdges(del)
+		// Community probes.
+		var qs []conn.Edge
+		for len(qs) < *probes {
+			qs = append(qs, conn.Edge{U: int32(rng.Intn(*n)), V: int32(rng.Intn(*n))})
+		}
+		ans := g.ConnectedBatch(qs)
+		same := 0
+		for _, a := range ans {
+			if a {
+				same++
+			}
+		}
+		totalOps += gained + lost
+		totalProbes += len(qs)
+		if tick%5 == 0 || tick == *ticks-1 {
+			fmt.Printf("tick %2d: +%4d / -%4d edges, %5.1f%% probe pairs in same community, %d communities\n",
+				tick, gained, lost, 100*float64(same)/float64(len(qs)), g.NumComponents())
+		}
+	}
+	elapsed := time.Since(tickStart)
+	fmt.Printf("\nprocessed %d updates and %d probes in %v (%.0f ops/ms)\n",
+		totalOps, totalProbes, elapsed.Round(time.Millisecond),
+		float64(totalOps+totalProbes)/float64(elapsed.Milliseconds()+1))
+	s := g.Stats()
+	fmt.Printf("internals: %d replacements, %d non-tree pushdowns, %d tree pushdowns, %d search rounds\n",
+		s.Replaced, s.Pushdowns, s.TreePushes, s.Rounds)
+}

@@ -1,0 +1,251 @@
+// Package adjlist implements the adjacency structure of Appendix 8: for each
+// vertex and each level, two resizable arrays (tree edges and non-tree edges)
+// supporting batch insertion, batch deletion and fetching the first l edges,
+// at O(1) amortized work per edge. Each edge record stores its positions in
+// the arrays of both endpoints so deletion is a swap-with-last.
+package adjlist
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+// Rec is the shared record for one edge at one level. A Rec lives in exactly
+// two arrays: the (Level, IsTree) list of E.U and of E.V. PosU/PosV are its
+// indices there.
+type Rec struct {
+	E      graph.Edge // canonical orientation (U < V)
+	Level  int32
+	IsTree bool
+	PosU   int32
+	PosV   int32
+}
+
+func (r *Rec) pos(x graph.Vertex) int32 {
+	if x == r.E.U {
+		return r.PosU
+	}
+	return r.PosV
+}
+
+func (r *Rec) setPos(x graph.Vertex, p int32) {
+	if x == r.E.U {
+		r.PosU = p
+	} else {
+		r.PosV = p
+	}
+}
+
+// lists holds the two per-(vertex, level) arrays.
+type lists struct {
+	tree    []*Rec
+	nonTree []*Rec
+}
+
+func (l *lists) arr(isTree bool) *[]*Rec {
+	if isTree {
+		return &l.tree
+	}
+	return &l.nonTree
+}
+
+type perVertex struct {
+	lv []lists // indexed by level; allocated on first touch
+}
+
+// Store is the full adjacency structure: n vertices × levels levels.
+type Store struct {
+	levels int
+	verts  []*perVertex
+}
+
+// New creates a Store for n vertices and the given number of levels.
+func New(n int, levels int) *Store {
+	return &Store{levels: levels, verts: make([]*perVertex, n)}
+}
+
+// Levels reports the number of levels the store was created with.
+func (s *Store) Levels() int { return s.levels }
+
+func (s *Store) cell(u graph.Vertex, lvl int32) *lists {
+	pv := s.verts[u]
+	if pv == nil {
+		pv = &perVertex{lv: make([]lists, s.levels)}
+		s.verts[u] = pv
+	}
+	return &pv.lv[lvl]
+}
+
+// insertAt appends r to x's (level, tree) list.
+func (s *Store) insertAt(x graph.Vertex, r *Rec) {
+	arr := s.cell(x, r.Level).arr(r.IsTree)
+	r.setPos(x, int32(len(*arr)))
+	*arr = append(*arr, r)
+}
+
+// deleteAt removes r from x's list by swapping with the last element.
+func (s *Store) deleteAt(x graph.Vertex, r *Rec) {
+	arr := s.cell(x, r.Level).arr(r.IsTree)
+	i := r.pos(x)
+	last := int32(len(*arr) - 1)
+	if i != last {
+		moved := (*arr)[last]
+		(*arr)[i] = moved
+		moved.setPos(x, i)
+	}
+	(*arr)[last] = nil
+	*arr = (*arr)[:last]
+	r.setPos(x, -1)
+}
+
+// Insert adds r to the lists of both endpoints (sequential; see BatchInsert).
+func (s *Store) Insert(r *Rec) {
+	s.insertAt(r.E.U, r)
+	s.insertAt(r.E.V, r)
+}
+
+// Delete removes r from the lists of both endpoints.
+func (s *Store) Delete(r *Rec) {
+	s.deleteAt(r.E.U, r)
+	s.deleteAt(r.E.V, r)
+}
+
+// Count returns the length of u's (lvl, isTree) list.
+func (s *Store) Count(u graph.Vertex, lvl int32, isTree bool) int {
+	pv := s.verts[u]
+	if pv == nil {
+		return 0
+	}
+	return len(*pv.lv[lvl].arr(isTree))
+}
+
+// Fetch returns up to l records from the front of u's (lvl, isTree) list.
+// The returned slice aliases the store; callers must not mutate it.
+func (s *Store) Fetch(u graph.Vertex, lvl int32, isTree bool, l int) []*Rec {
+	pv := s.verts[u]
+	if pv == nil {
+		return nil
+	}
+	arr := *pv.lv[lvl].arr(isTree)
+	if l > len(arr) {
+		l = len(arr)
+	}
+	return arr[:l]
+}
+
+// All returns every record in u's (lvl, isTree) list.
+func (s *Store) All(u graph.Vertex, lvl int32, isTree bool) []*Rec {
+	return s.Fetch(u, lvl, isTree, 1<<31-1)
+}
+
+// Delta reports the per-(vertex, level) change in list lengths produced by a
+// batch operation, so the caller can repair ETT augmented values.
+type Delta struct {
+	V       graph.Vertex
+	Level   int32
+	Tree    int64
+	NonTree int64
+}
+
+// endpointGroups semisorts records by endpoint so each vertex's mutations can
+// run sequentially while distinct vertices proceed in parallel. Each record
+// appears in exactly two groups (once per endpoint).
+func endpointGroups(recs []*Rec) []parallel.Group {
+	keys := make([]uint64, 2*len(recs))
+	parallel.For(len(recs), 2048, func(i int) {
+		keys[2*i] = uint64(uint32(recs[i].E.U))
+		keys[2*i+1] = uint64(uint32(recs[i].E.V))
+	})
+	return parallel.GroupByParallel(keys)
+}
+
+// BatchInsert inserts all records (each into both endpoint lists) and
+// returns the per-(vertex, level) count deltas. O(1) amortized work per edge,
+// parallel across vertices.
+func (s *Store) BatchInsert(recs []*Rec) []Delta {
+	return s.batch(recs, true)
+}
+
+// BatchDelete removes all records and returns count deltas.
+func (s *Store) BatchDelete(recs []*Rec) []Delta {
+	return s.batch(recs, false)
+}
+
+func (s *Store) batch(recs []*Rec, insert bool) []Delta {
+	if len(recs) == 0 {
+		return nil
+	}
+	groups := endpointGroups(recs)
+	// Pre-touch cells sequentially: cell() lazily allocates per-vertex
+	// state and two goroutines handling u and v of different records
+	// never share a vertex, but allocation is idempotent per vertex so
+	// grouping already isolates it.
+	out := make([][]Delta, len(groups))
+	parallel.For(len(groups), 0, func(gi int) {
+		g := groups[gi]
+		u := graph.Vertex(uint32(g.Key))
+		// Per-level delta accumulation for this vertex.
+		var dl []Delta
+		find := func(lvl int32) *Delta {
+			for i := range dl {
+				if dl[i].Level == lvl {
+					return &dl[i]
+				}
+			}
+			dl = append(dl, Delta{V: u, Level: lvl})
+			return &dl[len(dl)-1]
+		}
+		for _, idx := range g.Indices {
+			r := recs[idx/2]
+			d := find(r.Level)
+			sign := int64(1)
+			if insert {
+				s.insertAt(u, r)
+			} else {
+				s.deleteAt(u, r)
+				sign = -1
+			}
+			if r.IsTree {
+				d.Tree += sign
+			} else {
+				d.NonTree += sign
+			}
+		}
+		out[gi] = dl
+	})
+	var flat []Delta
+	for _, dl := range out {
+		flat = append(flat, dl...)
+	}
+	return flat
+}
+
+// CheckInvariants verifies position back-pointers for vertex u; for tests.
+func (s *Store) CheckInvariants(u graph.Vertex) error {
+	pv := s.verts[u]
+	if pv == nil {
+		return nil
+	}
+	for lvl := range pv.lv {
+		for _, isTree := range []bool{true, false} {
+			arr := *pv.lv[lvl].arr(isTree)
+			for i, r := range arr {
+				if r == nil {
+					return fmt.Errorf("nil rec at v=%d lvl=%d i=%d", u, lvl, i)
+				}
+				if int(r.Level) != lvl || r.IsTree != isTree {
+					return fmt.Errorf("rec %v in wrong list (lvl=%d tree=%v)", r.E, lvl, isTree)
+				}
+				if r.pos(u) != int32(i) {
+					return fmt.Errorf("rec %v pos=%d want %d", r.E, r.pos(u), i)
+				}
+				if r.E.U != u && r.E.V != u {
+					return fmt.Errorf("rec %v not incident on %d", r.E, u)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,243 @@
+package adjlist
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func rec(u, v graph.Vertex, lvl int32, tree bool) *Rec {
+	return &Rec{E: graph.Edge{U: u, V: v}.Canon(), Level: lvl, IsTree: tree}
+}
+
+func TestInsertFetchDelete(t *testing.T) {
+	s := New(10, 4)
+	r1 := rec(1, 2, 3, false)
+	r2 := rec(1, 5, 3, false)
+	r3 := rec(1, 7, 2, false)
+	s.Insert(r1)
+	s.Insert(r2)
+	s.Insert(r3)
+	if got := s.Count(1, 3, false); got != 2 {
+		t.Fatalf("Count(1,3) = %d, want 2", got)
+	}
+	if got := s.Count(1, 2, false); got != 1 {
+		t.Fatalf("Count(1,2) = %d, want 1", got)
+	}
+	if got := s.Count(2, 3, false); got != 1 {
+		t.Fatalf("Count(2,3) = %d, want 1", got)
+	}
+	f := s.Fetch(1, 3, false, 10)
+	if len(f) != 2 {
+		t.Fatalf("Fetch returned %d recs", len(f))
+	}
+	s.Delete(r1)
+	if got := s.Count(1, 3, false); got != 1 {
+		t.Fatalf("Count after delete = %d", got)
+	}
+	if got := s.Count(2, 3, false); got != 0 {
+		t.Fatalf("other endpoint count after delete = %d", got)
+	}
+	if err := s.CheckInvariants(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteMiddleFixesPositions(t *testing.T) {
+	s := New(10, 1)
+	var recs []*Rec
+	for v := graph.Vertex(1); v <= 5; v++ {
+		r := rec(0, v, 0, false)
+		recs = append(recs, r)
+		s.Insert(r)
+	}
+	// Delete the middle one; the last should be swapped into its place.
+	s.Delete(recs[2])
+	if got := s.Count(0, 0, false); got != 4 {
+		t.Fatalf("Count = %d", got)
+	}
+	for _, u := range []graph.Vertex{0, 1, 2, 3, 4, 5} {
+		if err := s.CheckInvariants(u); err != nil {
+			t.Fatalf("vertex %d: %v", u, err)
+		}
+	}
+	// Delete the rest in arbitrary order.
+	for _, i := range []int{4, 0, 3, 1} {
+		s.Delete(recs[i])
+	}
+	if got := s.Count(0, 0, false); got != 0 {
+		t.Fatalf("Count after all deletes = %d", got)
+	}
+}
+
+func TestTreeAndNonTreeListsSeparate(t *testing.T) {
+	s := New(4, 2)
+	rt := rec(0, 1, 1, true)
+	rn := rec(0, 1, 1, false)
+	s.Insert(rt)
+	s.Insert(rn)
+	if s.Count(0, 1, true) != 1 || s.Count(0, 1, false) != 1 {
+		t.Fatal("tree/non-tree lists not separate")
+	}
+	got := s.Fetch(0, 1, true, 5)
+	if len(got) != 1 || !got[0].IsTree {
+		t.Fatal("Fetch(tree) returned wrong records")
+	}
+}
+
+func TestFetchTruncates(t *testing.T) {
+	s := New(4, 1)
+	for v := graph.Vertex(1); v <= 3; v++ {
+		s.Insert(rec(0, v, 0, false))
+	}
+	if got := s.Fetch(0, 0, false, 2); len(got) != 2 {
+		t.Fatalf("Fetch(2) = %d recs", len(got))
+	}
+	if got := s.Fetch(0, 0, false, 99); len(got) != 3 {
+		t.Fatalf("Fetch(99) = %d recs", len(got))
+	}
+	if got := s.Fetch(3, 0, true, 1); len(got) != 0 {
+		t.Fatalf("Fetch on empty list = %d recs", len(got))
+	}
+	if got := s.All(0, 0, false); len(got) != 3 {
+		t.Fatalf("All = %d recs", len(got))
+	}
+}
+
+func TestBatchInsertDeltas(t *testing.T) {
+	s := New(8, 3)
+	recs := []*Rec{
+		rec(0, 1, 2, false),
+		rec(0, 2, 2, false),
+		rec(0, 3, 1, true),
+		rec(4, 5, 2, false),
+	}
+	deltas := s.BatchInsert(recs)
+	byVL := map[[2]int32][2]int64{}
+	for _, d := range deltas {
+		k := [2]int32{int32(d.V), d.Level}
+		cur := byVL[k]
+		byVL[k] = [2]int64{cur[0] + d.Tree, cur[1] + d.NonTree}
+	}
+	checks := []struct {
+		v, lvl int32
+		tr, nt int64
+	}{
+		{0, 2, 0, 2}, {0, 1, 1, 0}, {1, 2, 0, 1}, {2, 2, 0, 1},
+		{3, 1, 1, 0}, {4, 2, 0, 1}, {5, 2, 0, 1},
+	}
+	for _, c := range checks {
+		got := byVL[[2]int32{c.v, c.lvl}]
+		if got[0] != c.tr || got[1] != c.nt {
+			t.Fatalf("delta v=%d lvl=%d = %v, want {%d %d}", c.v, c.lvl, got, c.tr, c.nt)
+		}
+	}
+	if s.Count(0, 2, false) != 2 || s.Count(0, 1, true) != 1 {
+		t.Fatal("counts after batch insert wrong")
+	}
+}
+
+func TestBatchDeleteInvertsBatchInsert(t *testing.T) {
+	s := New(8, 2)
+	recs := []*Rec{
+		rec(0, 1, 0, false), rec(1, 2, 0, false), rec(2, 3, 1, true),
+	}
+	s.BatchInsert(recs)
+	deltas := s.BatchDelete(recs)
+	total := int64(0)
+	for _, d := range deltas {
+		total += d.Tree + d.NonTree
+	}
+	if total != -6 { // 3 records × 2 endpoints, all decrements
+		t.Fatalf("delete deltas sum = %d, want -6", total)
+	}
+	for u := graph.Vertex(0); u < 4; u++ {
+		for lvl := int32(0); lvl < 2; lvl++ {
+			if s.Count(u, lvl, false)+s.Count(u, lvl, true) != 0 {
+				t.Fatalf("residual edges at v=%d lvl=%d", u, lvl)
+			}
+		}
+	}
+}
+
+func TestBatchRandomizedAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 50
+	s := New(n, 3)
+	type slot struct {
+		rec  *Rec
+		live bool
+	}
+	var slots []slot
+	for round := 0; round < 30; round++ {
+		// Insert a random batch.
+		var batch []*Rec
+		for i := 0; i < 40; i++ {
+			u := graph.Vertex(rng.Intn(n))
+			v := graph.Vertex(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			r := rec(u, v, int32(rng.Intn(3)), rng.Intn(2) == 0)
+			batch = append(batch, r)
+			slots = append(slots, slot{r, true})
+		}
+		s.BatchInsert(batch)
+		// Delete a random live subset.
+		var del []*Rec
+		for i := range slots {
+			if slots[i].live && rng.Intn(3) == 0 {
+				del = append(del, slots[i].rec)
+				slots[i].live = false
+			}
+		}
+		s.BatchDelete(del)
+		// Model check: per-(vertex,level,tree) counts.
+		type key struct {
+			v    graph.Vertex
+			lvl  int32
+			tree bool
+		}
+		want := map[key]int{}
+		for _, sl := range slots {
+			if !sl.live {
+				continue
+			}
+			r := sl.rec
+			want[key{r.E.U, r.Level, r.IsTree}]++
+			want[key{r.E.V, r.Level, r.IsTree}]++
+		}
+		for v := graph.Vertex(0); v < graph.Vertex(n); v++ {
+			if err := s.CheckInvariants(v); err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+			for lvl := int32(0); lvl < 3; lvl++ {
+				for _, tr := range []bool{true, false} {
+					if got := s.Count(v, lvl, tr); got != want[key{v, lvl, tr}] {
+						t.Fatalf("round %d v=%d lvl=%d tree=%v: count %d want %d",
+							round, v, lvl, tr, got, want[key{v, lvl, tr}])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGraphEdgeHelpers(t *testing.T) {
+	e := graph.Edge{U: 5, V: 2}
+	c := e.Canon()
+	if c.U != 2 || c.V != 5 {
+		t.Fatalf("Canon = %v", c)
+	}
+	if graph.FromKey(e.Key()) != c {
+		t.Fatal("FromKey(Key) mismatch")
+	}
+	if e.Other(5) != 2 || e.Other(2) != 5 {
+		t.Fatal("Other wrong")
+	}
+	d := graph.Dedup([]graph.Edge{{U: 1, V: 2}, {U: 2, V: 1}, {U: 3, V: 3}, {U: 1, V: 2}})
+	if len(d) != 1 || d[0] != (graph.Edge{U: 1, V: 2}) {
+		t.Fatalf("Dedup = %v", d)
+	}
+}

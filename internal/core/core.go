@@ -1,0 +1,353 @@
+// Package core implements the paper's primary contribution: a parallel
+// batch-dynamic connectivity structure supporting batches of edge
+// insertions, deletions and connectivity queries over an n-vertex graph.
+//
+// The structure maintains the HDT level hierarchy — forests F_1 ⊆ ... ⊆ F_L,
+// L = ceil(lg n), components of G_i bounded by 2^i — with batch-parallel
+// Euler-tour trees per level (internal/ett) and the Appendix-8 adjacency
+// arrays (internal/adjlist). Batch insertion is Algorithm 2; batch deletion
+// is Algorithm 3 with the level search selectable between Algorithm 4
+// (ParallelLevelSearch, round-reset doubling) and Algorithm 5
+// (InterleavedLevelSearch, a single geometric search size per level and
+// deferred pushes — the version achieving the improved
+// O(lg n · lg(1+n/Δ)) amortized work bound).
+package core
+
+import (
+	"repro/internal/adjlist"
+	"repro/internal/ett"
+	"repro/internal/graph"
+	"repro/internal/hdt"
+	"repro/internal/levelcheck"
+	"repro/internal/parallel"
+	"repro/internal/pdict"
+	"repro/internal/spanning"
+	"repro/internal/treap"
+)
+
+// Algorithm selects the level-search strategy used by BatchDelete.
+type Algorithm int
+
+const (
+	// SearchInterleaved is Algorithm 5 (default): one geometrically
+	// growing search size per level, deferred tree insertion and deferred
+	// push-downs. O(lg^3 n) depth.
+	SearchInterleaved Algorithm = iota
+	// SearchSimple is Algorithm 4: the doubling search restarts every
+	// round. O(lg^4 n) depth; kept for the paper's ablation.
+	SearchSimple
+)
+
+// Stats counts work-proxy events, used by tests and the experiment harness.
+type Stats struct {
+	Inserts       int64 // edges actually inserted
+	Deletes       int64 // edges actually deleted
+	InsertBatches int64
+	DeleteBatches int64
+	Replaced      int64 // replacement edges promoted to tree edges
+	Pushdowns     int64 // non-tree edge level decreases
+	TreePushes    int64 // tree edge level decreases
+	EdgesExamined int64 // non-tree edges inspected as candidates
+	Rounds        int64 // level-search rounds
+	Phases        int64 // doubling phases (Algorithm 4 inner iterations)
+	LevelSearches int64 // ParallelLevelSearch / InterleavedLevelSearch calls
+}
+
+// Conn is the parallel batch-dynamic connectivity structure.
+//
+// The edge dictionary ED (the paper's parallel dictionary) is a
+// phase-concurrent hash table mapping canonical edge keys to indices in the
+// record arena, so membership filtering of whole batches runs in parallel.
+type Conn struct {
+	n     int
+	top   int32
+	f     []*ett.Forest
+	adj   *adjlist.Store
+	edges *pdict.Dict    // canonical edge key -> arena index
+	arena []*adjlist.Rec // live records; nil entries are free slots
+	freed []uint64       // free arena indices
+	alg   Algorithm
+	stats Stats
+}
+
+// Option configures a Conn.
+type Option func(*Conn)
+
+// WithAlgorithm selects the deletion level-search algorithm.
+func WithAlgorithm(a Algorithm) Option {
+	return func(c *Conn) { c.alg = a }
+}
+
+// New creates an empty graph over n vertices.
+func New(n int, opts ...Option) *Conn {
+	l := hdt.Levels(n)
+	c := &Conn{
+		n:     n,
+		top:   int32(l),
+		f:     make([]*ett.Forest, l+1),
+		adj:   adjlist.New(n, l+1),
+		edges: pdict.New(64),
+		alg:   SearchInterleaved,
+	}
+	for i := 1; i <= l; i++ {
+		c.f[i] = ett.New(n)
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// N returns the vertex count.
+func (c *Conn) N() int { return c.n }
+
+// Top returns the number of levels L.
+func (c *Conn) Top() int { return int(c.top) }
+
+// NumEdges returns the number of edges currently present.
+func (c *Conn) NumEdges() int { return c.edges.Len() }
+
+// recFor returns the live record for a canonical edge key, or nil.
+func (c *Conn) recFor(key uint64) *adjlist.Rec {
+	idx, ok := c.edges.Get(key)
+	if !ok {
+		return nil
+	}
+	return c.arena[idx]
+}
+
+// addRecs registers new records under their canonical keys; the dictionary
+// insertion is a parallel batch.
+func (c *Conn) addRecs(keys []uint64, recs []*adjlist.Rec) {
+	idxs := make([]uint64, len(recs))
+	for i, r := range recs {
+		var idx uint64
+		if k := len(c.freed); k > 0 {
+			idx = c.freed[k-1]
+			c.freed = c.freed[:k-1]
+		} else {
+			idx = uint64(len(c.arena))
+			c.arena = append(c.arena, nil)
+		}
+		c.arena[idx] = r
+		idxs[i] = idx
+	}
+	c.edges.BatchInsert(keys, idxs)
+}
+
+// takeRecs removes the given keys from the dictionary, returning the records
+// that were present. Lookup is a parallel batch; arena bookkeeping is
+// sequential O(k).
+func (c *Conn) takeRecs(keys []uint64) []*adjlist.Rec {
+	idxs, ok := c.edges.BatchLookup(keys)
+	var out []*adjlist.Rec
+	var present []uint64
+	for i, k := range keys {
+		if !ok[i] {
+			continue
+		}
+		out = append(out, c.arena[idxs[i]])
+		c.arena[idxs[i]] = nil
+		c.freed = append(c.freed, idxs[i])
+		present = append(present, k)
+	}
+	c.edges.BatchDelete(present)
+	return out
+}
+
+// liveRecs returns all live edge records (test/checker support).
+func (c *Conn) liveRecs() []*adjlist.Rec {
+	return parallel.Filter(c.arena, func(r *adjlist.Rec) bool { return r != nil })
+}
+
+// Stats returns accumulated counters.
+func (c *Conn) Stats() Stats { return c.stats }
+
+// HasEdge reports whether (u, v) is present.
+func (c *Conn) HasEdge(u, v graph.Vertex) bool {
+	return c.recFor(graph.Edge{U: u, V: v}.Key()) != nil
+}
+
+// Connected reports whether u and v are connected (single query).
+func (c *Conn) Connected(u, v graph.Vertex) bool {
+	return c.f[c.top].Connected(u, v)
+}
+
+// BatchConnected answers k connectivity queries in parallel (Algorithm 1):
+// O(k lg(1+n/k)) expected work, O(lg n) depth.
+func (c *Conn) BatchConnected(qs []graph.Edge) []bool {
+	return c.f[c.top].BatchConnected(qs)
+}
+
+// ComponentOf returns an opaque component identifier for u, equal for two
+// vertices iff they are connected. Invalidated by updates.
+func (c *Conn) ComponentOf(u graph.Vertex) any {
+	r := c.f[c.top].Rep(u)
+	if r == nil {
+		return u // isolated vertex: itself
+	}
+	return r
+}
+
+// Components returns a dense labelling: lbl[u] == lbl[v] iff connected.
+func (c *Conn) Components() []int32 {
+	lbl := make([]int32, c.n)
+	next := int32(0)
+	byRep := make(map[*treap.Node]int32)
+	for u := 0; u < c.n; u++ {
+		r := c.f[c.top].Rep(graph.Vertex(u))
+		if r == nil {
+			lbl[u] = next
+			next++
+			continue
+		}
+		id, ok := byRep[r]
+		if !ok {
+			id = next
+			next++
+			byRep[r] = id
+		}
+		lbl[u] = id
+	}
+	return lbl
+}
+
+// NumComponents returns the number of connected components.
+func (c *Conn) NumComponents() int {
+	lbl := c.Components()
+	max := int32(-1)
+	for _, l := range lbl {
+		if l > max {
+			max = l
+		}
+	}
+	return int(max + 1)
+}
+
+// ComponentSize returns the number of vertices in u's connected component.
+func (c *Conn) ComponentSize(u graph.Vertex) int64 {
+	return c.f[c.top].Size(u)
+}
+
+// SpanningForest returns the edges of the current spanning forest (the tree
+// edges of F_top). The slice is freshly allocated; order is unspecified.
+func (c *Conn) SpanningForest() []graph.Edge {
+	recs := parallel.Filter(c.arena, func(r *adjlist.Rec) bool { return r != nil && r.IsTree })
+	return parallel.Map(recs, func(r *adjlist.Rec) graph.Edge { return r.E })
+}
+
+// LevelHistogram returns, for each level 1..Top, the number of live edges
+// currently assigned to it (index 0 unused). Diagnostic for the experiment
+// harness: edges sink as deletions search for replacements.
+func (c *Conn) LevelHistogram() []int64 {
+	h := make([]int64, c.top+1)
+	for _, r := range c.arena {
+		if r != nil {
+			h[r.Level]++
+		}
+	}
+	return h
+}
+
+// repKey maps a vertex's representative at forest f to a hashable id; an
+// untouched (singleton) vertex gets a unique synthetic key.
+func repKey(f *ett.Forest, v graph.Vertex) uint64 {
+	if r := f.Rep(v); r != nil {
+		return r.ID()
+	}
+	return 1<<63 | uint64(uint32(v))
+}
+
+// applyDeltas repairs the augmented counters of the level forests after a
+// batch adjacency mutation. Deltas are grouped by (forest, component) so
+// that each treap is updated by exactly one goroutine.
+func (c *Conn) applyDeltas(deltas []adjlist.Delta) {
+	if len(deltas) == 0 {
+		return
+	}
+	keys := make([]uint64, len(deltas))
+	parallel.For(len(deltas), 512, func(i int) {
+		d := deltas[i]
+		if r := c.f[d.Level].Rep(d.V); r != nil {
+			keys[i] = r.ID()
+		} else {
+			// Unique per (vertex, level): singleton trees.
+			keys[i] = 1<<63 | uint64(uint32(d.V))<<6 | uint64(uint32(d.Level))
+		}
+	})
+	groups := parallel.GroupByParallel(keys)
+	parallel.For(len(groups), 0, func(gi int) {
+		for _, idx := range groups[gi].Indices {
+			d := deltas[idx]
+			c.f[d.Level].AddCounts(d.V, d.Tree, d.NonTree)
+		}
+	})
+}
+
+// BatchInsert adds a batch of edges (Algorithm 2). Self-loops, duplicates
+// within the batch, and edges already present are ignored. Returns the
+// number of edges actually inserted. O(k lg(1+n/k)) expected work.
+func (c *Conn) BatchInsert(es []graph.Edge) int {
+	es = graph.Dedup(es)
+	{
+		keys := graph.Keys(es)
+		_, present := c.edges.BatchLookup(keys) // parallel membership filter
+		es = parallel.Pack(es, parallel.Map(present, func(p bool) bool { return !p }))
+	}
+	if len(es) == 0 {
+		return 0
+	}
+	c.stats.InsertBatches++
+	c.stats.Inserts += int64(len(es))
+	// All new edges enter at the top level as non-tree edges.
+	recs := make([]*adjlist.Rec, len(es))
+	parallel.For(len(es), 1024, func(i int) {
+		recs[i] = &adjlist.Rec{E: es[i], Level: c.top}
+	})
+	c.addRecs(graph.Keys(es), recs)
+	deltas := c.adj.BatchInsert(recs)
+	c.applyDeltas(deltas)
+	// Contract components and compute a spanning forest of the batch over
+	// the contracted graph; its edges increase connectivity.
+	ftop := c.f[c.top]
+	us := make([]uint64, len(es))
+	vs := make([]uint64, len(es))
+	parallel.For(len(es), 256, func(i int) {
+		us[i] = repKey(ftop, es[i].U)
+		vs[i] = repKey(ftop, es[i].V)
+	})
+	sf := spanning.Forest(us, vs)
+	chosen := parallel.PackIndex(len(es), func(i int) bool { return sf.Chosen[i] })
+	if len(chosen) > 0 {
+		treeRecs := make([]*adjlist.Rec, len(chosen))
+		treeEdges := make([]graph.Edge, len(chosen))
+		for i, idx := range chosen {
+			treeRecs[i] = recs[idx]
+			treeEdges[i] = es[idx]
+		}
+		c.promote(treeRecs, c.top)
+		ftop.BatchLink(treeEdges)
+	}
+	return len(es)
+}
+
+// promote converts the given non-tree records into tree records at the given
+// level, updating adjacency lists and augmented counters. It does not touch
+// the forests; the caller links the edges.
+func (c *Conn) promote(recs []*adjlist.Rec, lvl int32) {
+	for _, r := range recs {
+		dbgTrace("promote", r, "")
+	}
+	d1 := c.adj.BatchDelete(recs)
+	parallel.For(len(recs), 1024, func(i int) {
+		recs[i].IsTree = true
+		recs[i].Level = lvl
+	})
+	d2 := c.adj.BatchInsert(recs)
+	c.applyDeltas(append(d1, d2...))
+}
+
+// CheckInvariants validates the complete level structure; for tests.
+func (c *Conn) CheckInvariants() error {
+	return levelcheck.Check(c.n, int(c.top), c.f, c.adj, c.liveRecs())
+}

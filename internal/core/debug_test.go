@@ -1,0 +1,53 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestRegressionMergedPiecePush reproduces (seed 2, n=48, Algorithm 4) the
+// history that once pushed an edge spanning a replacement-merge boundary
+// below the level of its connecting tree edge, breaking the level invariant.
+// The fix gates every non-tree push on target-level connectivity; this test
+// locks the behaviour in with per-step invariant checks.
+func TestRegressionMergedPiecePush(t *testing.T) {
+	for name, alg := range algs() {
+		rng := rand.New(rand.NewSource(2))
+		n := 48
+		c := New(n, WithAlgorithm(alg))
+		live := map[uint64]graph.Edge{}
+		for step := 0; step < 40; step++ {
+			var batch []graph.Edge
+			if rng.Intn(3) != 0 || len(live) == 0 {
+				k := 1 + rng.Intn(20)
+				for j := 0; j < k; j++ {
+					u := graph.Vertex(rng.Intn(n))
+					v := graph.Vertex(rng.Intn(n))
+					if u == v {
+						continue
+					}
+					batch = append(batch, graph.Edge{U: u, V: v}.Canon())
+				}
+				c.BatchInsert(batch)
+				for _, e := range batch {
+					live[e.Key()] = e
+				}
+			} else {
+				for _, e := range live {
+					if rng.Intn(3) == 0 {
+						batch = append(batch, e)
+					}
+				}
+				c.BatchDelete(batch)
+				for _, e := range batch {
+					delete(live, e.Key())
+				}
+			}
+			if err := c.CheckInvariants(); err != nil {
+				t.Fatalf("%s step %d: %v", name, step, err)
+			}
+		}
+	}
+}

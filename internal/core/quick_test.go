@@ -1,0 +1,157 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/unionfind"
+)
+
+// TestQuickCoreMatchesOracle drives arbitrary batched operation scripts
+// (derived from raw fuzz bytes) through both algorithms and a union-find
+// oracle, checking full-pairwise connectivity and structure invariants after
+// every batch.
+func TestQuickCoreMatchesOracle(t *testing.T) {
+	n := 14
+	type script struct {
+		Ops []uint16
+	}
+	f := func(s script) bool {
+		for _, alg := range []Algorithm{SearchSimple, SearchInterleaved} {
+			c := New(n, WithAlgorithm(alg))
+			live := map[uint64]graph.Edge{}
+			var batch []graph.Edge
+			del := false
+			apply := func() bool {
+				if del {
+					c.BatchDelete(batch)
+					for _, e := range batch {
+						delete(live, e.Key())
+					}
+				} else {
+					c.BatchInsert(batch)
+					for _, e := range batch {
+						live[e.Key()] = e
+					}
+				}
+				batch = batch[:0]
+				uf := unionfind.New(n)
+				for _, e := range live {
+					uf.Union(e.U, e.V)
+				}
+				for a := 0; a < n; a++ {
+					for b := a + 1; b < n; b++ {
+						if c.Connected(graph.Vertex(a), graph.Vertex(b)) !=
+							uf.Connected(int32(a), int32(b)) {
+							return false
+						}
+					}
+				}
+				return c.CheckInvariants() == nil
+			}
+			for _, op := range s.Ops {
+				u := graph.Vertex(op % uint16(n))
+				v := graph.Vertex((op >> 4) % uint16(n))
+				if u == v {
+					continue
+				}
+				batch = append(batch, graph.Edge{U: u, V: v}.Canon())
+				if op>>12 == 0 { // flush roughly every 16th op
+					if !apply() {
+						return false
+					}
+					del = !del
+				}
+			}
+			if !apply() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickInvariantOneHolds property-tests Invariant 1 in isolation: after
+// any operation sequence, no F_i component exceeds 2^i vertices.
+func TestQuickInvariantOne(t *testing.T) {
+	n := 20
+	f := func(raw []uint16) bool {
+		c := New(n)
+		var ins, del []graph.Edge
+		for i, op := range raw {
+			u := graph.Vertex(op % uint16(n))
+			v := graph.Vertex((op / uint16(n)) % uint16(n))
+			if u == v {
+				continue
+			}
+			e := graph.Edge{U: u, V: v}.Canon()
+			if i%3 == 2 {
+				del = append(del, e)
+			} else {
+				ins = append(ins, e)
+			}
+		}
+		c.BatchInsert(ins)
+		c.BatchDelete(del)
+		for i := int32(1); i <= c.top; i++ {
+			bound := int64(1) << uint(i)
+			for v := 0; v < n; v++ {
+				if c.f[i].Size(graph.Vertex(v)) > bound {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickNonTreeLevelUniqueness: every live edge is registered at exactly
+// one level, in exactly one kind of list, with intact back-pointers — i.e.
+// the adjacency store and the dictionary agree after arbitrary scripts.
+func TestQuickEdgePlacementUnique(t *testing.T) {
+	n := 16
+	f := func(raw []uint16) bool {
+		c := New(n)
+		var ins []graph.Edge
+		for _, op := range raw {
+			u := graph.Vertex(op % uint16(n))
+			v := graph.Vertex((op / uint16(n)) % uint16(n))
+			if u != v {
+				ins = append(ins, graph.Edge{U: u, V: v}.Canon())
+			}
+		}
+		c.BatchInsert(ins)
+		if len(ins) > 2 {
+			c.BatchDelete(ins[:len(ins)/2])
+		}
+		for _, r := range c.liveRecs() {
+			// The record must be findable in both endpoints' lists at its
+			// level and kind.
+			found := 0
+			for _, x := range c.adj.All(r.E.U, r.Level, r.IsTree) {
+				if x == r {
+					found++
+				}
+			}
+			for _, x := range c.adj.All(r.E.V, r.Level, r.IsTree) {
+				if x == r {
+					found++
+				}
+			}
+			if found != 2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,212 @@
+// Package graphgen generates the synthetic graphs and batch-update streams
+// used by the example applications, tests and the experiment harness:
+// Erdős–Rényi graphs, paths, rings, stars, grids, binary trees, and
+// preferential-attachment (power-law) graphs, plus batched insert/delete
+// schedules over them. All generators are deterministic in their seed.
+package graphgen
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Path returns the n-1 edges of a path 0-1-...-n-1.
+func Path(n int) []graph.Edge {
+	es := make([]graph.Edge, 0, n-1)
+	for i := 1; i < n; i++ {
+		es = append(es, graph.Edge{U: graph.Vertex(i - 1), V: graph.Vertex(i)})
+	}
+	return es
+}
+
+// Ring returns the n edges of a cycle over n vertices.
+func Ring(n int) []graph.Edge {
+	es := Path(n)
+	return append(es, graph.Edge{U: graph.Vertex(n - 1), V: 0})
+}
+
+// Star returns n-1 spokes around center 0.
+func Star(n int) []graph.Edge {
+	es := make([]graph.Edge, 0, n-1)
+	for i := 1; i < n; i++ {
+		es = append(es, graph.Edge{U: 0, V: graph.Vertex(i)})
+	}
+	return es
+}
+
+// BinaryTree returns the edges of a complete binary tree over n vertices
+// (vertex i has parent (i-1)/2).
+func BinaryTree(n int) []graph.Edge {
+	es := make([]graph.Edge, 0, n-1)
+	for i := 1; i < n; i++ {
+		es = append(es, graph.Edge{U: graph.Vertex((i - 1) / 2), V: graph.Vertex(i)})
+	}
+	return es
+}
+
+// Grid returns the edges of an r x c grid (n = r*c vertices, row-major).
+func Grid(r, c int) []graph.Edge {
+	var es []graph.Edge
+	at := func(i, j int) graph.Vertex { return graph.Vertex(i*c + j) }
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if j+1 < c {
+				es = append(es, graph.Edge{U: at(i, j), V: at(i, j+1)})
+			}
+			if i+1 < r {
+				es = append(es, graph.Edge{U: at(i, j), V: at(i+1, j)})
+			}
+		}
+	}
+	return es
+}
+
+// RandomGraph returns m distinct random edges over n vertices (Erdős–Rényi
+// G(n, m) without duplicates or loops).
+func RandomGraph(n, m int, seed int64) []graph.Edge {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[uint64]bool, m)
+	es := make([]graph.Edge, 0, m)
+	for len(es) < m {
+		u := graph.Vertex(rng.Intn(n))
+		v := graph.Vertex(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		e := graph.Edge{U: u, V: v}.Canon()
+		if seen[e.Key()] {
+			continue
+		}
+		seen[e.Key()] = true
+		es = append(es, e)
+	}
+	return es
+}
+
+// RandomSpanningTree returns n-1 edges of a uniform-attachment random tree:
+// vertex i attaches to a uniformly random earlier vertex.
+func RandomSpanningTree(n int, seed int64) []graph.Edge {
+	rng := rand.New(rand.NewSource(seed))
+	es := make([]graph.Edge, 0, n-1)
+	for i := 1; i < n; i++ {
+		es = append(es, graph.Edge{U: graph.Vertex(rng.Intn(i)), V: graph.Vertex(i)})
+	}
+	return es
+}
+
+// PowerLaw returns a preferential-attachment graph: each new vertex adds
+// deg edges to endpoints sampled proportionally to current degree (the
+// Barabási–Albert process), yielding the heavy-tailed degree distributions
+// of social and web graphs.
+func PowerLaw(n, deg int, seed int64) []graph.Edge {
+	rng := rand.New(rand.NewSource(seed))
+	var es []graph.Edge
+	var endpoints []graph.Vertex // degree-weighted sampling pool
+	seen := make(map[uint64]bool)
+	for i := 1; i < n; i++ {
+		v := graph.Vertex(i)
+		tries := 0
+		added := 0
+		for added < deg && tries < 4*deg+8 {
+			tries++
+			var u graph.Vertex
+			if len(endpoints) == 0 {
+				u = graph.Vertex(rng.Intn(i))
+			} else if rng.Intn(4) == 0 {
+				u = graph.Vertex(rng.Intn(i)) // uniform mixing keeps graph connected-ish
+			} else {
+				u = endpoints[rng.Intn(len(endpoints))]
+			}
+			if u == v {
+				continue
+			}
+			e := graph.Edge{U: u, V: v}.Canon()
+			if seen[e.Key()] {
+				continue
+			}
+			seen[e.Key()] = true
+			es = append(es, e)
+			endpoints = append(endpoints, u, v)
+			added++
+		}
+	}
+	return es
+}
+
+// Shuffle permutes the edges in place, deterministically in seed.
+func Shuffle(es []graph.Edge, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(es), func(i, j int) { es[i], es[j] = es[j], es[i] })
+}
+
+// Batches splits edges into consecutive batches of the given size (the last
+// may be smaller).
+func Batches(es []graph.Edge, size int) [][]graph.Edge {
+	if size <= 0 {
+		size = 1
+	}
+	var out [][]graph.Edge
+	for lo := 0; lo < len(es); lo += size {
+		hi := lo + size
+		if hi > len(es) {
+			hi = len(es)
+		}
+		out = append(out, es[lo:hi])
+	}
+	return out
+}
+
+// QueryBatch returns k random vertex pairs for connectivity queries.
+func QueryBatch(n, k int, seed int64) []graph.Edge {
+	rng := rand.New(rand.NewSource(seed))
+	qs := make([]graph.Edge, k)
+	for i := range qs {
+		qs[i] = graph.Edge{U: graph.Vertex(rng.Intn(n)), V: graph.Vertex(rng.Intn(n))}
+	}
+	return qs
+}
+
+// Workload is a scripted sequence of batched operations.
+type Workload struct {
+	Ops []Op
+}
+
+// OpKind discriminates workload operations.
+type OpKind int
+
+// Workload operation kinds.
+const (
+	OpInsert OpKind = iota
+	OpDelete
+	OpQuery
+)
+
+// Op is one batched operation.
+type Op struct {
+	Kind  OpKind
+	Edges []graph.Edge
+}
+
+// MixedWorkload builds a deterministic stream over a base random graph:
+// insert the graph in batches of ins, then alternate delete/re-insert
+// batches of del edges for rounds rounds, issuing q queries after each.
+func MixedWorkload(n, m, ins, del, rounds, q int, seed int64) Workload {
+	base := RandomGraph(n, m, seed)
+	var w Workload
+	for _, b := range Batches(base, ins) {
+		w.Ops = append(w.Ops, Op{Kind: OpInsert, Edges: b})
+	}
+	rng := rand.New(rand.NewSource(seed + 1))
+	for r := 0; r < rounds; r++ {
+		lo := rng.Intn(max(1, len(base)-del))
+		hi := min(len(base), lo+del)
+		batch := base[lo:hi]
+		w.Ops = append(w.Ops, Op{Kind: OpDelete, Edges: batch})
+		if q > 0 {
+			w.Ops = append(w.Ops, Op{Kind: OpQuery, Edges: QueryBatch(n, q, seed+int64(r))})
+		}
+		w.Ops = append(w.Ops, Op{Kind: OpInsert, Edges: batch})
+	}
+	return w
+}

@@ -1,0 +1,191 @@
+package graphgen
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/unionfind"
+)
+
+func connected(n int, es []graph.Edge) bool {
+	uf := unionfind.New(n)
+	for _, e := range es {
+		uf.Union(e.U, e.V)
+	}
+	return uf.Components() == 1
+}
+
+func noDupsOrLoops(t *testing.T, es []graph.Edge) {
+	t.Helper()
+	seen := map[uint64]bool{}
+	for _, e := range es {
+		if e.IsLoop() {
+			t.Fatalf("self-loop %v", e)
+		}
+		if seen[e.Key()] {
+			t.Fatalf("duplicate edge %v", e)
+		}
+		seen[e.Key()] = true
+	}
+}
+
+func TestPathRingStarTree(t *testing.T) {
+	n := 33
+	if es := Path(n); len(es) != n-1 || !connected(n, es) {
+		t.Fatal("Path wrong")
+	}
+	if es := Ring(n); len(es) != n || !connected(n, es) {
+		t.Fatal("Ring wrong")
+	}
+	if es := Star(n); len(es) != n-1 || !connected(n, es) {
+		t.Fatal("Star wrong")
+	}
+	if es := BinaryTree(n); len(es) != n-1 || !connected(n, es) {
+		t.Fatal("BinaryTree wrong")
+	}
+	noDupsOrLoops(t, Ring(n))
+}
+
+func TestGrid(t *testing.T) {
+	r, c := 5, 7
+	es := Grid(r, c)
+	want := r*(c-1) + c*(r-1)
+	if len(es) != want {
+		t.Fatalf("Grid edges = %d, want %d", len(es), want)
+	}
+	if !connected(r*c, es) {
+		t.Fatal("grid not connected")
+	}
+	noDupsOrLoops(t, es)
+}
+
+func TestRandomGraphProperties(t *testing.T) {
+	n, m := 100, 300
+	es := RandomGraph(n, m, 42)
+	if len(es) != m {
+		t.Fatalf("RandomGraph produced %d edges", len(es))
+	}
+	noDupsOrLoops(t, es)
+	// Determinism.
+	es2 := RandomGraph(n, m, 42)
+	for i := range es {
+		if es[i] != es2[i] {
+			t.Fatal("RandomGraph not deterministic in seed")
+		}
+	}
+	es3 := RandomGraph(n, m, 43)
+	same := true
+	for i := range es {
+		if es[i] != es3[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestRandomSpanningTree(t *testing.T) {
+	n := 200
+	es := RandomSpanningTree(n, 7)
+	if len(es) != n-1 || !connected(n, es) {
+		t.Fatal("RandomSpanningTree not a spanning tree")
+	}
+	// Acyclicity via union-find.
+	uf := unionfind.New(n)
+	for _, e := range es {
+		if !uf.Union(e.U, e.V) {
+			t.Fatal("spanning tree contains a cycle")
+		}
+	}
+}
+
+func TestPowerLawShape(t *testing.T) {
+	n := 500
+	es := PowerLaw(n, 3, 5)
+	noDupsOrLoops(t, es)
+	deg := make([]int, n)
+	for _, e := range es {
+		deg[e.U]++
+		deg[e.V]++
+	}
+	maxDeg := 0
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	// Heavy tail: the max degree should far exceed the mean.
+	mean := 2 * len(es) / n
+	if maxDeg < 3*mean {
+		t.Fatalf("max degree %d vs mean %d: no heavy tail", maxDeg, mean)
+	}
+}
+
+func TestBatchesPartition(t *testing.T) {
+	es := Path(10)
+	bs := Batches(es, 4)
+	if len(bs) != 3 || len(bs[0]) != 4 || len(bs[2]) != 1 {
+		t.Fatalf("Batches shapes wrong: %d groups", len(bs))
+	}
+	total := 0
+	for _, b := range bs {
+		total += len(b)
+	}
+	if total != len(es) {
+		t.Fatal("Batches lost edges")
+	}
+	if got := Batches(es, 0); len(got) != len(es) {
+		t.Fatal("Batches(0) should fall back to size 1")
+	}
+}
+
+func TestQueryBatchAndShuffle(t *testing.T) {
+	qs := QueryBatch(50, 20, 3)
+	if len(qs) != 20 {
+		t.Fatalf("QueryBatch len = %d", len(qs))
+	}
+	for _, q := range qs {
+		if q.U < 0 || q.U >= 50 || q.V < 0 || q.V >= 50 {
+			t.Fatalf("query out of range: %v", q)
+		}
+	}
+	es := Path(100)
+	orig := make([]graph.Edge, len(es))
+	copy(orig, es)
+	Shuffle(es, 9)
+	moved := 0
+	for i := range es {
+		if es[i] != orig[i] {
+			moved++
+		}
+	}
+	if moved < len(es)/2 {
+		t.Fatal("Shuffle barely permuted")
+	}
+}
+
+func TestMixedWorkloadScript(t *testing.T) {
+	w := MixedWorkload(64, 100, 25, 10, 3, 16, 1)
+	ins, del, qry := 0, 0, 0
+	for _, op := range w.Ops {
+		switch op.Kind {
+		case OpInsert:
+			ins += len(op.Edges)
+		case OpDelete:
+			del += len(op.Edges)
+		case OpQuery:
+			qry += len(op.Edges)
+		}
+	}
+	if del != 3*10 {
+		t.Fatalf("deletes = %d", del)
+	}
+	if qry != 3*16 {
+		t.Fatalf("queries = %d", qry)
+	}
+	if ins != 100+del { // base graph + re-inserts
+		t.Fatalf("inserts = %d", ins)
+	}
+}

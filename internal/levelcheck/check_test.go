@@ -1,0 +1,126 @@
+package levelcheck
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/adjlist"
+	"repro/internal/ett"
+	"repro/internal/graph"
+)
+
+// scaffold builds a tiny consistent 2-level structure:
+// level 2 (top) holds tree edge (0,1) and non-tree edge... constructed
+// manually so individual invariants can be broken on purpose.
+type scaffold struct {
+	n    int
+	top  int
+	f    []*ett.Forest
+	adj  *adjlist.Store
+	recs []*adjlist.Rec
+}
+
+func build(t *testing.T) *scaffold {
+	t.Helper()
+	n, top := 4, 2
+	s := &scaffold{n: n, top: top, adj: adjlist.New(n, top+1)}
+	s.f = make([]*ett.Forest, top+1)
+	for i := 1; i <= top; i++ {
+		s.f[i] = ett.New(n)
+	}
+	// Tree edge (0,1) at level 2.
+	r1 := &adjlist.Rec{E: graph.Edge{U: 0, V: 1}, Level: 2, IsTree: true}
+	s.adj.Insert(r1)
+	s.f[2].Link(0, 1)
+	s.f[2].AddCounts(0, 1, 0)
+	s.f[2].AddCounts(1, 1, 0)
+	// Non-tree edge (0,1) duplicate-ish path: use (0,1) again is illegal;
+	// instead add tree edge (2,3) at level 1 (so it is in F_1 and F_2).
+	r2 := &adjlist.Rec{E: graph.Edge{U: 2, V: 3}, Level: 1, IsTree: true}
+	s.adj.Insert(r2)
+	s.f[1].Link(2, 3)
+	s.f[1].AddCounts(2, 1, 0)
+	s.f[1].AddCounts(3, 1, 0)
+	s.f[2].Link(2, 3)
+	s.recs = []*adjlist.Rec{r1, r2}
+	return s
+}
+
+func (s *scaffold) check() error {
+	return Check(s.n, s.top, s.f, s.adj, s.recs)
+}
+
+func TestConsistentStructurePasses(t *testing.T) {
+	s := build(t)
+	if err := s.check(); err != nil {
+		t.Fatalf("consistent structure rejected: %v", err)
+	}
+}
+
+func TestDetectsMissingNesting(t *testing.T) {
+	s := build(t)
+	// Remove (2,3) from F_2: breaks nesting (it has level 1).
+	s.f[2].Cut(2, 3)
+	err := s.check()
+	if err == nil || !strings.Contains(err.Error(), "missing from F_2") {
+		t.Fatalf("nesting violation not detected: %v", err)
+	}
+}
+
+func TestDetectsCounterMismatch(t *testing.T) {
+	s := build(t)
+	s.f[2].AddCounts(0, 5, 0) // counter now disagrees with the list
+	err := s.check()
+	if err == nil || !strings.Contains(err.Error(), "counters") {
+		t.Fatalf("counter mismatch not detected: %v", err)
+	}
+}
+
+func TestDetectsSizeInvariantViolation(t *testing.T) {
+	n, top := 8, 2
+	f := make([]*ett.Forest, top+1)
+	for i := 1; i <= top; i++ {
+		f[i] = ett.New(n)
+	}
+	adj := adjlist.New(n, top+1)
+	// Build a component of 3 vertices at level 1 (bound is 2^1 = 2).
+	var recs []*adjlist.Rec
+	for _, e := range []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}} {
+		r := &adjlist.Rec{E: e, Level: 1, IsTree: true}
+		adj.Insert(r)
+		f[1].Link(e.U, e.V)
+		f[1].AddCounts(e.U, 1, 0)
+		f[1].AddCounts(e.V, 1, 0)
+		f[2].Link(e.U, e.V)
+		recs = append(recs, r)
+	}
+	err := Check(n, top, f, adj, recs)
+	if err == nil || !strings.Contains(err.Error(), "size") {
+		t.Fatalf("Invariant 1 violation not detected: %v", err)
+	}
+}
+
+func TestDetectsOrphanNonTreeEdge(t *testing.T) {
+	s := build(t)
+	// Non-tree edge at level 2 between disconnected vertices 0 and 2.
+	r := &adjlist.Rec{E: graph.Edge{U: 0, V: 2}, Level: 2}
+	s.adj.Insert(r)
+	s.f[2].AddCounts(0, 0, 1)
+	s.f[2].AddCounts(2, 0, 1)
+	s.recs = append(s.recs, r)
+	err := s.check()
+	if err == nil || !strings.Contains(err.Error(), "not connected") {
+		t.Fatalf("orphan non-tree edge not detected: %v", err)
+	}
+}
+
+func TestDetectsConnectivityDisagreement(t *testing.T) {
+	s := build(t)
+	// A tree edge present in the forests but absent from the record list
+	// makes F_top connect more than the edge set justifies.
+	s.f[2].Link(1, 2)
+	err := s.check()
+	if err == nil {
+		t.Fatal("connectivity disagreement not detected")
+	}
+}

@@ -1,0 +1,123 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestAutoGrainBounds(t *testing.T) {
+	for _, c := range []struct {
+		n, p int
+	}{{1, 1}, {10, 24}, {1000, 24}, {100000, 24}, {10_000_000, 24}, {100, 1}} {
+		g := autoGrain(c.n, c.p)
+		if g < MinAutoGrain || g > DefaultGrain {
+			t.Fatalf("autoGrain(%d,%d) = %d outside [%d,%d]", c.n, c.p, g, MinAutoGrain, DefaultGrain)
+		}
+	}
+	// Large inputs should reach the cap so blocks stay numerous.
+	if g := autoGrain(10_000_000, 4); g != DefaultGrain {
+		t.Fatalf("autoGrain huge = %d, want %d", g, DefaultGrain)
+	}
+}
+
+func TestForSmallInputsRunInline(t *testing.T) {
+	// With n below the auto grain floor, the body must execute on the
+	// calling goroutine (no spawn): verify by observing sequential order.
+	var order []int
+	For(100, 0, func(i int) { order = append(order, i) }) // data race iff parallel
+	if len(order) != 100 {
+		t.Fatalf("ran %d iterations", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("out of order at %d: %d", i, v)
+		}
+	}
+}
+
+func TestForRangeCounterPathCoversAll(t *testing.T) {
+	// Force the shared-counter path: many blocks (> 4P).
+	n := 1 << 20
+	var sum atomic.Int64
+	ForRange(n, 64, func(lo, hi int) {
+		s := int64(0)
+		for i := lo; i < hi; i++ {
+			s += int64(i)
+		}
+		sum.Add(s)
+	})
+	want := int64(n) * int64(n-1) / 2
+	if sum.Load() != want {
+		t.Fatalf("sum = %d, want %d", sum.Load(), want)
+	}
+}
+
+func TestForExplicitGrainOne(t *testing.T) {
+	// Grain 1 with expensive bodies is the per-component pattern; all
+	// indices must still run exactly once.
+	n := 37
+	hits := make([]atomic.Int32, n)
+	For(n, 1, func(i int) { hits[i].Add(1) })
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("index %d ran %d times", i, hits[i].Load())
+		}
+	}
+}
+
+func TestReduceAutoGrain(t *testing.T) {
+	n := 1 << 18
+	got := Reduce(n, 0, 0, func(i int) int { return 1 }, func(a, b int) int { return a + b })
+	if got != n {
+		t.Fatalf("Reduce = %d", got)
+	}
+}
+
+func TestGroupBySmallFastPath(t *testing.T) {
+	// n <= 24 takes the quadratic path; semantics must match the general
+	// one: partition with first-occurrence group ordering.
+	keys := []uint64{9, 9, 3, 9, 3, 7}
+	gs := GroupBy(keys)
+	if len(gs) != 3 {
+		t.Fatalf("groups = %d", len(gs))
+	}
+	if gs[0].Key != 9 || len(gs[0].Indices) != 3 {
+		t.Fatalf("first group wrong: %+v", gs[0])
+	}
+	if gs[1].Key != 3 || len(gs[1].Indices) != 2 {
+		t.Fatalf("second group wrong: %+v", gs[1])
+	}
+	if gs[2].Key != 7 || len(gs[2].Indices) != 1 {
+		t.Fatalf("third group wrong: %+v", gs[2])
+	}
+	total := 0
+	for _, g := range gs {
+		total += len(g.Indices)
+	}
+	if total != len(keys) {
+		t.Fatal("fast path lost indices")
+	}
+}
+
+func TestGroupByBoundaryAt24(t *testing.T) {
+	// Exactly at and just above the fast-path cutoff.
+	for _, n := range []int{24, 25} {
+		keys := make([]uint64, n)
+		for i := range keys {
+			keys[i] = uint64(i % 5)
+		}
+		gs := GroupBy(keys)
+		if len(gs) != 5 {
+			t.Fatalf("n=%d: groups = %d", n, len(gs))
+		}
+		seen := make([]bool, n)
+		for _, g := range gs {
+			for _, idx := range g.Indices {
+				if seen[idx] || keys[idx] != g.Key {
+					t.Fatalf("n=%d: bad index %d", n, idx)
+				}
+				seen[idx] = true
+			}
+		}
+	}
+}

@@ -1,0 +1,213 @@
+// Package parallel provides the fork-join work-depth primitives that the
+// paper's MT-RAM model assumes: parallel loops, binary fork-join, reductions,
+// prefix sums, packing and semisorting. All primitives are implemented on top
+// of goroutines with explicit grain control so that scheduling overhead is
+// amortized against useful work (Go offers no fine-grained work stealing, so
+// grain sizes substitute for it).
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// maxWorkers bounds the fan-out of every parallel primitive in this package.
+// It defaults to GOMAXPROCS and may be overridden (e.g. by scalability
+// benchmarks) via SetWorkers.
+var maxWorkers atomic.Int64
+
+func init() {
+	maxWorkers.Store(int64(runtime.GOMAXPROCS(0)))
+}
+
+// SetWorkers sets the global worker bound used by all parallel primitives and
+// returns the previous value. Passing p <= 0 resets to GOMAXPROCS.
+func SetWorkers(p int) int {
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	return int(maxWorkers.Swap(int64(p)))
+}
+
+// Workers reports the current worker bound.
+func Workers() int { return int(maxWorkers.Load()) }
+
+// Do runs f and g as a binary fork-join: g executes on the current goroutine
+// while f may execute concurrently. Both have completed when Do returns.
+func Do(f, g func()) {
+	if Workers() <= 1 {
+		f()
+		g()
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		f()
+	}()
+	g()
+	wg.Wait()
+}
+
+// Do3 runs three functions as a fork-join.
+func Do3(f, g, h func()) {
+	Do(f, func() { Do(g, h) })
+}
+
+// DefaultGrain caps the automatic block size used by For when the caller
+// passes grain <= 0; MinAutoGrain floors it. The floor matters most: a
+// goroutine spawn costs on the order of a microsecond, so blocks of cheap
+// loop bodies must hold at least a few hundred iterations or scheduling
+// dominates (this library issues many small batch operations per update).
+// Callers whose bodies are individually expensive pass an explicit grain.
+const (
+	DefaultGrain = 2048
+	MinAutoGrain = 256
+)
+
+func autoGrain(n, p int) int {
+	g := n / (4 * p)
+	if g < MinAutoGrain {
+		g = MinAutoGrain
+	}
+	if g > DefaultGrain {
+		g = DefaultGrain
+	}
+	return g
+}
+
+// For executes body(i) for every i in [0, n) with parallelism bounded by the
+// worker count. Iterations are distributed in contiguous blocks of the given
+// grain; grain <= 0 selects a grain automatically.
+func For(n int, grain int, body func(i int)) {
+	ForRange(n, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForRange executes body(lo, hi) over a partition of [0, n) into contiguous
+// blocks, in parallel. This is the primitive behind For; use it directly when
+// the body can share per-block state.
+func ForRange(n int, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	p := Workers()
+	if grain <= 0 {
+		grain = autoGrain(n, p)
+	}
+	if p <= 1 || n <= grain {
+		body(0, n)
+		return
+	}
+	blocks := (n + grain - 1) / grain
+	if blocks > 4*p {
+		// Use a shared counter so idle workers steal remaining blocks;
+		// this approximates work stealing for irregular bodies.
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		workers := p
+		if workers > blocks {
+			workers = blocks
+		}
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					b := int(next.Add(1)) - 1
+					if b >= blocks {
+						return
+					}
+					lo := b * grain
+					hi := lo + grain
+					if hi > n {
+						hi = n
+					}
+					body(lo, hi)
+				}
+			}()
+		}
+		wg.Wait()
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(blocks - 1)
+	for b := 1; b < blocks; b++ {
+		lo := b * grain
+		hi := lo + grain
+		if hi > n {
+			hi = n
+		}
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	body(0, grain)
+	wg.Wait()
+}
+
+// Reduce combines f(i) for i in [0, n) under the associative operation op,
+// starting from the identity value id.
+func Reduce[T any](n int, grain int, id T, f func(i int) T, op func(a, b T) T) T {
+	if n <= 0 {
+		return id
+	}
+	p := Workers()
+	if grain <= 0 {
+		grain = autoGrain(n, p)
+	}
+	blocks := (n + grain - 1) / grain
+	if p <= 1 || blocks == 1 {
+		acc := id
+		for i := 0; i < n; i++ {
+			acc = op(acc, f(i))
+		}
+		return acc
+	}
+	partial := make([]T, blocks)
+	ForRange(n, grain, func(lo, hi int) {
+		acc := id
+		for i := lo; i < hi; i++ {
+			acc = op(acc, f(i))
+		}
+		partial[lo/grain] = acc
+	})
+	acc := id
+	for _, v := range partial {
+		acc = op(acc, v)
+	}
+	return acc
+}
+
+// MaxInt returns the maximum of f(i) over [0, n), or lo if n == 0.
+func MaxInt(n int, lo int, f func(i int) int) int {
+	return Reduce(n, 0, lo, f, func(a, b int) int {
+		if a >= b {
+			return a
+		}
+		return b
+	})
+}
+
+// SumInt returns the sum of f(i) over [0, n).
+func SumInt(n int, f func(i int) int) int {
+	return Reduce(n, 0, 0, f, func(a, b int) int { return a + b })
+}
+
+// Fill sets dst[i] = v for all i, in parallel.
+func Fill[T any](dst []T, v T) {
+	For(len(dst), 2048, func(i int) { dst[i] = v })
+}
+
+// Tabulate builds a slice of length n with element i equal to f(i).
+func Tabulate[T any](n int, f func(i int) T) []T {
+	out := make([]T, n)
+	For(n, 0, func(i int) { out[i] = f(i) })
+	return out
+}

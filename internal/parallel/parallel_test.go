@@ -1,0 +1,259 @@
+package parallel
+
+import (
+	"math/rand"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestDoRunsBoth(t *testing.T) {
+	var a, b atomic.Bool
+	Do(func() { a.Store(true) }, func() { b.Store(true) })
+	if !a.Load() || !b.Load() {
+		t.Fatalf("Do did not run both branches: a=%v b=%v", a.Load(), b.Load())
+	}
+}
+
+func TestDo3RunsAll(t *testing.T) {
+	var n atomic.Int64
+	Do3(func() { n.Add(1) }, func() { n.Add(1) }, func() { n.Add(1) })
+	if n.Load() != 3 {
+		t.Fatalf("Do3 ran %d branches, want 3", n.Load())
+	}
+}
+
+func TestForCoversAllIndicesOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, 5000, 123457} {
+		hits := make([]int32, n)
+		For(n, 13, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d index %d hit %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestForRangePartition(t *testing.T) {
+	n := 10000
+	var covered [10000]int32
+	ForRange(n, 37, func(lo, hi int) {
+		if lo < 0 || hi > n || lo >= hi {
+			t.Errorf("bad block [%d,%d)", lo, hi)
+		}
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&covered[i], 1)
+		}
+	})
+	for i := 0; i < n; i++ {
+		if covered[i] != 1 {
+			t.Fatalf("index %d covered %d times", i, covered[i])
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	n := 100000
+	got := SumInt(n, func(i int) int { return i })
+	want := n * (n - 1) / 2
+	if got != want {
+		t.Fatalf("SumInt = %d, want %d", got, want)
+	}
+}
+
+func TestMaxInt(t *testing.T) {
+	vals := []int{3, 9, 2, 9, 1, -5}
+	got := MaxInt(len(vals), -1<<62, func(i int) int { return vals[i] })
+	if got != 9 {
+		t.Fatalf("MaxInt = %d, want 9", got)
+	}
+	if got := MaxInt(0, -7, func(int) int { return 0 }); got != -7 {
+		t.Fatalf("MaxInt empty = %d, want identity -7", got)
+	}
+}
+
+func TestScanMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 5, 2048, 2049, 100000} {
+		src := make([]int, n)
+		for i := range src {
+			src[i] = rng.Intn(100)
+		}
+		out, total := Scan(src)
+		acc := 0
+		for i := 0; i < n; i++ {
+			if out[i] != acc {
+				t.Fatalf("n=%d Scan[%d]=%d want %d", n, i, out[i], acc)
+			}
+			acc += src[i]
+		}
+		if total != acc {
+			t.Fatalf("n=%d total=%d want %d", n, total, acc)
+		}
+	}
+}
+
+func TestScanIntoAliased(t *testing.T) {
+	src := []int{1, 2, 3, 4, 5}
+	total := ScanInto(src, src)
+	want := []int{0, 1, 3, 6, 10}
+	if total != 15 {
+		t.Fatalf("total = %d, want 15", total)
+	}
+	for i := range want {
+		if src[i] != want[i] {
+			t.Fatalf("aliased scan[%d] = %d, want %d", i, src[i], want[i])
+		}
+	}
+}
+
+func TestPackPreservesOrder(t *testing.T) {
+	src := []int{10, 11, 12, 13, 14, 15}
+	flags := []bool{true, false, true, false, false, true}
+	got := Pack(src, flags)
+	want := []int{10, 12, 15}
+	if len(got) != len(want) {
+		t.Fatalf("Pack len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Pack[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFilterAndPackIndex(t *testing.T) {
+	src := Tabulate(1000, func(i int) int { return i })
+	evens := Filter(src, func(x int) bool { return x%2 == 0 })
+	if len(evens) != 500 {
+		t.Fatalf("Filter kept %d, want 500", len(evens))
+	}
+	for i, v := range evens {
+		if v != 2*i {
+			t.Fatalf("Filter[%d] = %d, want %d", i, v, 2*i)
+		}
+	}
+	idx := PackIndex(100, func(i int) bool { return i >= 90 })
+	if len(idx) != 10 || idx[0] != 90 || idx[9] != 99 {
+		t.Fatalf("PackIndex wrong: %v", idx)
+	}
+}
+
+func TestTabulateAndFillAndMap(t *testing.T) {
+	s := Tabulate(100, func(i int) int { return i * i })
+	if s[7] != 49 {
+		t.Fatalf("Tabulate[7] = %d", s[7])
+	}
+	Fill(s, -1)
+	for i, v := range s {
+		if v != -1 {
+			t.Fatalf("Fill[%d] = %d", i, v)
+		}
+	}
+	m := Map([]int{1, 2, 3}, func(x int) int { return x + 1 })
+	if m[0] != 2 || m[2] != 4 {
+		t.Fatalf("Map wrong: %v", m)
+	}
+}
+
+func TestSetWorkersRestores(t *testing.T) {
+	old := SetWorkers(1)
+	defer SetWorkers(old)
+	if Workers() != 1 {
+		t.Fatalf("Workers = %d, want 1", Workers())
+	}
+	// Primitives still correct with one worker.
+	if got := SumInt(1000, func(i int) int { return 1 }); got != 1000 {
+		t.Fatalf("SumInt under P=1 = %d", got)
+	}
+	SetWorkers(0)
+	if Workers() < 1 {
+		t.Fatalf("Workers after reset = %d", Workers())
+	}
+}
+
+func TestGroupByCollectsEqualKeys(t *testing.T) {
+	keys := []uint64{5, 7, 5, 5, 9, 7}
+	groups := GroupBy(keys)
+	byKey := map[uint64][]int{}
+	for _, g := range groups {
+		if _, dup := byKey[g.Key]; dup {
+			t.Fatalf("key %d appears in two groups", g.Key)
+		}
+		byKey[g.Key] = g.Indices
+	}
+	if len(byKey) != 3 {
+		t.Fatalf("got %d groups, want 3", len(byKey))
+	}
+	sort.Ints(byKey[5])
+	if len(byKey[5]) != 3 || byKey[5][0] != 0 || byKey[5][1] != 2 || byKey[5][2] != 3 {
+		t.Fatalf("group for key 5 wrong: %v", byKey[5])
+	}
+}
+
+func TestGroupByEmpty(t *testing.T) {
+	if g := GroupBy(nil); g != nil {
+		t.Fatalf("GroupBy(nil) = %v, want nil", g)
+	}
+}
+
+func TestGroupByPropertyPartition(t *testing.T) {
+	f := func(raw []uint16) bool {
+		keys := make([]uint64, len(raw))
+		for i, r := range raw {
+			keys[i] = uint64(r % 50)
+		}
+		groups := GroupByParallel(keys)
+		seen := make([]bool, len(keys))
+		for _, g := range groups {
+			for _, idx := range g.Indices {
+				if idx < 0 || idx >= len(keys) || seen[idx] || keys[idx] != g.Key {
+					return false
+				}
+				seen[idx] = true
+			}
+		}
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupByParallelLarge(t *testing.T) {
+	n := 1 << 15
+	keys := make([]uint64, n)
+	rng := rand.New(rand.NewSource(42))
+	for i := range keys {
+		keys[i] = uint64(rng.Intn(1000))
+	}
+	groups := GroupByParallel(keys)
+	total := 0
+	for _, g := range groups {
+		total += len(g.Indices)
+		for _, idx := range g.Indices {
+			if keys[idx] != g.Key {
+				t.Fatalf("index %d has key %d, group key %d", idx, keys[idx], g.Key)
+			}
+		}
+	}
+	if total != n {
+		t.Fatalf("groups cover %d elements, want %d", total, n)
+	}
+}
+
+func TestHash64Deterministic(t *testing.T) {
+	if Hash64(12345) != Hash64(12345) {
+		t.Fatal("Hash64 not deterministic")
+	}
+	if Hash64(1) == Hash64(2) {
+		t.Fatal("suspicious collision on tiny inputs")
+	}
+}

@@ -1,0 +1,174 @@
+package parallel
+
+import "math/bits"
+
+// hash64 is a fixed xorshift-multiply mix (splitmix64 finalizer). The paper's
+// semisort assumes a uniformly random hash on keys; splitmix64's avalanche
+// behaviour is a standard practical stand-in.
+func hash64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Hash64 exposes the package's mixing function for callers that need a
+// consistent hash (e.g. the parallel dictionary).
+func Hash64(x uint64) uint64 { return hash64(x) }
+
+// Group is one equivalence class produced by GroupBy: the common key and the
+// indices (into the input) of the elements carrying it.
+type Group struct {
+	Key     uint64
+	Indices []int
+}
+
+// GroupBy semisorts the inputs by key: it returns one Group per distinct key,
+// each listing the input indices holding that key. Groups are in no
+// particular order (semisorted, not sorted). O(n) expected work.
+func GroupBy(keys []uint64) []Group {
+	n := len(keys)
+	if n == 0 {
+		return nil
+	}
+	if n <= 24 {
+		// Small-batch fast path: quadratic scan beats allocating the
+		// bucket arrays (batch operations issue many tiny groupings).
+		var groups []Group
+		var used uint32
+		for i := 0; i < n; i++ {
+			if used&(1<<uint(i)) != 0 {
+				continue
+			}
+			g := Group{Key: keys[i], Indices: []int{i}}
+			for j := i + 1; j < n; j++ {
+				if used&(1<<uint(j)) == 0 && keys[j] == keys[i] {
+					g.Indices = append(g.Indices, j)
+					used |= 1 << uint(j)
+				}
+			}
+			groups = append(groups, g)
+		}
+		return groups
+	}
+	// Bucket count: next power of two >= 2n for low collision chains.
+	nb := 1 << bits.Len(uint(2*n-1))
+	mask := uint64(nb - 1)
+	// Count per bucket.
+	cnt := make([]int, nb+1)
+	bkt := make([]int, n)
+	for i := 0; i < n; i++ {
+		b := int(hash64(keys[i]) & mask)
+		bkt[i] = b
+		cnt[b]++
+	}
+	off := make([]int, nb+1)
+	acc := 0
+	for b := 0; b < nb; b++ {
+		off[b] = acc
+		acc += cnt[b]
+	}
+	off[nb] = acc
+	pos := make([]int, nb)
+	copy(pos, off[:nb])
+	order := make([]int, n)
+	for i := 0; i < n; i++ {
+		b := bkt[i]
+		order[pos[b]] = i
+		pos[b]++
+	}
+	// Within each bucket, split by exact key (buckets are tiny in
+	// expectation, so a quadratic-in-bucket pass is linear overall).
+	var groups []Group
+	for b := 0; b < nb; b++ {
+		lo, hi := off[b], off[b+1]
+		if lo == hi {
+			continue
+		}
+		for i := lo; i < hi; i++ {
+			idx := order[i]
+			if idx < 0 {
+				continue
+			}
+			k := keys[idx]
+			g := Group{Key: k, Indices: []int{idx}}
+			for j := i + 1; j < hi; j++ {
+				idx2 := order[j]
+				if idx2 >= 0 && keys[idx2] == k {
+					g.Indices = append(g.Indices, idx2)
+					order[j] = -1
+				}
+			}
+			groups = append(groups, g)
+		}
+	}
+	return groups
+}
+
+// GroupByParallel is GroupBy with the counting and scattering phases run in
+// parallel when n is large. Group discovery within buckets remains
+// sequential per bucket but buckets are processed concurrently.
+func GroupByParallel(keys []uint64) []Group {
+	n := len(keys)
+	if n < 1<<14 || Workers() <= 1 {
+		return GroupBy(keys)
+	}
+	nb := 1 << bits.Len(uint(2*n-1))
+	mask := uint64(nb - 1)
+	bkt := make([]int, n)
+	For(n, 4096, func(i int) { bkt[i] = int(hash64(keys[i]) & mask) })
+	cnt := make([]int, nb+1)
+	for i := 0; i < n; i++ {
+		cnt[bkt[i]]++
+	}
+	off := make([]int, nb+1)
+	acc := 0
+	for b := 0; b < nb; b++ {
+		off[b] = acc
+		acc += cnt[b]
+	}
+	off[nb] = acc
+	pos := make([]int, nb)
+	copy(pos, off[:nb])
+	order := make([]int, n)
+	for i := 0; i < n; i++ {
+		b := bkt[i]
+		order[pos[b]] = i
+		pos[b]++
+	}
+	perBucket := make([][]Group, Workers())
+	ForRange(nb, (nb+Workers()-1)/Workers(), func(lo, hi int) {
+		var out []Group
+		for b := lo; b < hi; b++ {
+			l, h := off[b], off[b+1]
+			for i := l; i < h; i++ {
+				idx := order[i]
+				if idx < 0 {
+					continue
+				}
+				k := keys[idx]
+				g := Group{Key: k, Indices: []int{idx}}
+				for j := i + 1; j < h; j++ {
+					idx2 := order[j]
+					if idx2 >= 0 && keys[idx2] == k {
+						g.Indices = append(g.Indices, idx2)
+						order[j] = -1
+					}
+				}
+				out = append(out, g)
+			}
+		}
+		w := lo / ((nb + Workers() - 1) / Workers())
+		if w >= len(perBucket) {
+			w = len(perBucket) - 1
+		}
+		perBucket[w] = append(perBucket[w], out...)
+	})
+	var groups []Group
+	for _, g := range perBucket {
+		groups = append(groups, g...)
+	}
+	return groups
+}

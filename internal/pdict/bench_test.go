@@ -1,0 +1,49 @@
+package pdict
+
+import "testing"
+
+func BenchmarkBatchInsert(b *testing.B) {
+	k := 1 << 14
+	keys := make([]uint64, k)
+	for i := range keys {
+		keys[i] = uint64(i*2 + 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		d := New(k)
+		b.StartTimer()
+		d.BatchInsert(keys, nil)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*k), "ns/key")
+}
+
+func BenchmarkBatchLookup(b *testing.B) {
+	k := 1 << 14
+	keys := make([]uint64, k)
+	for i := range keys {
+		keys[i] = uint64(i*2 + 1)
+	}
+	d := New(k)
+	d.BatchInsert(keys, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.BatchLookup(keys)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*k), "ns/key")
+}
+
+func BenchmarkBatchDeleteReinsert(b *testing.B) {
+	k := 1 << 14
+	keys := make([]uint64, k)
+	for i := range keys {
+		keys[i] = uint64(i*2 + 1)
+	}
+	d := New(k)
+	d.BatchInsert(keys, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.BatchDelete(keys)
+		d.BatchInsert(keys, nil)
+	}
+}

@@ -1,0 +1,200 @@
+// Package pdict implements the parallel dictionary substrate the paper
+// assumes (Gil, Matias, Vishkin): batch insert, batch delete and batch lookup
+// over hashed keys in linear work and low depth. The implementation is a
+// phase-concurrent open-addressing hash table (Shun–Blelloch style): within a
+// batch all operations are of one kind, so slots are claimed with
+// compare-and-swap and no locks are needed.
+package pdict
+
+import (
+	"math/bits"
+	"sync/atomic"
+
+	"repro/internal/parallel"
+)
+
+const (
+	emptyKey   = ^uint64(0)     // slot never used
+	deadKey    = ^uint64(0) - 1 // slot tombstoned
+	maxLoadNum = 1              // resize when size > cap * 1/2
+	maxLoadDen = 2
+)
+
+// Dict is a set/map from uint64 keys (excluding the two reserved sentinel
+// values) to uint64 values. All Batch* methods are internally parallel; a
+// Dict must not be mutated concurrently by multiple batches.
+type Dict struct {
+	keys []atomic.Uint64
+	vals []atomic.Uint64
+	size atomic.Int64
+	dead atomic.Int64 // tombstoned slots, reclaimed on rehash
+	mask uint64
+}
+
+// New creates a dictionary sized for about capacity elements.
+func New(capacity int) *Dict {
+	if capacity < 8 {
+		capacity = 8
+	}
+	n := 1 << bits.Len(uint(2*capacity-1))
+	d := &Dict{
+		keys: make([]atomic.Uint64, n),
+		vals: make([]atomic.Uint64, n),
+		mask: uint64(n - 1),
+	}
+	for i := range d.keys {
+		d.keys[i].Store(emptyKey)
+	}
+	return d
+}
+
+// Len reports the number of live keys.
+func (d *Dict) Len() int { return int(d.size.Load()) }
+
+func (d *Dict) slot(k uint64) uint64 { return parallel.Hash64(k) & d.mask }
+
+// insertOne claims a slot for k, setting its value to v. Returns true if the
+// key was newly inserted, false if it already existed (value overwritten).
+// Only empty slots are claimed — tombstones are skipped, never reused — so a
+// key can occupy at most one slot even under concurrent duplicate inserts
+// (the chain-terminating empty slot is a unique claim point per chain).
+func (d *Dict) insertOne(k, v uint64) bool {
+	i := d.slot(k)
+	for {
+		cur := d.keys[i].Load()
+		switch cur {
+		case k:
+			d.vals[i].Store(v)
+			return false
+		case emptyKey:
+			if d.keys[i].CompareAndSwap(emptyKey, k) {
+				d.vals[i].Store(v)
+				d.size.Add(1)
+				return true
+			}
+			continue // retry same slot: someone raced us
+		default: // other key or tombstone: keep probing
+			i = (i + 1) & d.mask
+		}
+	}
+}
+
+// lookupOne returns the value for k and whether it is present.
+func (d *Dict) lookupOne(k uint64) (uint64, bool) {
+	i := d.slot(k)
+	for {
+		cur := d.keys[i].Load()
+		if cur == k {
+			return d.vals[i].Load(), true
+		}
+		if cur == emptyKey {
+			return 0, false
+		}
+		i = (i + 1) & d.mask
+	}
+}
+
+// deleteOne tombstones k. Returns whether the key was present.
+func (d *Dict) deleteOne(k uint64) bool {
+	i := d.slot(k)
+	for {
+		cur := d.keys[i].Load()
+		if cur == k {
+			if d.keys[i].CompareAndSwap(k, deadKey) {
+				d.size.Add(-1)
+				d.dead.Add(1)
+				return true
+			}
+			continue
+		}
+		if cur == emptyKey {
+			return false
+		}
+		i = (i + 1) & d.mask
+	}
+}
+
+func (d *Dict) maybeGrow(incoming int) {
+	need := int(d.size.Load()) + incoming
+	occupied := need + int(d.dead.Load())
+	if occupied*maxLoadDen <= len(d.keys)*maxLoadNum {
+		return
+	}
+	oldKeys, oldVals := d.keys, d.vals
+	n := 1 << bits.Len(uint(2*need*maxLoadDen/maxLoadNum-1))
+	d.keys = make([]atomic.Uint64, n)
+	d.vals = make([]atomic.Uint64, n)
+	d.mask = uint64(n - 1)
+	d.size.Store(0)
+	d.dead.Store(0)
+	for i := range d.keys {
+		d.keys[i].Store(emptyKey)
+	}
+	parallel.For(len(oldKeys), 1024, func(i int) {
+		k := oldKeys[i].Load()
+		if k != emptyKey && k != deadKey {
+			d.insertOne(k, oldVals[i].Load())
+		}
+	})
+}
+
+// BatchInsert inserts all keys with their corresponding values (val[i] for
+// key[i]; vals may be nil for set semantics). Duplicate keys within a batch
+// resolve to one of the batch's values.
+func (d *Dict) BatchInsert(keys []uint64, vals []uint64) {
+	d.maybeGrow(len(keys))
+	parallel.For(len(keys), 256, func(i int) {
+		var v uint64
+		if vals != nil {
+			v = vals[i]
+		}
+		d.insertOne(keys[i], v)
+	})
+}
+
+// BatchDelete removes all keys; absent keys are ignored.
+func (d *Dict) BatchDelete(keys []uint64) {
+	parallel.For(len(keys), 256, func(i int) {
+		d.deleteOne(keys[i])
+	})
+}
+
+// BatchLookup returns, for each key, its value and presence flag.
+func (d *Dict) BatchLookup(keys []uint64) ([]uint64, []bool) {
+	vals := make([]uint64, len(keys))
+	ok := make([]bool, len(keys))
+	parallel.For(len(keys), 256, func(i int) {
+		vals[i], ok[i] = d.lookupOne(keys[i])
+	})
+	return vals, ok
+}
+
+// Contains reports presence of a single key.
+func (d *Dict) Contains(k uint64) bool {
+	_, ok := d.lookupOne(k)
+	return ok
+}
+
+// Get returns the value for a single key.
+func (d *Dict) Get(k uint64) (uint64, bool) { return d.lookupOne(k) }
+
+// Put inserts a single key/value.
+func (d *Dict) Put(k, v uint64) {
+	d.maybeGrow(1)
+	d.insertOne(k, v)
+}
+
+// Delete removes a single key.
+func (d *Dict) Delete(k uint64) bool { return d.deleteOne(k) }
+
+// Keys returns all live keys in unspecified order.
+func (d *Dict) Keys() []uint64 {
+	flags := make([]bool, len(d.keys))
+	raw := make([]uint64, len(d.keys))
+	parallel.For(len(d.keys), 1024, func(i int) {
+		k := d.keys[i].Load()
+		raw[i] = k
+		flags[i] = k != emptyKey && k != deadKey
+	})
+	return parallel.Pack(raw, flags)
+}

@@ -1,0 +1,192 @@
+package pdict
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGetDelete(t *testing.T) {
+	d := New(4)
+	d.Put(1, 100)
+	d.Put(2, 200)
+	if v, ok := d.Get(1); !ok || v != 100 {
+		t.Fatalf("Get(1) = %d,%v", v, ok)
+	}
+	if v, ok := d.Get(2); !ok || v != 200 {
+		t.Fatalf("Get(2) = %d,%v", v, ok)
+	}
+	if _, ok := d.Get(3); ok {
+		t.Fatal("Get(3) should be absent")
+	}
+	if !d.Delete(1) {
+		t.Fatal("Delete(1) should report present")
+	}
+	if d.Delete(1) {
+		t.Fatal("Delete(1) twice should report absent")
+	}
+	if _, ok := d.Get(1); ok {
+		t.Fatal("key 1 survived delete")
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", d.Len())
+	}
+}
+
+func TestOverwriteSameKey(t *testing.T) {
+	d := New(4)
+	d.Put(7, 1)
+	d.Put(7, 2)
+	if v, _ := d.Get(7); v != 2 {
+		t.Fatalf("overwrite failed, got %d", v)
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d after overwrite, want 1", d.Len())
+	}
+}
+
+func TestBatchInsertLookupDelete(t *testing.T) {
+	n := 10000
+	keys := make([]uint64, n)
+	vals := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i * 3)
+		vals[i] = uint64(i)
+	}
+	d := New(16)
+	d.BatchInsert(keys, vals)
+	if d.Len() != n {
+		t.Fatalf("Len = %d, want %d", d.Len(), n)
+	}
+	got, ok := d.BatchLookup(keys)
+	for i := range keys {
+		if !ok[i] || got[i] != vals[i] {
+			t.Fatalf("lookup[%d] = %d,%v want %d", i, got[i], ok[i], vals[i])
+		}
+	}
+	d.BatchDelete(keys[:n/2])
+	if d.Len() != n/2 {
+		t.Fatalf("Len after half delete = %d, want %d", d.Len(), n/2)
+	}
+	_, ok = d.BatchLookup(keys)
+	for i := 0; i < n/2; i++ {
+		if ok[i] {
+			t.Fatalf("deleted key %d still present", keys[i])
+		}
+	}
+	for i := n / 2; i < n; i++ {
+		if !ok[i] {
+			t.Fatalf("surviving key %d missing", keys[i])
+		}
+	}
+}
+
+func TestReuseTombstones(t *testing.T) {
+	d := New(8)
+	for round := 0; round < 50; round++ {
+		keys := []uint64{1, 2, 3, 4, 5}
+		d.BatchInsert(keys, nil)
+		d.BatchDelete(keys)
+	}
+	if d.Len() != 0 {
+		t.Fatalf("Len = %d after churn, want 0", d.Len())
+	}
+	d.Put(9, 9)
+	if v, ok := d.Get(9); !ok || v != 9 {
+		t.Fatal("insert after churn failed")
+	}
+}
+
+func TestGrowthPreservesContents(t *testing.T) {
+	d := New(8)
+	for i := 0; i < 5000; i++ {
+		d.Put(uint64(i), uint64(i*2))
+	}
+	for i := 0; i < 5000; i++ {
+		if v, ok := d.Get(uint64(i)); !ok || v != uint64(i*2) {
+			t.Fatalf("key %d lost or wrong after growth: %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestKeysEnumeration(t *testing.T) {
+	d := New(8)
+	want := map[uint64]bool{10: true, 20: true, 30: true}
+	for k := range want {
+		d.Put(k, 0)
+	}
+	d.Put(40, 0)
+	d.Delete(40)
+	got := d.Keys()
+	if len(got) != len(want) {
+		t.Fatalf("Keys len = %d, want %d (%v)", len(got), len(want), got)
+	}
+	for _, k := range got {
+		if !want[k] {
+			t.Fatalf("unexpected key %d", k)
+		}
+	}
+}
+
+func TestDuplicateKeysInBatch(t *testing.T) {
+	d := New(4)
+	keys := []uint64{5, 5, 5, 5}
+	vals := []uint64{1, 2, 3, 4}
+	d.BatchInsert(keys, vals)
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d with duplicate batch, want 1", d.Len())
+	}
+	v, ok := d.Get(5)
+	if !ok || v < 1 || v > 4 {
+		t.Fatalf("value %d not from batch", v)
+	}
+}
+
+func TestQuickMatchesMap(t *testing.T) {
+	f := func(ops []uint16) bool {
+		d := New(4)
+		ref := map[uint64]uint64{}
+		for i, raw := range ops {
+			k := uint64(raw % 64)
+			switch i % 3 {
+			case 0, 1:
+				d.Put(k, uint64(i))
+				ref[k] = uint64(i)
+			case 2:
+				d.Delete(k)
+				delete(ref, k)
+			}
+		}
+		if d.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			got, ok := d.Get(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentBatchInsertStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 1 << 15
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(rng.Intn(n / 2)) // many duplicates
+	}
+	d := New(64)
+	d.BatchInsert(keys, nil)
+	distinct := map[uint64]bool{}
+	for _, k := range keys {
+		distinct[k] = true
+	}
+	if d.Len() != len(distinct) {
+		t.Fatalf("Len = %d, want %d distinct", d.Len(), len(distinct))
+	}
+}

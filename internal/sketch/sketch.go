@@ -1,0 +1,244 @@
+// Package sketch implements linear graph sketches — the XOR cutset
+// sketches of Ahn–Guha–McGregor that underlie the Kapron–King–Mountjoy
+// Monte-Carlo dynamic connectivity algorithm. The paper's discussion (§6)
+// names a parallel batch-dynamic KKM structure as the natural follow-up to
+// its deterministic-amortized approach; this package builds the substrate
+// that follow-up needs and a sketch-based connected-components routine on
+// top of it.
+//
+// A vertex sketch is a vector of (level, repetition) cells; each edge is
+// hashed into a geometric level per repetition and XORed into the cells of
+// both endpoints. XOR-merging the sketches of a vertex set S yields a
+// sketch of the cut (S, V\S): intra-S edges cancel. A cell containing
+// exactly one edge "recovers" it, which a Borůvka loop uses to find
+// outgoing edges of every component simultaneously — connected components
+// from sketches alone, O(polylog) recovery per component per round, with
+// high probability.
+package sketch
+
+import (
+	"repro/internal/graph"
+	"repro/internal/parallel"
+	"repro/internal/unionfind"
+)
+
+// Levels is the number of geometric sampling levels; level ℓ keeps an edge
+// with probability 2^-ℓ, so some level isolates ~1 edge of any cut of any
+// size up to 2^Levels.
+const Levels = 34
+
+// cell accumulates XORs of edge keys plus a checksum and a counter. The
+// counter lets the common cases (0 or 1 edges) be detected exactly; the
+// checksum guards against XOR collisions of ≥2 edges masquerading as one.
+type cell struct {
+	keyXOR uint64
+	ckXOR  uint64
+	count  int64
+}
+
+// add folds one endpoint occurrence of an edge into the cell. sign is +1
+// for the canonical U endpoint and -1 for V: when the sketches of a vertex
+// set are merged, an intra-set edge contributes +1 and -1 and cancels from
+// the counter exactly as its key cancels from the XOR, so a pure cut cell's
+// |count| equals nothing but crossing-edge imbalance and a single crossing
+// edge shows |count| == 1.
+func (c *cell) add(key uint64, sign int64) {
+	c.keyXOR ^= key
+	c.ckXOR ^= checksum(key)
+	c.count += sign
+}
+
+func (c *cell) merge(o *cell) {
+	c.keyXOR ^= o.keyXOR
+	c.ckXOR ^= o.ckXOR
+	c.count += o.count
+}
+
+// recover returns the single edge key in the cell when the evidence says
+// exactly one crossing edge is present: |count| == 1 and the checksum
+// relation of a single key holds (multiple surviving edges would need a
+// 2^-64 collision to fake it).
+func (c *cell) recover() (uint64, bool) {
+	if c.count != 1 && c.count != -1 {
+		return 0, false
+	}
+	if c.ckXOR != checksum(c.keyXOR) {
+		return 0, false
+	}
+	return c.keyXOR, true
+}
+
+func checksum(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// level hashes an (edge, repetition) pair to a geometric level in
+// [0, Levels): level ℓ with probability 2^-(ℓ+1).
+func level(key uint64, rep int) int {
+	h := parallel.Hash64(key ^ (uint64(rep)+1)*0x9e3779b97f4a7c15)
+	l := 0
+	for h&1 == 1 && l < Levels-1 {
+		l++
+		h >>= 1
+	}
+	return l
+}
+
+// Sketch is the per-vertex (or per-component, after merging) structure:
+// reps × Levels cells.
+type Sketch struct {
+	reps  int
+	cells []cell // reps*Levels, row-major by repetition
+}
+
+// NewSketch creates an empty sketch with the given number of independent
+// repetitions (more repetitions, higher recovery probability per round).
+func NewSketch(reps int) *Sketch {
+	return &Sketch{reps: reps, cells: make([]cell, reps*Levels)}
+}
+
+// Update folds one endpoint occurrence of an edge in or out: the structure
+// is linear, so insertion and deletion are the same XOR; sign (+1 for the
+// canonical U endpoint, -1 for V) keeps the counters cut-exact.
+func (s *Sketch) Update(key uint64, sign int64) {
+	for r := 0; r < s.reps; r++ {
+		s.cells[r*Levels+level(key, r)].add(key, sign)
+	}
+}
+
+// Merge folds o into s (cut sketch of the union, intra-edges cancel).
+func (s *Sketch) Merge(o *Sketch) {
+	for i := range s.cells {
+		s.cells[i].merge(&o.cells[i])
+	}
+}
+
+// Recover returns some edge crossing the cut this sketch represents, if any
+// cell isolates one.
+func (s *Sketch) Recover() (graph.Edge, bool) {
+	for i := range s.cells {
+		if key, ok := s.cells[i].recover(); ok {
+			return graph.FromKey(key), true
+		}
+	}
+	return graph.Edge{}, false
+}
+
+// Clone deep-copies the sketch.
+func (s *Sketch) Clone() *Sketch {
+	c := &Sketch{reps: s.reps, cells: make([]cell, len(s.cells))}
+	copy(c.cells, s.cells)
+	return c
+}
+
+// Graph maintains one sketch per vertex under edge insertions and
+// deletions, and answers connected-components queries from the sketches
+// alone. This is the substrate a batch-dynamic KKM structure samples from.
+type Graph struct {
+	n     int
+	reps  int
+	vs    []*Sketch
+	edges map[uint64]bool
+}
+
+// NewGraph creates an empty sketched graph on n vertices. reps independent
+// repetitions per sketch (8–16 is plenty for the sizes tested here).
+func NewGraph(n, reps int) *Graph {
+	g := &Graph{n: n, reps: reps, vs: make([]*Sketch, n), edges: make(map[uint64]bool)}
+	parallel.For(n, 256, func(i int) { g.vs[i] = NewSketch(reps) })
+	return g
+}
+
+// N returns the vertex count.
+func (g *Graph) N() int { return g.n }
+
+// NumEdges returns the live edge count.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Insert adds edge (u,v); duplicates and loops are ignored. O(reps) per
+// endpoint.
+func (g *Graph) Insert(u, v graph.Vertex) bool {
+	e := graph.Edge{U: u, V: v}.Canon()
+	if e.IsLoop() || g.edges[e.Key()] {
+		return false
+	}
+	g.edges[e.Key()] = true
+	g.vs[e.U].Update(e.Key(), 1)
+	g.vs[e.V].Update(e.Key(), -1)
+	return true
+}
+
+// Delete removes edge (u,v) if present — the same XOR, by linearity.
+func (g *Graph) Delete(u, v graph.Vertex) bool {
+	e := graph.Edge{U: u, V: v}.Canon()
+	if !g.edges[e.Key()] {
+		return false
+	}
+	delete(g.edges, e.Key())
+	// XOR linearity: removing is re-adding with the counter negated.
+	g.vs[e.U].Update(e.Key(), -1)
+	g.vs[e.V].Update(e.Key(), 1)
+	return true
+}
+
+// Components computes connected-component labels from the sketches with a
+// Borůvka loop: every round, each component recovers one outgoing edge from
+// its merged cut sketch and contracts along all recovered edges. Monte
+// Carlo: with the default repetitions the labels are correct w.h.p.; the
+// spanning edges returned certify every merge performed.
+func (g *Graph) Components() ([]int32, []graph.Edge) {
+	uf := unionfind.New(g.n)
+	// Working sketches: one per current component root.
+	work := make(map[int32]*Sketch, g.n)
+	for v := 0; v < g.n; v++ {
+		work[int32(v)] = g.vs[v].Clone()
+	}
+	var spanning []graph.Edge
+	for round := 0; round < 2*Levels && len(work) > 1; round++ {
+		type found struct{ e graph.Edge }
+		var hits []found
+		for root, sk := range work {
+			_ = root
+			if e, ok := sk.Recover(); ok {
+				hits = append(hits, found{e})
+			}
+		}
+		merged := false
+		for _, h := range hits {
+			ru, rv := uf.Find(h.e.U), uf.Find(h.e.V)
+			if ru == rv {
+				continue // stale recovery after an earlier merge this round
+			}
+			uf.Union(ru, rv)
+			spanning = append(spanning, h.e)
+			nr := uf.Find(ru)
+			or := ru
+			if nr == ru {
+				or = rv
+			}
+			work[nr].Merge(work[or])
+			delete(work, or)
+			merged = true
+		}
+		if !merged {
+			break // no component can recover an edge: done (or failed whp-small)
+		}
+	}
+	labels := make([]int32, g.n)
+	for v := 0; v < g.n; v++ {
+		labels[v] = uf.Find(int32(v))
+	}
+	return labels, spanning
+}
+
+// Connected answers one query by computing components (this substrate is
+// for offline/batch use; a full KKM structure would maintain a forest).
+func (g *Graph) Connected(u, v graph.Vertex) bool {
+	lbl, _ := g.Components()
+	return lbl[u] == lbl[v]
+}

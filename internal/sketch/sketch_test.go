@@ -1,0 +1,175 @@
+package sketch
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/graphgen"
+	"repro/internal/unionfind"
+)
+
+func TestCellRecoverSingle(t *testing.T) {
+	var c cell
+	key := (graph.Edge{U: 3, V: 9}).Key()
+	c.add(key, 1)
+	got, ok := c.recover()
+	if !ok || got != key {
+		t.Fatalf("recover = %v,%v", got, ok)
+	}
+	c.add(key, -1) // the other endpoint joins the set: edge becomes internal
+	if _, ok := c.recover(); ok {
+		t.Fatal("cancelled cell recovered an edge")
+	}
+}
+
+func TestCellRejectsMultiple(t *testing.T) {
+	var c cell
+	c.add((graph.Edge{U: 1, V: 2}).Key(), 1)
+	c.add((graph.Edge{U: 3, V: 4}).Key(), 1)
+	if _, ok := c.recover(); ok {
+		t.Fatal("two-edge cell recovered")
+	}
+	// Three edges summing to count 1 must be rejected by the checksum.
+	c.add((graph.Edge{U: 5, V: 6}).Key(), -1)
+	if _, ok := c.recover(); ok {
+		t.Fatal("three-edge count-1 cell recovered (checksum hole)")
+	}
+}
+
+func TestSketchRecoverAfterMerge(t *testing.T) {
+	// Component {0,1} with internal edge (0,1) and one outgoing edge (1,5):
+	// the merged sketch must recover only (1,5).
+	s0 := NewSketch(8)
+	s1 := NewSketch(8)
+	in := (graph.Edge{U: 0, V: 1}).Key()
+	out := (graph.Edge{U: 1, V: 5}).Key()
+	s0.Update(in, 1)
+	s1.Update(in, -1)
+	s1.Update(out, 1)
+	s0.Merge(s1)
+	e, ok := s0.Recover()
+	if !ok || e.Key() != out {
+		t.Fatalf("Recover = %v,%v; want the outgoing edge", e, ok)
+	}
+}
+
+func TestGraphComponentsMatchUnionFind(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 12; trial++ {
+		n := 40 + rng.Intn(60)
+		m := rng.Intn(3 * n)
+		g := NewGraph(n, 12)
+		uf := unionfind.New(n)
+		es := graphgen.RandomGraph(n, m+1, int64(trial))
+		for _, e := range es {
+			g.Insert(e.U, e.V)
+			uf.Union(e.U, e.V)
+		}
+		lbl, spanning := g.Components()
+		for q := 0; q < 500; q++ {
+			a := int32(rng.Intn(n))
+			b := int32(rng.Intn(n))
+			if (lbl[a] == lbl[b]) != uf.Connected(a, b) {
+				t.Fatalf("trial %d: labels disagree on (%d,%d)", trial, a, b)
+			}
+		}
+		// The recovered spanning edges must be real edges forming a forest.
+		check := unionfind.New(n)
+		for _, e := range spanning {
+			if !check.Union(e.U, e.V) {
+				t.Fatalf("trial %d: spanning certificate has a cycle", trial)
+			}
+			found := false
+			for _, x := range es {
+				if x.Key() == e.Key() {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("trial %d: recovered non-existent edge %v", trial, e)
+			}
+		}
+	}
+}
+
+func TestGraphDynamicDeletions(t *testing.T) {
+	// The linear-sketch property: delete = XOR again. Build, delete half,
+	// verify components against the surviving edge set.
+	rng := rand.New(rand.NewSource(7))
+	n := 80
+	g := NewGraph(n, 12)
+	es := graphgen.RandomGraph(n, 160, 9)
+	for _, e := range es {
+		g.Insert(e.U, e.V)
+	}
+	for _, e := range es[:80] {
+		g.Delete(e.U, e.V)
+	}
+	uf := unionfind.New(n)
+	for _, e := range es[80:] {
+		uf.Union(e.U, e.V)
+	}
+	lbl, _ := g.Components()
+	for q := 0; q < 1000; q++ {
+		a := int32(rng.Intn(n))
+		b := int32(rng.Intn(n))
+		if (lbl[a] == lbl[b]) != uf.Connected(a, b) {
+			t.Fatalf("labels disagree on (%d,%d) after deletions", a, b)
+		}
+	}
+	if g.NumEdges() != 80 {
+		t.Fatalf("NumEdges = %d", g.NumEdges())
+	}
+}
+
+func TestInsertDeleteIdempotence(t *testing.T) {
+	g := NewGraph(4, 8)
+	if !g.Insert(0, 1) || g.Insert(1, 0) || g.Insert(2, 2) {
+		t.Fatal("insert semantics wrong")
+	}
+	if !g.Delete(0, 1) || g.Delete(0, 1) {
+		t.Fatal("delete semantics wrong")
+	}
+	// Fully cancelled sketches: everything is a singleton again.
+	lbl, spanning := g.Components()
+	if len(spanning) != 0 {
+		t.Fatalf("spanning edges from empty graph: %v", spanning)
+	}
+	seen := map[int32]bool{}
+	for _, l := range lbl {
+		if seen[l] {
+			t.Fatal("empty graph has merged components")
+		}
+		seen[l] = true
+	}
+}
+
+func TestConnectedWrapper(t *testing.T) {
+	g := NewGraph(6, 12)
+	g.Insert(0, 1)
+	g.Insert(1, 2)
+	g.Insert(4, 5)
+	if !g.Connected(0, 2) || g.Connected(0, 4) || !g.Connected(4, 5) {
+		t.Fatal("Connected wrong")
+	}
+}
+
+func TestLargeSparseGraph(t *testing.T) {
+	// A path: worst case for Borůvka rounds (long merge chains).
+	n := 512
+	g := NewGraph(n, 12)
+	for _, e := range graphgen.Path(n) {
+		g.Insert(e.U, e.V)
+	}
+	lbl, spanning := g.Components()
+	for v := 1; v < n; v++ {
+		if lbl[v] != lbl[0] {
+			t.Fatalf("path vertex %d not merged", v)
+		}
+	}
+	if len(spanning) != n-1 {
+		t.Fatalf("spanning forest has %d edges, want %d", len(spanning), n-1)
+	}
+}

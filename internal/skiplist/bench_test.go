@@ -1,0 +1,62 @@
+package skiplist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchList(n int) (*List, []*Node) {
+	l := NewList()
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = NewNode(Value{Cnt: 1}, i)
+		Append(l, nodes[i])
+	}
+	return l, nodes
+}
+
+func BenchmarkRotate(b *testing.B) {
+	n := 1 << 16
+	l, nodes := benchList(n)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := nodes[rng.Intn(n-1)+1]
+		a, c := SplitBefore(x)
+		nl := NewList()
+		Join(nl, c)
+		Join(nl, a)
+		l = nl
+	}
+	_ = l
+}
+
+func BenchmarkIndex(b *testing.B) {
+	n := 1 << 16
+	_, nodes := benchList(n)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Index(nodes[rng.Intn(n)])
+	}
+}
+
+func BenchmarkListOf(b *testing.B) {
+	n := 1 << 16
+	_, nodes := benchList(n)
+	rng := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ListOf(nodes[rng.Intn(n)])
+	}
+}
+
+func BenchmarkAddVal(b *testing.B) {
+	n := 1 << 16
+	_, nodes := benchList(n)
+	rng := rand.New(rand.NewSource(4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AddVal(nodes[rng.Intn(n)], Value{NonTree: 1})
+	}
+}

@@ -1,0 +1,367 @@
+// Package skiplist implements the augmented skip-list sequence structure
+// that the paper's batch-parallel Euler-tour trees are built on (Tseng,
+// Dhulipala, Blelloch, ALENEX 2019): an ordered sequence supporting O(lg n)
+// expected join, split, representative (list-head) lookup, positional
+// access, point updates, and aggregate-guided prefix collection.
+//
+// Each list has a sentinel head holding a full-height tower; elements carry
+// geometric-height towers linked left/right per level and up/down within a
+// tower. A tower at height h is augmented with the aggregate of the elements
+// in [tower, next tower at height h), so list totals sit in the head's top
+// tower and rank/collect queries descend by aggregate.
+//
+// The repository's Euler-tour trees use the sequence treap
+// (internal/treap); this package exists to reproduce the paper's actual
+// substrate and to measure the two against each other (experiment E11 in
+// cmd/benchconn). Both expose the same sequence semantics.
+package skiplist
+
+import "sync/atomic"
+
+// MaxHeight bounds tower heights; 2^32 elements is far beyond any workload
+// here.
+const MaxHeight = 32
+
+// Value is the augmented payload aggregated over ranges (mirrors
+// treap.Value).
+type Value struct {
+	Cnt     int64
+	Size    int64
+	Tree    int64
+	NonTree int64
+}
+
+// Add returns the component-wise sum.
+func (v Value) Add(o Value) Value {
+	return Value{v.Cnt + o.Cnt, v.Size + o.Size, v.Tree + o.Tree, v.NonTree + o.NonTree}
+}
+
+// tower is one (element, height) grid cell.
+type tower struct {
+	l, r, u, d *tower
+	owner      *Node // nil for head towers
+	list       *List // set on head towers only
+	sum        Value // aggregate over [this, next tower at this height)
+}
+
+// Node is one sequence element.
+type Node struct {
+	Val    Value
+	Data   any
+	towers []tower // [0] is height 1
+}
+
+// List is a sequence of Nodes.
+type List struct {
+	head [MaxHeight]tower
+	n    int64
+}
+
+var idCtr atomic.Uint64
+
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// height draws a geometric height in [1, MaxHeight] from the node id hash.
+func height(id uint64) int {
+	h := 1
+	x := mix(id)
+	for x&1 == 1 && h < MaxHeight {
+		h++
+		x >>= 1
+	}
+	return h
+}
+
+// NewNode creates an unattached element with the given value.
+func NewNode(val Value, data any) *Node {
+	h := height(idCtr.Add(1))
+	n := &Node{Val: val, Data: data, towers: make([]tower, h)}
+	for i := range n.towers {
+		n.towers[i].owner = n
+		if i > 0 {
+			n.towers[i].d = &n.towers[i-1]
+			n.towers[i-1].u = &n.towers[i]
+		}
+	}
+	n.towers[0].sum = val
+	return n
+}
+
+// NewList creates an empty list.
+func NewList() *List {
+	l := &List{}
+	for i := range l.head {
+		l.head[i].list = l
+		if i > 0 {
+			l.head[i].d = &l.head[i-1]
+			l.head[i-1].u = &l.head[i]
+		}
+	}
+	return l
+}
+
+// Len returns the number of elements.
+func (l *List) Len() int64 { return l.n }
+
+// Agg returns the aggregate over the whole list.
+func (l *List) Agg() Value { return l.head[MaxHeight-1].sum }
+
+// First returns the first element, or nil if empty.
+func (l *List) First() *Node {
+	t := l.head[0].r
+	if t == nil {
+		return nil
+	}
+	return t.owner
+}
+
+// ListOf returns the list containing x: climb up when possible, else left,
+// until the head is reached. O(lg n) expected.
+func ListOf(x *Node) *List {
+	t := &x.towers[len(x.towers)-1]
+	for t.owner != nil {
+		if t.u != nil {
+			t = t.u
+		} else {
+			t = t.l
+		}
+	}
+	for t.u != nil {
+		t = t.u
+	}
+	return t.list
+}
+
+// fix recomputes t.sum from the level below (or from the owner's Val at
+// height 1). The children of t at height h are the towers from t.d rightward
+// up to (t.r).d exclusive.
+func fix(t *tower, h int) {
+	if h == 0 {
+		if t.owner != nil {
+			t.sum = t.owner.Val
+		} else {
+			t.sum = Value{}
+		}
+		return
+	}
+	var stop *tower
+	if t.r != nil {
+		stop = t.r.d
+	}
+	acc := Value{}
+	for c := t.d; c != stop; c = c.r {
+		acc = acc.Add(c.sum)
+		if c.r == nil {
+			break
+		}
+	}
+	t.sum = acc
+}
+
+// fixPath recomputes aggregates along the covering-tower chain of t (at
+// grid height index h0) up to the head's top tower. The covering tower at
+// height h+1 is found by walking left at height h until a tower with an up
+// pointer.
+func fixPath(t *tower, h0 int) {
+	h := h0
+	fix(t, h)
+	for {
+		for t.u == nil {
+			if t.l == nil {
+				return // above the head's top: impossible, heads are full height
+			}
+			t = t.l
+		}
+		t = t.u
+		h++
+		fix(t, h)
+		if t.owner == nil && t.u == nil {
+			return
+		}
+	}
+}
+
+// Append adds an unattached node at the end of the list. O(lg n) expected.
+func Append(l *List, x *Node) {
+	// Rightmost path gives the tail tower per height.
+	t := &l.head[MaxHeight-1]
+	tails := make([]*tower, MaxHeight)
+	for h := MaxHeight - 1; ; h-- {
+		for t.r != nil {
+			t = t.r
+		}
+		tails[h] = t
+		if h == 0 {
+			break
+		}
+		t = t.d
+	}
+	for h := 0; h < len(x.towers); h++ {
+		x.towers[h].l = tails[h]
+		x.towers[h].r = nil
+		tails[h].r = &x.towers[h]
+	}
+	l.n++
+	fixPath(&x.towers[0], 0)
+}
+
+// Join moves every element of b onto the end of a and returns a. b becomes
+// empty. O(lg n) expected: splice per height at a's tail path, then repair
+// aggregates along that path.
+func Join(a, b *List) *List {
+	if b.n == 0 {
+		return a
+	}
+	// Tails of a per height, computed before any relinking.
+	var tails [MaxHeight]*tower
+	t := &a.head[MaxHeight-1]
+	for h := MaxHeight - 1; ; h-- {
+		for t.r != nil {
+			t = t.r
+		}
+		tails[h] = t
+		if h == 0 {
+			break
+		}
+		t = t.d
+	}
+	for h := 0; h < MaxHeight; h++ {
+		first := b.head[h].r
+		if first != nil {
+			tails[h].r = first
+			first.l = tails[h]
+		}
+		b.head[h].r = nil
+		b.head[h].sum = Value{}
+	}
+	a.n += b.n
+	b.n = 0
+	// tails[h] is exactly the covering chain of a's last element, i.e. the
+	// set of towers whose ranges grew; repair bottom-up.
+	fixPath(tails[0], 0)
+	return a
+}
+
+// SplitBefore cuts the list containing x so that x begins a fresh list.
+// Returns (prefix list, suffix list). O(lg n) expected.
+func SplitBefore(x *Node) (*List, *List) {
+	a := ListOf(x)
+	bsz := a.n - Index(x)
+	b := NewList()
+	left0 := x.towers[0].l // last prefix tower at height 1 (possibly a head)
+	// s walks the first at-or-after-x tower per height; relink each height.
+	s := &x.towers[0]
+	for h := 0; h < MaxHeight && s != nil; h++ {
+		s.l.r = nil // truncate prefix
+		b.head[h].r = s
+		s.l = &b.head[h]
+		// First tall tower at or after s gives the next height's seam.
+		var up *tower
+		for c := s; c != nil; c = c.r {
+			if c.u != nil {
+				up = c.u
+				break
+			}
+		}
+		s = up
+	}
+	a.n -= bsz
+	b.n = bsz
+	// Repair a along the covering chain of its new last element: this chain
+	// passes through every prefix tower whose range was truncated,
+	// including heads taller than the suffix.
+	fixPath(left0, 0)
+	// Repair b's head towers bottom-up (element towers inside b kept their
+	// ranges).
+	for h := 0; h < MaxHeight; h++ {
+		fix(&b.head[h], h)
+	}
+	return a, b
+}
+
+// Index returns x's zero-based position: the classic backward climb, summing
+// the aggregates of every tower passed on a leftward step.
+func Index(x *Node) int64 {
+	t := &x.towers[0]
+	acc := int64(0)
+	for t.owner != nil {
+		if t.u != nil {
+			t = t.u
+			continue
+		}
+		t = t.l
+		acc += t.sum.Cnt
+	}
+	return acc
+}
+
+// At returns the i-th element (zero-based), or nil if out of range: descend
+// from the head's top tower by aggregate counts. `before` tracks the number
+// of elements strictly before the current tower's range (head towers
+// contribute zero to their own count, so the arithmetic is uniform).
+func (l *List) At(i int64) *Node {
+	if i < 0 || i >= l.n {
+		return nil
+	}
+	t := &l.head[MaxHeight-1]
+	before := int64(0)
+	for {
+		for t.r != nil && before+t.sum.Cnt <= i {
+			before += t.sum.Cnt
+			t = t.r
+		}
+		if t.d == nil {
+			return t.owner
+		}
+		t = t.d
+	}
+}
+
+// SetVal updates x's value and repairs aggregates along its covering chain.
+func SetVal(x *Node, v Value) {
+	x.Val = v
+	fixPath(&x.towers[0], 0)
+}
+
+// AddVal adds delta to x's value.
+func AddVal(x *Node, delta Value) {
+	SetVal(x, x.Val.Add(delta))
+}
+
+// Collect appends elements with proj(Val) > 0, in order, until the
+// accumulated projection reaches limit, pruning zero-aggregate ranges by
+// descending the tower grid. Returns the accumulated amount.
+func (l *List) Collect(limit int64, proj func(Value) int64, out *[]*Node) int64 {
+	got := int64(0)
+	var walk func(t *tower, h int, stop *tower)
+	walk = func(t *tower, h int, stop *tower) {
+		for c := t; c != stop && c != nil && got < limit; c = c.r {
+			if proj(c.sum) == 0 {
+				continue
+			}
+			if h == 0 {
+				if c.owner != nil {
+					if v := proj(c.owner.Val); v > 0 {
+						*out = append(*out, c.owner)
+						got += v
+					}
+				}
+				continue
+			}
+			var cstop *tower
+			if c.r != nil {
+				cstop = c.r.d
+			}
+			walk(c.d, h-1, cstop)
+		}
+	}
+	walk(&l.head[MaxHeight-1], MaxHeight-1, nil)
+	return got
+}

@@ -1,0 +1,297 @@
+package skiplist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func build(n int) (*List, []*Node) {
+	l := NewList()
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = NewNode(Value{Cnt: 1, Size: int64(i)}, i)
+		Append(l, nodes[i])
+	}
+	return l, nodes
+}
+
+func contents(l *List) []int {
+	var out []int
+	for t := l.head[0].r; t != nil; t = t.r {
+		out = append(out, t.owner.Data.(int))
+	}
+	return out
+}
+
+// checkSums verifies every tower aggregate in the list from scratch.
+func checkSums(t *testing.T, l *List) {
+	t.Helper()
+	for h := 0; h < MaxHeight; h++ {
+		start := &l.head[h]
+		for tw := start; tw != nil; tw = tw.r {
+			var want Value
+			if h == 0 {
+				if tw.owner != nil {
+					want = tw.owner.Val
+				}
+			} else {
+				var stop *tower
+				if tw.r != nil {
+					stop = tw.r.d
+				}
+				for c := tw.d; c != stop && c != nil; c = c.r {
+					want = want.Add(c.sum)
+				}
+			}
+			if tw.sum != want {
+				t.Fatalf("height %d tower (owner %v) sum %+v want %+v", h+1, tw.owner, tw.sum, want)
+			}
+		}
+	}
+}
+
+func assertSeq(t *testing.T, l *List, want []int) {
+	t.Helper()
+	got := contents(l)
+	if len(got) != len(want) {
+		t.Fatalf("len %d want %d (%v vs %v)", len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("seq[%d]=%d want %d (%v)", i, got[i], want[i], want)
+		}
+	}
+	if l.Len() != int64(len(want)) {
+		t.Fatalf("Len=%d want %d", l.Len(), len(want))
+	}
+	checkSums(t, l)
+}
+
+func TestAppendAndOrder(t *testing.T) {
+	l, _ := build(10)
+	assertSeq(t, l, []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	if l.Agg().Size != 45 {
+		t.Fatalf("Agg.Size = %d", l.Agg().Size)
+	}
+}
+
+func TestEmptyList(t *testing.T) {
+	l := NewList()
+	if l.Len() != 0 || l.First() != nil || (l.Agg() != Value{}) {
+		t.Fatal("empty list misbehaves")
+	}
+	checkSums(t, l)
+}
+
+func TestIndexAndAt(t *testing.T) {
+	l, nodes := build(200)
+	for i := 0; i < 200; i++ {
+		if Index(nodes[i]) != int64(i) {
+			t.Fatalf("Index(node %d) = %d", i, Index(nodes[i]))
+		}
+		if got := l.At(int64(i)); got != nodes[i] {
+			t.Fatalf("At(%d) wrong", i)
+		}
+	}
+	if l.At(-1) != nil || l.At(200) != nil {
+		t.Fatal("At out of range should be nil")
+	}
+}
+
+func TestListOf(t *testing.T) {
+	l, nodes := build(64)
+	for _, nd := range nodes {
+		if ListOf(nd) != l {
+			t.Fatal("ListOf wrong")
+		}
+	}
+}
+
+func TestJoinTwoLists(t *testing.T) {
+	a, _ := build(5)
+	b := NewList()
+	for i := 5; i < 9; i++ {
+		Append(b, NewNode(Value{Cnt: 1, Size: int64(i)}, i))
+	}
+	Join(a, b)
+	assertSeq(t, a, []int{0, 1, 2, 3, 4, 5, 6, 7, 8})
+	assertSeq(t, b, nil)
+	if b.Len() != 0 {
+		t.Fatal("b not emptied")
+	}
+}
+
+func TestJoinWithEmpty(t *testing.T) {
+	a, _ := build(3)
+	Join(a, NewList())
+	assertSeq(t, a, []int{0, 1, 2})
+	e := NewList()
+	Join(e, a)
+	assertSeq(t, e, []int{0, 1, 2})
+	assertSeq(t, a, nil)
+}
+
+func TestSplitBeforeEveryPosition(t *testing.T) {
+	for k := 0; k < 12; k++ {
+		l, nodes := build(12)
+		a, b := l, l
+		if k < 12 {
+			a, b = SplitBefore(nodes[k])
+		}
+		var w1, w2 []int
+		for i := 0; i < 12; i++ {
+			if i < k {
+				w1 = append(w1, i)
+			} else {
+				w2 = append(w2, i)
+			}
+		}
+		assertSeq(t, a, w1)
+		assertSeq(t, b, w2)
+		Join(a, b)
+		assertSeq(t, a, []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+	}
+}
+
+func TestSetValAndAddVal(t *testing.T) {
+	l, nodes := build(50)
+	SetVal(nodes[20], Value{Cnt: 1, Size: 1000})
+	if l.Agg().Size != 45*49/2+1000-20+190 { // recompute: sum 0..49 = 1225; -20 +1000
+		// simpler direct check below
+	}
+	want := int64(0)
+	for i := 0; i < 50; i++ {
+		if i == 20 {
+			want += 1000
+		} else {
+			want += int64(i)
+		}
+	}
+	if l.Agg().Size != want {
+		t.Fatalf("Agg.Size = %d want %d", l.Agg().Size, want)
+	}
+	AddVal(nodes[3], Value{NonTree: 7})
+	if l.Agg().NonTree != 7 {
+		t.Fatalf("Agg.NonTree = %d", l.Agg().NonTree)
+	}
+	checkSums(t, l)
+}
+
+func TestCollect(t *testing.T) {
+	l, nodes := build(300)
+	AddVal(nodes[10], Value{NonTree: 2})
+	AddVal(nodes[150], Value{NonTree: 3})
+	AddVal(nodes[299], Value{NonTree: 4})
+	proj := func(v Value) int64 { return v.NonTree }
+	var out []*Node
+	got := l.Collect(4, proj, &out)
+	if got < 4 || len(out) != 2 || out[0] != nodes[10] || out[1] != nodes[150] {
+		t.Fatalf("Collect got %d over %d nodes", got, len(out))
+	}
+	out = nil
+	if got := l.Collect(100, proj, &out); got != 9 || len(out) != 3 {
+		t.Fatalf("Collect(all) got %d over %d", got, len(out))
+	}
+	out = nil
+	if got := l.Collect(0, proj, &out); got != 0 {
+		t.Fatal("Collect(0) should gather nothing")
+	}
+}
+
+func TestQuickModelSplitJoin(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Pos  uint16
+	}
+	f := func(ops []op) bool {
+		model := []int{}
+		l := NewList()
+		byVal := map[int]*Node{}
+		next := 0
+		for _, o := range ops {
+			switch o.Kind % 3 {
+			case 0: // append
+				nd := NewNode(Value{Cnt: 1}, next)
+				byVal[next] = nd
+				model = append(model, next)
+				next++
+				Append(l, nd)
+			case 1: // rotate: split at pos, rejoin swapped
+				if len(model) == 0 {
+					continue
+				}
+				k := int(o.Pos) % len(model)
+				if k == 0 {
+					continue
+				}
+				a, b := SplitBefore(byVal[model[k]])
+				nl := NewList()
+				Join(nl, b)
+				Join(nl, a)
+				l = nl
+				model = append(model[k:], model[:k]...)
+			case 2: // split off suffix and rejoin (identity, exercises seams)
+				if len(model) == 0 {
+					continue
+				}
+				k := int(o.Pos) % len(model)
+				a, b := SplitBefore(byVal[model[k]])
+				Join(a, b)
+				l = a
+			}
+			got := contents(l)
+			if len(got) != len(model) {
+				return false
+			}
+			for i := range model {
+				if got[i] != model[i] {
+					return false
+				}
+			}
+			if l.Len() != int64(len(model)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomStressWithSumChecks(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	l, nodes := build(2000)
+	for iter := 0; iter < 300; iter++ {
+		k := rng.Intn(len(nodes))
+		if k == 0 {
+			continue
+		}
+		a, b := SplitBefore(nodes[k])
+		if rng.Intn(2) == 0 {
+			Join(a, b)
+			l = a
+		} else {
+			nl := NewList()
+			Join(nl, b)
+			Join(nl, a)
+			l = nl
+			// rotate the reference order
+			nodes = append(nodes[k:], nodes[:k]...)
+		}
+		if l.Len() != 2000 {
+			t.Fatalf("iter %d: lost elements (%d)", iter, l.Len())
+		}
+	}
+	checkSums(t, l)
+	// Index consistency after heavy churn.
+	for i, nd := range nodes {
+		if Index(nd) != int64(i) {
+			t.Fatalf("Index(%d) = %d after churn", i, Index(nd))
+		}
+		if ListOf(nd) != l {
+			t.Fatal("ListOf wrong after churn")
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Package static is the strawman comparator from the paper's introduction:
+// a batch "dynamic" connectivity structure that stores the edge set and
+// recomputes connected components from scratch (with a parallel union sweep)
+// whenever connectivity is needed after an update. Its per-batch cost is
+// O(m + n) regardless of batch size — the behaviour the paper's algorithm is
+// designed to beat for small and medium batches.
+package static
+
+import (
+	"repro/internal/graph"
+	"repro/internal/parallel"
+	"repro/internal/unionfind"
+)
+
+// Conn is the recompute-per-batch connectivity structure.
+type Conn struct {
+	n      int
+	edges  map[uint64]graph.Edge
+	labels []int32
+	dirty  bool
+}
+
+// New creates an empty graph on n vertices.
+func New(n int) *Conn {
+	return &Conn{n: n, edges: make(map[uint64]graph.Edge), dirty: true}
+}
+
+// N returns the vertex count.
+func (c *Conn) N() int { return c.n }
+
+// NumEdges returns the current edge count.
+func (c *Conn) NumEdges() int { return len(c.edges) }
+
+// BatchInsert adds edges (duplicates and loops ignored).
+func (c *Conn) BatchInsert(es []graph.Edge) {
+	for _, e := range es {
+		if e.IsLoop() {
+			continue
+		}
+		c.edges[e.Key()] = e.Canon()
+	}
+	c.dirty = true
+}
+
+// BatchDelete removes edges (absent edges ignored).
+func (c *Conn) BatchDelete(es []graph.Edge) {
+	for _, e := range es {
+		delete(c.edges, e.Key())
+	}
+	c.dirty = true
+}
+
+// recompute rebuilds component labels with a parallel union sweep: O(m+n).
+func (c *Conn) recompute() {
+	uf := unionfind.NewConcurrent(c.n)
+	es := make([]graph.Edge, 0, len(c.edges))
+	for _, e := range c.edges {
+		es = append(es, e)
+	}
+	parallel.For(len(es), 128, func(i int) {
+		uf.Union(es[i].U, es[i].V)
+	})
+	c.labels = make([]int32, c.n)
+	parallel.For(c.n, 4096, func(i int) {
+		c.labels[i] = uf.Find(int32(i))
+	})
+	c.dirty = false
+}
+
+// BatchConnected answers k queries, recomputing first if the graph changed.
+func (c *Conn) BatchConnected(qs []graph.Edge) []bool {
+	if c.dirty {
+		c.recompute()
+	}
+	out := make([]bool, len(qs))
+	parallel.For(len(qs), 1024, func(i int) {
+		out[i] = c.labels[qs[i].U] == c.labels[qs[i].V]
+	})
+	return out
+}
+
+// Connected answers one query.
+func (c *Conn) Connected(u, v graph.Vertex) bool {
+	return c.BatchConnected([]graph.Edge{{U: u, V: v}})[0]
+}
+
+// Components returns the current component label of every vertex.
+func (c *Conn) Components() []int32 {
+	if c.dirty {
+		c.recompute()
+	}
+	out := make([]int32, c.n)
+	copy(out, c.labels)
+	return out
+}

@@ -1,0 +1,85 @@
+package static
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/unionfind"
+)
+
+func TestBasic(t *testing.T) {
+	c := New(5)
+	c.BatchInsert([]graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	if !c.Connected(0, 2) || c.Connected(0, 3) {
+		t.Fatal("connectivity wrong")
+	}
+	c.BatchDelete([]graph.Edge{{U: 1, V: 2}})
+	if c.Connected(0, 2) {
+		t.Fatal("delete not reflected")
+	}
+	if c.NumEdges() != 1 || c.N() != 5 {
+		t.Fatalf("NumEdges=%d N=%d", c.NumEdges(), c.N())
+	}
+}
+
+func TestIgnoresLoopsAndDups(t *testing.T) {
+	c := New(3)
+	c.BatchInsert([]graph.Edge{{U: 0, V: 0}, {U: 0, V: 1}, {U: 1, V: 0}})
+	if c.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d", c.NumEdges())
+	}
+}
+
+func TestComponentsLabels(t *testing.T) {
+	c := New(6)
+	c.BatchInsert([]graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}})
+	lbl := c.Components()
+	if lbl[0] != lbl[1] || lbl[2] != lbl[3] || lbl[0] == lbl[2] || lbl[4] == lbl[5] {
+		t.Fatalf("labels wrong: %v", lbl)
+	}
+}
+
+func TestRandomAgainstUnionFind(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := 64
+	c := New(n)
+	live := map[uint64]graph.Edge{}
+	for step := 0; step < 50; step++ {
+		var ins, del []graph.Edge
+		for j := 0; j < 30; j++ {
+			u := graph.Vertex(rng.Intn(n))
+			v := graph.Vertex(rng.Intn(n))
+			if u != v {
+				ins = append(ins, graph.Edge{U: u, V: v}.Canon())
+			}
+		}
+		c.BatchInsert(ins)
+		for _, e := range ins {
+			live[e.Key()] = e
+		}
+		for _, e := range live {
+			if rng.Intn(4) == 0 {
+				del = append(del, e)
+			}
+		}
+		c.BatchDelete(del)
+		for _, e := range del {
+			delete(live, e.Key())
+		}
+		uf := unionfind.New(n)
+		for _, e := range live {
+			uf.Union(e.U, e.V)
+		}
+		qs := make([]graph.Edge, 0, 100)
+		for q := 0; q < 100; q++ {
+			qs = append(qs, graph.Edge{U: graph.Vertex(rng.Intn(n)), V: graph.Vertex(rng.Intn(n))})
+		}
+		got := c.BatchConnected(qs)
+		for i, q := range qs {
+			if got[i] != uf.Connected(q.U, q.V) {
+				t.Fatalf("step %d: query %v wrong", step, q)
+			}
+		}
+	}
+}

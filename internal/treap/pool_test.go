@@ -1,0 +1,71 @@
+package treap
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestFreeAndReuse(t *testing.T) {
+	a := NewNode(Value{Cnt: 1}, "a")
+	id1 := a.ID()
+	Free(a)
+	b := NewNode(Value{Cnt: 1, Size: 7}, "b")
+	// Whether or not the allocation was recycled, the new node must be
+	// fully reinitialized.
+	if b.ID() == id1 {
+		t.Fatal("recycled node kept its old id")
+	}
+	if b.l != nil || b.r != nil || b.p != nil {
+		t.Fatal("recycled node has stale links")
+	}
+	if b.sum != b.Val || b.Val.Size != 7 {
+		t.Fatalf("recycled node has stale value: %+v / %+v", b.Val, b.sum)
+	}
+	if b.Data != "b" {
+		t.Fatal("recycled node has stale data")
+	}
+}
+
+func TestFreeDetachedFromSequence(t *testing.T) {
+	root := build(10)
+	x := At(root, 5)
+	root = Remove(x)
+	Free(x)
+	// The remaining sequence must be intact after the free.
+	if Len(root) != 9 {
+		t.Fatalf("Len = %d", Len(root))
+	}
+	if err := CheckInvariants(root); err != "" {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentNewAndFree(t *testing.T) {
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				n := NewNode(Value{Cnt: 1}, i)
+				if n.Val.Cnt != 1 || n.p != nil {
+					panic("bad node from pool")
+				}
+				Free(n)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestIDsUniqueAcrossRecycling(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := 0; i < 10000; i++ {
+		n := NewNode(Value{Cnt: 1}, nil)
+		if seen[n.ID()] {
+			t.Fatalf("duplicate id %d at iteration %d", n.ID(), i)
+		}
+		seen[n.ID()] = true
+		Free(n)
+	}
+}

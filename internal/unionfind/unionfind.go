@@ -1,0 +1,112 @@
+// Package unionfind provides two disjoint-set structures: a fast sequential
+// one (union by rank, path halving) used as a correctness oracle and as the
+// incremental-connectivity baseline of Simsiri et al. (Euro-Par 2016), and a
+// concurrent CAS-based one (randomized linking by index, path halving) used
+// inside the parallel spanning-forest substrate.
+package unionfind
+
+import (
+	"sync/atomic"
+
+	"repro/internal/parallel"
+)
+
+// UF is the sequential disjoint-set structure.
+type UF struct {
+	parent []int32
+	rank   []int8
+	comps  int
+}
+
+// New creates n singleton sets.
+func New(n int) *UF {
+	u := &UF{parent: make([]int32, n), rank: make([]int8, n), comps: n}
+	for i := range u.parent {
+		u.parent[i] = int32(i)
+	}
+	return u
+}
+
+// Find returns the representative of x with path halving.
+func (u *UF) Find(x int32) int32 {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of a and b; reports whether they were distinct.
+func (u *UF) Union(a, b int32) bool {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return false
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+	u.comps--
+	return true
+}
+
+// Connected reports whether a and b share a set.
+func (u *UF) Connected(a, b int32) bool { return u.Find(a) == u.Find(b) }
+
+// Components returns the number of disjoint sets.
+func (u *UF) Components() int { return u.comps }
+
+// Concurrent is a lock-free disjoint-set structure safe for concurrent
+// Union/Find. Linking is by index order (larger root points to smaller),
+// which with random vertex ids gives O(lg n) expected height; path halving
+// keeps practical depths tiny.
+type Concurrent struct {
+	parent []atomic.Int32
+}
+
+// NewConcurrent creates n singleton sets.
+func NewConcurrent(n int) *Concurrent {
+	c := &Concurrent{parent: make([]atomic.Int32, n)}
+	parallel.For(n, 8192, func(i int) { c.parent[i].Store(int32(i)) })
+	return c
+}
+
+// Find returns the current representative of x. Concurrent unions may change
+// representatives; callers synchronize at batch boundaries.
+func (c *Concurrent) Find(x int32) int32 {
+	for {
+		p := c.parent[x].Load()
+		if p == x {
+			return x
+		}
+		gp := c.parent[p].Load()
+		if gp != p {
+			c.parent[x].CompareAndSwap(p, gp) // path halving; failure is benign
+		}
+		x = p
+	}
+}
+
+// Union merges the sets containing a and b; reports whether it performed the
+// link (false if already connected at link time).
+func (c *Concurrent) Union(a, b int32) bool {
+	for {
+		ra, rb := c.Find(a), c.Find(b)
+		if ra == rb {
+			return false
+		}
+		if ra < rb {
+			ra, rb = rb, ra
+		}
+		// ra > rb: link larger index under smaller.
+		if c.parent[ra].CompareAndSwap(ra, rb) {
+			return true
+		}
+	}
+}
+
+// SameSet reports whether a and b are currently in one set (quiescent use).
+func (c *Concurrent) SameSet(a, b int32) bool { return c.Find(a) == c.Find(b) }

@@ -1,0 +1,113 @@
+package unionfind
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSequentialBasics(t *testing.T) {
+	u := New(6)
+	if u.Components() != 6 {
+		t.Fatalf("Components = %d", u.Components())
+	}
+	if !u.Union(0, 1) || !u.Union(2, 3) {
+		t.Fatal("fresh unions should link")
+	}
+	if u.Union(1, 0) {
+		t.Fatal("re-union should not link")
+	}
+	if !u.Connected(0, 1) || u.Connected(0, 2) {
+		t.Fatal("connectivity wrong")
+	}
+	u.Union(1, 3)
+	if !u.Connected(0, 2) {
+		t.Fatal("transitive union failed")
+	}
+	if u.Components() != 3 {
+		t.Fatalf("Components = %d", u.Components())
+	}
+}
+
+func TestSequentialChainDepth(t *testing.T) {
+	n := 1 << 16
+	u := New(n)
+	for i := 1; i < n; i++ {
+		u.Union(int32(i-1), int32(i))
+	}
+	// With rank + halving, Find must not blow the stack and stays fast.
+	if u.Find(0) != u.Find(int32(n-1)) {
+		t.Fatal("chain not connected")
+	}
+	if u.Components() != 1 {
+		t.Fatal("components wrong")
+	}
+}
+
+func TestConcurrentMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	n := 2000
+	type pair struct{ a, b int32 }
+	var ops []pair
+	for i := 0; i < 4000; i++ {
+		ops = append(ops, pair{int32(rng.Intn(n)), int32(rng.Intn(n))})
+	}
+	seq := New(n)
+	for _, p := range ops {
+		seq.Union(p.a, p.b)
+	}
+	con := NewConcurrent(n)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(ops); i += 8 {
+				con.Union(ops[i].a, ops[i].b)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for trial := 0; trial < 4000; trial++ {
+		a := int32(rng.Intn(n))
+		b := int32(rng.Intn(n))
+		if seq.Connected(a, b) != con.SameSet(a, b) {
+			t.Fatalf("disagreement on (%d,%d)", a, b)
+		}
+	}
+}
+
+func TestQuickPartitionValid(t *testing.T) {
+	f := func(pairs []uint16) bool {
+		n := 64
+		u := New(n)
+		links := 0
+		for i := 0; i+1 < len(pairs); i += 2 {
+			if u.Union(int32(pairs[i]%uint16(n)), int32(pairs[i+1]%uint16(n))) {
+				links++
+			}
+		}
+		// Components + links must always equal n.
+		return u.Components()+links == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentUnionReturnValue(t *testing.T) {
+	c := NewConcurrent(4)
+	if !c.Union(0, 1) {
+		t.Fatal("first union should link")
+	}
+	if c.Union(1, 0) {
+		t.Fatal("repeat union should not link")
+	}
+	if !c.Union(2, 3) || !c.Union(0, 3) {
+		t.Fatal("unions failed")
+	}
+	if !c.SameSet(1, 2) {
+		t.Fatal("all should be one set")
+	}
+}
