@@ -1,0 +1,284 @@
+// Batcher: the concurrent front-end over Graph. A Graph's methods must not
+// be called concurrently, and the paper's cost bounds reward large batches —
+// Theorem 1 charges O(lg n · lg(1+n/Δ)) amortized work per deleted edge for
+// deletion batches averaging Δ, so many small operations are strictly more
+// expensive than one large batch. Batcher resolves the tension with group
+// commit: any number of goroutines submit single operations (or small
+// batches), a staging buffer coalesces them, and a dispatcher executes one
+// InsertEdges / DeleteEdges / ConnectedBatch per drained epoch against the
+// single-writer Graph, fanning results back to the blocked callers.
+
+package conn
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/coalesce"
+	"repro/internal/graph"
+)
+
+// Default coalescing parameters: commit an epoch once 8192 operations have
+// accumulated, or 500µs after work first arrives, whichever is first.
+const (
+	DefaultMaxBatch = 8192
+	DefaultMaxDelay = 500 * time.Microsecond
+)
+
+// Batcher is a goroutine-safe connectivity front-end over a Graph. All
+// methods may be called from any number of goroutines; each call blocks
+// until the epoch containing the operation has committed, so a caller's own
+// operations are always applied in its program order.
+//
+// Epoch semantics: within one epoch, insertions are applied first, then
+// deletions, then queries — queries observe the epoch's post-update state.
+// Operations from different goroutines that land in the same epoch were
+// concurrent, and the epoch order is the order they linearize in.
+//
+// The coalescing window trades latency for throughput: a longer window
+// (WithMaxDelay) grows the average batch size Δ, and per-operation cost
+// shrinks as O(lg(1+n/Δ)) amortized. See cmd/benchconn experiment e12.
+//
+// While a Batcher is open, its underlying Graph must not be used directly;
+// after Close the Graph is quiesced and may be used again.
+type Batcher struct {
+	g   *Graph
+	buf *coalesce.Buffer
+
+	// testHook, when set before any operation is submitted, observes each
+	// committed epoch (concatenated ops and their results) from the
+	// dispatcher goroutine. Tests use it to replay epochs against an oracle.
+	testHook func(ops []coalesce.Op, res []bool)
+}
+
+// BatcherOption configures a Batcher.
+type BatcherOption func(*batcherOptions)
+
+type batcherOptions struct {
+	maxBatch int
+	maxDelay time.Duration
+	shards   int
+}
+
+// WithMaxBatch sets the epoch size target: the dispatcher commits as soon
+// as k operations are staged. k <= 0 selects DefaultMaxBatch.
+func WithMaxBatch(k int) BatcherOption {
+	return func(o *batcherOptions) { o.maxBatch = k }
+}
+
+// WithMaxDelay bounds how long an operation may wait for its epoch: the
+// dispatcher commits at most d after it first notices pending work, even if
+// the batch target has not been reached. d == 0 disables the window and
+// commits eagerly (lowest latency, smallest batches).
+func WithMaxDelay(d time.Duration) BatcherOption {
+	return func(o *batcherOptions) { o.maxDelay = d }
+}
+
+// WithShards sets the number of staging-buffer stripes (contention control;
+// default GOMAXPROCS).
+func WithShards(s int) BatcherOption {
+	return func(o *batcherOptions) { o.shards = s }
+}
+
+// NewBatcher wraps g in a group-commit front-end and starts its dispatcher.
+// Callers own g's lifecycle; the Batcher only requires that nothing else
+// touches g until Close returns.
+func NewBatcher(g *Graph, opts ...BatcherOption) *Batcher {
+	o := batcherOptions{maxBatch: DefaultMaxBatch, maxDelay: DefaultMaxDelay}
+	for _, f := range opts {
+		f(&o)
+	}
+	if o.maxBatch <= 0 {
+		o.maxBatch = DefaultMaxBatch
+	}
+	b := &Batcher{g: g}
+	b.buf = coalesce.NewBuffer(o.shards, o.maxBatch, o.maxDelay, b.execEpoch)
+	return b
+}
+
+// execEpoch applies one drained epoch to the underlying graph. It runs on
+// the dispatcher goroutine only, so the single-writer contract of Graph
+// holds. Insert and delete credit goes to the first staging of each edge in
+// epoch order; queries run against the post-update state.
+func (b *Batcher) execEpoch(ops []coalesce.Op) []bool {
+	res := make([]bool, len(ops))
+	var insIdx, delIdx, qIdx []int
+	for i, op := range ops {
+		switch op.Kind {
+		case coalesce.OpInsert:
+			insIdx = append(insIdx, i)
+		case coalesce.OpDelete:
+			delIdx = append(delIdx, i)
+		default:
+			qIdx = append(qIdx, i)
+		}
+	}
+
+	if len(insIdx) > 0 {
+		seen := make(map[uint64]struct{}, len(insIdx))
+		batch := make([]Edge, 0, len(insIdx))
+		for _, i := range insIdx {
+			u, v := ops[i].U, ops[i].V
+			if u == v {
+				continue
+			}
+			k := graph.Edge{U: u, V: v}.Key()
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			if !b.g.HasEdge(u, v) {
+				res[i] = true
+				batch = append(batch, Edge{U: u, V: v})
+			}
+		}
+		b.g.InsertEdges(batch)
+	}
+
+	if len(delIdx) > 0 {
+		seen := make(map[uint64]struct{}, len(delIdx))
+		batch := make([]Edge, 0, len(delIdx))
+		for _, i := range delIdx {
+			u, v := ops[i].U, ops[i].V
+			if u == v {
+				continue
+			}
+			k := graph.Edge{U: u, V: v}.Key()
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			// Presence is checked after this epoch's inserts landed, so
+			// an insert and delete of the same edge in one epoch compose.
+			if b.g.HasEdge(u, v) {
+				res[i] = true
+				batch = append(batch, Edge{U: u, V: v})
+			}
+		}
+		b.g.DeleteEdges(batch)
+	}
+
+	if len(qIdx) > 0 {
+		qs := make([]Edge, len(qIdx))
+		for j, i := range qIdx {
+			qs[j] = Edge{U: ops[i].U, V: ops[i].V}
+		}
+		for j, ok := range b.g.ConnectedBatch(qs) {
+			res[qIdx[j]] = ok
+		}
+	}
+
+	if b.testHook != nil {
+		b.testHook(ops, res)
+	}
+	return res
+}
+
+func (b *Batcher) check(u, v int32) {
+	if n := int32(b.g.N()); u < 0 || u >= n || v < 0 || v >= n {
+		panic(fmt.Sprintf("conn: Batcher: vertex pair {%d, %d} out of range [0, %d)", u, v, n))
+	}
+}
+
+func (b *Batcher) one(k coalesce.Kind, u, v int32) bool {
+	b.check(u, v)
+	f, err := b.buf.Submit([]coalesce.Op{{Kind: k, U: u, V: v}})
+	if err != nil {
+		panic("conn: Batcher used after Close")
+	}
+	return f.Wait()[0]
+}
+
+func (b *Batcher) many(k coalesce.Kind, es []Edge) []bool {
+	if len(es) == 0 {
+		return nil
+	}
+	ops := make([]coalesce.Op, len(es))
+	for i, e := range es {
+		b.check(e.U, e.V)
+		ops[i] = coalesce.Op{Kind: k, U: e.U, V: e.V}
+	}
+	f, err := b.buf.Submit(ops)
+	if err != nil {
+		panic("conn: Batcher used after Close")
+	}
+	return f.Wait()
+}
+
+func countTrue(bs []bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// Insert adds the edge {u, v}, blocking until its epoch commits. Reports
+// whether the edge was newly added (false if already present, a self-loop,
+// or another operation in the same epoch added it first).
+func (b *Batcher) Insert(u, v int32) bool { return b.one(coalesce.OpInsert, u, v) }
+
+// Delete removes the edge {u, v}, blocking until its epoch commits. Reports
+// whether the edge was removed (false if absent or another operation in the
+// same epoch removed it first).
+func (b *Batcher) Delete(u, v int32) bool { return b.one(coalesce.OpDelete, u, v) }
+
+// Connected reports whether u and v are in the same component as of the end
+// of the operation's epoch.
+func (b *Batcher) Connected(u, v int32) bool { return b.one(coalesce.OpQuery, u, v) }
+
+// InsertEdges stages a batch of insertions as one atomic group — all land
+// in the same epoch — and returns the number credited to this call.
+func (b *Batcher) InsertEdges(es []Edge) int {
+	return countTrue(b.many(coalesce.OpInsert, es))
+}
+
+// DeleteEdges stages a batch of deletions as one atomic group and returns
+// the number credited to this call.
+func (b *Batcher) DeleteEdges(es []Edge) int {
+	return countTrue(b.many(coalesce.OpDelete, es))
+}
+
+// ConnectedBatch answers k connectivity queries, all against the same
+// post-epoch snapshot; result i corresponds to query pair i.
+func (b *Batcher) ConnectedBatch(qs []Edge) []bool {
+	return b.many(coalesce.OpQuery, qs)
+}
+
+// Flush forces an immediate epoch and blocks until every operation staged
+// before the call has committed.
+func (b *Batcher) Flush() {
+	if err := b.buf.Flush(); err != nil {
+		panic("conn: Batcher used after Close")
+	}
+}
+
+// Close commits everything still staged and stops the dispatcher. After
+// Close returns the underlying Graph is quiesced and may be used directly.
+// Close is idempotent; other methods panic once Close has begun.
+func (b *Batcher) Close() { b.buf.Close() }
+
+// BatcherStats are dispatcher counters: how much traffic was coalesced and
+// how large the epochs got. AvgEpoch is the realized average batch size —
+// the Δ of Theorem 1 under the observed traffic.
+type BatcherStats struct {
+	Epochs   int64
+	Ops      int64
+	MaxEpoch int64
+}
+
+// AvgEpoch returns the mean operations per committed epoch.
+func (s BatcherStats) AvgEpoch() float64 {
+	if s.Epochs == 0 {
+		return 0
+	}
+	return float64(s.Ops) / float64(s.Epochs)
+}
+
+// Stats returns coalescing counters accumulated since NewBatcher.
+func (b *Batcher) Stats() BatcherStats {
+	s := b.buf.Stats()
+	return BatcherStats{Epochs: s.Epochs, Ops: s.Ops, MaxEpoch: s.MaxEpoch}
+}

@@ -1,0 +1,272 @@
+package conn
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/coalesce"
+	"repro/internal/graph"
+	"repro/internal/unionfind"
+)
+
+func TestBatcherSequentialSemantics(t *testing.T) {
+	g := New(8)
+	b := NewBatcher(g, WithMaxDelay(0))
+	if !b.Insert(0, 1) {
+		t.Fatal("Insert(0,1) = false on empty graph")
+	}
+	if b.Insert(1, 0) {
+		t.Fatal("Insert(1,0) = true for a present edge")
+	}
+	if b.Insert(2, 2) {
+		t.Fatal("Insert(2,2) = true for a self-loop")
+	}
+	if got := b.InsertEdges([]Edge{{1, 2}, {2, 3}, {1, 2}}); got != 2 {
+		t.Fatalf("InsertEdges = %d, want 2 (duplicate in batch)", got)
+	}
+	if !b.Connected(0, 3) || b.Connected(0, 4) {
+		t.Fatal("Connected wrong")
+	}
+	ans := b.ConnectedBatch([]Edge{{0, 2}, {4, 5}})
+	if !ans[0] || ans[1] {
+		t.Fatalf("ConnectedBatch = %v", ans)
+	}
+	if !b.Delete(2, 1) {
+		t.Fatal("Delete(2,1) = false for a present edge")
+	}
+	if b.Delete(1, 2) {
+		t.Fatal("Delete(1,2) = true for an absent edge")
+	}
+	if got := b.DeleteEdges([]Edge{{0, 1}, {6, 7}}); got != 1 {
+		t.Fatalf("DeleteEdges = %d, want 1", got)
+	}
+	b.Flush()
+	b.Close()
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d after Close, want 1 ({2,3})", g.NumEdges())
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatcherEpochComposition pins the documented within-epoch order:
+// inserts apply before deletes, and queries see the post-update state. Two
+// goroutines land an insert and a delete of the same absent edge in one
+// epoch (maxBatch 2, effectively infinite window): both must be credited
+// and the edge must end absent.
+func TestBatcherEpochComposition(t *testing.T) {
+	g := New(4)
+	b := NewBatcher(g, WithMaxBatch(2), WithMaxDelay(time.Hour))
+	var insOK, delOK bool
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); insOK = b.Insert(0, 1) }()
+	go func() { defer wg.Done(); delOK = b.Delete(0, 1) }()
+	wg.Wait()
+	b.Close()
+	if !insOK || !delOK {
+		t.Fatalf("insert=%v delete=%v, want both credited", insOK, delOK)
+	}
+	if g.NumEdges() != 0 {
+		t.Fatalf("edge survived an insert+delete epoch: NumEdges = %d", g.NumEdges())
+	}
+}
+
+func TestBatcherPanicsAfterClose(t *testing.T) {
+	b := NewBatcher(New(4))
+	b.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Insert after Close did not panic")
+		}
+	}()
+	b.Insert(0, 1)
+}
+
+func TestBatcherRejectsOutOfRange(t *testing.T) {
+	b := NewBatcher(New(4))
+	defer b.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range vertex did not panic")
+		}
+	}()
+	b.Insert(0, 4)
+}
+
+// epochRecord is one committed epoch as observed by the test hook.
+type epochRecord struct {
+	ops []coalesce.Op
+	res []bool
+}
+
+// TestBatcherConcurrentOracle is the workhorse race test: G goroutines
+// issue mixed single-op and batch traffic through a Batcher, the test hook
+// records every committed epoch, and afterwards the epoch stream is
+// replayed against a sequential oracle — an edge-set map for update credit
+// and a fresh union-find per epoch for connectivity — checking every
+// result the callers saw. Run with -race.
+func TestBatcherConcurrentOracle(t *testing.T) {
+	const n = 192
+	goroutines := 8
+	perG := 2500
+	if testing.Short() {
+		perG = 400
+	}
+
+	g := New(n)
+	b := NewBatcher(g, WithMaxBatch(256), WithMaxDelay(200*time.Microsecond))
+	var epochs []epochRecord
+	b.testHook = func(ops []coalesce.Op, res []bool) {
+		r := epochRecord{
+			ops: append([]coalesce.Op(nil), ops...),
+			res: append([]bool(nil), res...),
+		}
+		epochs = append(epochs, r) // dispatcher goroutine only; no lock needed
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + w)))
+			pair := func() (int32, int32) {
+				return int32(rng.Intn(n)), int32(rng.Intn(n))
+			}
+			for i := 0; i < perG; i++ {
+				u, v := pair()
+				switch r := rng.Intn(100); {
+				case r < 40:
+					b.Insert(u, v)
+				case r < 65:
+					b.Delete(u, v)
+				case r < 90:
+					b.Connected(u, v)
+				case r < 95:
+					es := make([]Edge, 4)
+					for j := range es {
+						es[j].U, es[j].V = pair()
+					}
+					b.InsertEdges(es)
+				default:
+					es := make([]Edge, 4)
+					for j := range es {
+						es[j].U, es[j].V = pair()
+					}
+					b.DeleteEdges(es)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	b.Close() // quiesce: epochs is safe to read from here on
+
+	// Replay the epoch stream sequentially and re-derive every result.
+	edges := map[uint64]bool{}
+	total := 0
+	for ei, ep := range epochs {
+		total += len(ep.ops)
+		// Phase 1: inserts, first staging of an absent edge gets credit.
+		for i, op := range ep.ops {
+			if op.Kind != coalesce.OpInsert {
+				continue
+			}
+			want := false
+			if op.U != op.V {
+				k := graph.Edge{U: op.U, V: op.V}.Key()
+				if !edges[k] {
+					edges[k] = true
+					want = true
+				}
+			}
+			if ep.res[i] != want {
+				t.Fatalf("epoch %d op %d: insert {%d,%d} = %v, oracle says %v",
+					ei, i, op.U, op.V, ep.res[i], want)
+			}
+		}
+		// Phase 2: deletes, against the post-insert edge set.
+		for i, op := range ep.ops {
+			if op.Kind != coalesce.OpDelete {
+				continue
+			}
+			want := false
+			if op.U != op.V {
+				k := graph.Edge{U: op.U, V: op.V}.Key()
+				if edges[k] {
+					delete(edges, k)
+					want = true
+				}
+			}
+			if ep.res[i] != want {
+				t.Fatalf("epoch %d op %d: delete {%d,%d} = %v, oracle says %v",
+					ei, i, op.U, op.V, ep.res[i], want)
+			}
+		}
+		// Phase 3: queries see the post-update snapshot.
+		uf := unionfind.New(n)
+		for k := range edges {
+			e := graph.FromKey(k)
+			uf.Union(e.U, e.V)
+		}
+		for i, op := range ep.ops {
+			if op.Kind != coalesce.OpQuery {
+				continue
+			}
+			if want := uf.Connected(op.U, op.V); ep.res[i] != want {
+				t.Fatalf("epoch %d op %d: connected {%d,%d} = %v, oracle says %v",
+					ei, i, op.U, op.V, ep.res[i], want)
+			}
+		}
+	}
+
+	// Quiesced structure agrees with the oracle's final state.
+	if g.NumEdges() != len(edges) {
+		t.Fatalf("NumEdges = %d, oracle has %d", g.NumEdges(), len(edges))
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatalf("CheckInvariants after quiesce: %v", err)
+	}
+	s := b.Stats()
+	if s.Ops != int64(total) {
+		t.Fatalf("Stats.Ops = %d, epochs carried %d", s.Ops, total)
+	}
+	if s.Epochs > 0 && s.AvgEpoch() <= 1 && total > 1000 {
+		t.Logf("warning: coalescing ineffective, avg epoch %.1f", s.AvgEpoch())
+	}
+	t.Logf("epochs=%d ops=%d avg=%.1f max=%d final edges=%d",
+		s.Epochs, s.Ops, s.AvgEpoch(), s.MaxEpoch, len(edges))
+}
+
+// TestBatcherFlushCommitsStagedOps verifies Flush releases an op parked
+// behind an effectively infinite window.
+func TestBatcherFlushCommitsStagedOps(t *testing.T) {
+	g := New(4)
+	b := NewBatcher(g, WithMaxBatch(1<<30), WithMaxDelay(time.Hour))
+	defer b.Close()
+	done := make(chan bool, 1)
+	go func() { done <- b.Insert(0, 1) }()
+	for i := 0; ; i++ {
+		if b.bufPending() > 0 {
+			break
+		}
+		if i > 10000 {
+			t.Fatal("insert never staged")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	b.Flush()
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Fatal("Insert = false")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Flush did not release the staged insert")
+	}
+}
+
+func (b *Batcher) bufPending() int64 { return b.buf.Pending() }

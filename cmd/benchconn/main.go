@@ -10,7 +10,7 @@
 //	go run ./cmd/benchconn -exp e3 -n 65536  # one experiment, custom n
 //	go run ./cmd/benchconn -quick            # smaller sizes for smoke runs
 //
-// Experiment index (see DESIGN.md §4 and EXPERIMENTS.md for results):
+// Experiment index (see DESIGN.md §4 for the map to the paper):
 //
 //	e1  batch connectivity queries: work O(k lg(1+n/k))      [Theorem 3]
 //	e2  batch insertions: work O(k lg(1+n/k))                [Theorem 4]
@@ -23,6 +23,7 @@
 //	e9  insertion-only vs union-find baseline                [related work]
 //	e10 level dynamics: pushdown totals vs the m·lg n bound  [analysis]
 //	e11 sequence substrate ablation: treap vs skip list      [§2.1 substrate]
+//	e12 concurrent coalescing front-end (conn.Batcher)       [Thm 1 under traffic]
 package main
 
 import (
@@ -33,7 +34,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e1..e10, comma separated, or 'all')")
+	exp := flag.String("exp", "all", "experiment id (e1..e12, comma separated, or 'all')")
 	n := flag.Int("n", 0, "override vertex count (0 = per-experiment default)")
 	quick := flag.Bool("quick", false, "smaller sizes for a fast smoke run")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -43,9 +44,9 @@ func main() {
 	all := map[string]func(config){
 		"e1": runE1, "e2": runE2, "e3": runE3, "e4": runE4, "e5": runE5,
 		"e6": runE6, "e7": runE7, "e8": runE8, "e9": runE9, "e10": runE10,
-		"e11": runE11,
+		"e11": runE11, "e12": runE12,
 	}
-	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11"}
+	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12"}
 
 	want := map[string]bool{}
 	if *exp == "all" {
@@ -56,7 +57,7 @@ func main() {
 		for _, id := range strings.Split(*exp, ",") {
 			id = strings.TrimSpace(strings.ToLower(id))
 			if _, ok := all[id]; !ok {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q (want e1..e10)\n", id)
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (want e1..e12)\n", id)
 				os.Exit(2)
 			}
 			want[id] = true

@@ -18,6 +18,14 @@
 // Internally the structure keeps ceil(lg n) nested spanning forests in
 // batch-parallel Euler-tour trees; see internal/core for the algorithms and
 // DESIGN.md for the system inventory.
+//
+// Graph is single-caller: methods must not be called concurrently. To serve
+// operations from many goroutines, wrap the graph in a Batcher, which
+// coalesces concurrent single operations into the large batches the cost
+// bounds above reward:
+//
+//	b := conn.NewBatcher(g)
+//	b.Insert(0, 1) // safe from any goroutine
 package conn
 
 import (
@@ -47,7 +55,7 @@ const (
 
 // Graph is a dynamic undirected graph with batch-parallel connectivity.
 // Methods must not be called concurrently with one another; each batch call
-// is internally parallel.
+// is internally parallel. For concurrent callers, see Batcher.
 type Graph struct {
 	c *core.Conn
 }

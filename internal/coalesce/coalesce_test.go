@@ -1,0 +1,175 @@
+package coalesce
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// echoExec returns true for every op and counts invocations.
+func echoExec(calls *atomic.Int64) func([]Op) []bool {
+	return func(ops []Op) []bool {
+		calls.Add(1)
+		res := make([]bool, len(ops))
+		for i := range res {
+			res[i] = true
+		}
+		return res
+	}
+}
+
+func TestSubmitWaitRoundTrip(t *testing.T) {
+	var calls atomic.Int64
+	b := NewBuffer(2, 4, time.Hour, echoExec(&calls))
+	defer b.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f, err := b.Submit([]Op{{Kind: OpInsert, U: int32(i), V: int32(i + 1)}})
+			if err != nil {
+				t.Errorf("Submit: %v", err)
+				return
+			}
+			res := f.Wait()
+			if len(res) != 1 || !res[0] {
+				t.Errorf("Wait = %v", res)
+			}
+		}(i)
+	}
+	wg.Wait()
+	s := b.Stats()
+	if s.Ops != 4 {
+		t.Fatalf("Stats.Ops = %d, want 4", s.Ops)
+	}
+	// maxDelay is an hour and maxBatch is 4, so the dispatcher can only
+	// have drained once all four ops were staged: exactly one epoch.
+	if s.Epochs != 1 || s.MaxEpoch != 4 {
+		t.Fatalf("Stats = %+v, want 1 epoch of 4 ops", s)
+	}
+}
+
+func TestGroupIsAtomic(t *testing.T) {
+	var calls atomic.Int64
+	var epochSizes []int
+	b := NewBuffer(1, 2, 0, func(ops []Op) []bool {
+		calls.Add(1)
+		epochSizes = append(epochSizes, len(ops))
+		return make([]bool, len(ops))
+	})
+	// A 7-op group with maxBatch 2 must still commit as one epoch.
+	ops := make([]Op, 7)
+	f, err := b.Submit(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := f.Wait(); len(res) != 7 {
+		t.Fatalf("len(res) = %d, want 7", len(res))
+	}
+	b.Close()
+	if len(epochSizes) != 1 || epochSizes[0] != 7 {
+		t.Fatalf("epoch sizes = %v, want [7]", epochSizes)
+	}
+}
+
+func TestMaxDelayCommitsPartialEpoch(t *testing.T) {
+	var calls atomic.Int64
+	b := NewBuffer(1, 1<<30, 5*time.Millisecond, echoExec(&calls))
+	defer b.Close()
+	f, err := b.Submit([]Op{{Kind: OpQuery}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { f.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("op never committed: maxDelay window did not fire")
+	}
+}
+
+func TestFlushForcesDrain(t *testing.T) {
+	var calls atomic.Int64
+	b := NewBuffer(4, 1<<30, time.Hour, echoExec(&calls))
+	defer b.Close()
+	f, err := b.Submit([]Op{{Kind: OpInsert, U: 1, V: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	// Flush returned, so the earlier submission must have committed.
+	select {
+	case <-f.g.done:
+	default:
+		t.Fatal("Flush returned before the staged op committed")
+	}
+	if b.Pending() != 0 {
+		t.Fatalf("Pending = %d after Flush", b.Pending())
+	}
+}
+
+func TestCloseDrainsAndRejects(t *testing.T) {
+	var calls atomic.Int64
+	b := NewBuffer(2, 1<<30, time.Hour, echoExec(&calls))
+	f, err := b.Submit([]Op{{Kind: OpDelete, U: 3, V: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	if res := f.Wait(); len(res) != 1 || !res[0] {
+		t.Fatalf("op staged before Close resolved to %v", res)
+	}
+	if _, err := b.Submit([]Op{{}}); err != ErrClosed {
+		t.Fatalf("Submit after Close: err = %v, want ErrClosed", err)
+	}
+	if err := b.Flush(); err != ErrClosed {
+		t.Fatalf("Flush after Close: err = %v, want ErrClosed", err)
+	}
+	b.Close() // idempotent
+}
+
+func TestConcurrentHammer(t *testing.T) {
+	const goroutines = 8
+	const perG = 500
+	var executed atomic.Int64
+	b := NewBuffer(0, 64, 100*time.Microsecond, func(ops []Op) []bool {
+		executed.Add(int64(len(ops)))
+		return make([]bool, len(ops))
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				var f Future
+				var err error
+				if i%10 == 0 {
+					f, err = b.Submit(make([]Op, 3))
+				} else {
+					f, err = b.Submit([]Op{{U: int32(g), V: int32(i)}})
+				}
+				if err != nil {
+					t.Errorf("Submit: %v", err)
+					return
+				}
+				f.Wait()
+			}
+		}(g)
+	}
+	wg.Wait()
+	b.Close()
+	want := int64(goroutines * (perG/10*3 + perG - perG/10))
+	if got := executed.Load(); got != want {
+		t.Fatalf("executed %d ops, want %d", got, want)
+	}
+	if s := b.Stats(); s.Ops != want {
+		t.Fatalf("Stats.Ops = %d, want %d", s.Ops, want)
+	}
+}
