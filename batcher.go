@@ -1,21 +1,45 @@
-// Batcher: the concurrent front-end over Graph. A Graph's methods must not
-// be called concurrently, and the paper's cost bounds reward large batches —
-// Theorem 1 charges O(lg n · lg(1+n/Δ)) amortized work per deleted edge for
-// deletion batches averaging Δ, so many small operations are strictly more
-// expensive than one large batch. Batcher resolves the tension with group
-// commit: any number of goroutines submit single operations (or small
-// batches), a staging buffer coalesces them, and a dispatcher executes one
-// InsertEdges / DeleteEdges / ConnectedBatch per drained epoch against the
-// single-writer Graph, fanning results back to the blocked callers.
+// Batcher: the concurrent front-end over Graph. A Graph must have a single
+// writer, and the paper's cost bounds reward large batches — Theorem 1
+// charges O(lg n · lg(1+n/Δ)) amortized work per deleted edge for deletion
+// batches averaging Δ, so many small operations are strictly more expensive
+// than one large batch. Batcher resolves the tension with group commit: any
+// number of goroutines submit single operations (or small batches), a
+// staging buffer coalesces them, and a dispatcher executes one InsertEdges /
+// DeleteEdges / ConnectedBatch per drained epoch against the single-writer
+// Graph, fanning results back to the blocked callers.
+//
+// Queries need not pay the write pipeline. Connectivity queries are pure
+// root walks (see the read-only query contracts in internal/treap,
+// internal/ett, internal/core), so Batcher serves them at three consistency
+// tiers:
+//
+//   - Connected / ConnectedBatch — linearized. The query joins the epoch
+//     pipeline and observes its epoch's post-update state, totally ordered
+//     with all updates. Pays the coalescing window.
+//   - ReadNow / ReadNowBatch — read-committed. Takes a read lock that
+//     excludes only the mutating phase of epoch execution and walks the
+//     live structure. No staging, no futures, no window; sees every
+//     committed epoch and never a partial one, but is not ordered against
+//     in-flight submissions.
+//   - ReadRecent / ReadRecentBatch — bounded staleness, wait-free. Two
+//     array loads against an immutable component labelling republished
+//     after every epoch that changes connectivity (internal/snapshot);
+//     answers are exact as of the last committed epoch.
+//
+// cmd/benchconn experiment e13 measures the three tiers' read throughput
+// under writer load.
 
 package conn
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/coalesce"
 	"repro/internal/graph"
+	"repro/internal/snapshot"
 )
 
 // Default coalescing parameters: commit an epoch once 8192 operations have
@@ -45,6 +69,19 @@ type Batcher struct {
 	g   *Graph
 	buf *coalesce.Buffer
 
+	// mu orders the dispatcher's structure mutations against ReadNow
+	// readers: execEpoch write-holds it around the insert/delete phase,
+	// ReadNow read-holds it around live-structure walks. Queries never
+	// block queries — the read-only contract makes concurrent readers safe
+	// — so the lock only serializes readers against the mutating slice of
+	// each epoch.
+	mu sync.RWMutex
+
+	// snap is the epoch-published component labelling behind ReadRecent.
+	snap *snapshot.Store
+
+	closed atomic.Bool
+
 	// testHook, when set before any operation is submitted, observes each
 	// committed epoch (concatenated ops and their results) from the
 	// dispatcher goroutine. Tests use it to replay epochs against an oracle.
@@ -55,9 +92,10 @@ type Batcher struct {
 type BatcherOption func(*batcherOptions)
 
 type batcherOptions struct {
-	maxBatch int
-	maxDelay time.Duration
-	shards   int
+	maxBatch      int
+	maxDelay      time.Duration
+	shards        int
+	snapThreshold int
 }
 
 // WithMaxBatch sets the epoch size target: the dispatcher commits as soon
@@ -80,6 +118,14 @@ func WithShards(s int) BatcherOption {
 	return func(o *batcherOptions) { o.shards = s }
 }
 
+// WithSnapshotThreshold tunes the ReadRecent labelling's incremental-repair
+// budget: an epoch whose dirty components hold more than k vertices in
+// total triggers one full relabelling instead of per-component walks.
+// k <= 0 selects max(1024, n/4).
+func WithSnapshotThreshold(k int) BatcherOption {
+	return func(o *batcherOptions) { o.snapThreshold = k }
+}
+
 // NewBatcher wraps g in a group-commit front-end and starts its dispatcher.
 // Callers own g's lifecycle; the Batcher only requires that nothing else
 // touches g until Close returns.
@@ -92,6 +138,10 @@ func NewBatcher(g *Graph, opts ...BatcherOption) *Batcher {
 		o.maxBatch = DefaultMaxBatch
 	}
 	b := &Batcher{g: g}
+	// Graph implements snapshot.Source (ComponentID / ComponentSize /
+	// ComponentVertices / ComponentLabels are read-only queries); the store
+	// computes the initial labelling from the graph's current state.
+	b.snap = snapshot.NewStore(g.N(), o.snapThreshold, g)
 	b.buf = coalesce.NewBuffer(o.shards, o.maxBatch, o.maxDelay, b.execEpoch)
 	return b
 }
@@ -100,6 +150,12 @@ func NewBatcher(g *Graph, opts ...BatcherOption) *Batcher {
 // the dispatcher goroutine only, so the single-writer contract of Graph
 // holds. Insert and delete credit goes to the first staging of each edge in
 // epoch order; queries run against the post-update state.
+//
+// Locking: only the mutating phase write-holds b.mu — ReadNow readers are
+// excluded exactly while the structure changes. The epoch's own queries and
+// the snapshot publish are read-only walks and run lock-free alongside
+// ReadNow (read-read is safe under the core contract; no other writer can
+// exist because this is the sole dispatcher).
 func (b *Batcher) execEpoch(ops []coalesce.Op) []bool {
 	res := make([]bool, len(ops))
 	var insIdx, delIdx, qIdx []int
@@ -114,9 +170,27 @@ func (b *Batcher) execEpoch(ops []coalesce.Op) []bool {
 		}
 	}
 
+	// touched collects the endpoints of applied updates that can actually
+	// move a component label — the dirty set the snapshot publisher repairs
+	// from. Credited updates that provably preserve the partition are
+	// filtered out here so write-heavy epochs of intra-component inserts
+	// and non-tree deletes skip snapshot work entirely:
+	//   - an insert whose endpoints share a label in the published
+	//     snapshot (which is exact for the pre-epoch graph: every
+	//     label-changing epoch republishes) joins nothing;
+	//   - a non-tree delete leaves the spanning forest intact, and any
+	//     fragment a batch of deletions splits off is bounded by deleted
+	//     TREE edges, whose endpoints it contains.
+	var touched []int32
+
+	// The insert pre-scan (dedup + presence filter) reads only pre-epoch
+	// state, so it runs before the write lock — concurrent ReadNow readers
+	// are not blocked by it.
+	var insBatch []Edge
 	if len(insIdx) > 0 {
+		lbl := b.snap.Current() // pre-epoch labelling
 		seen := make(map[uint64]struct{}, len(insIdx))
-		batch := make([]Edge, 0, len(insIdx))
+		insBatch = make([]Edge, 0, len(insIdx))
 		for _, i := range insIdx {
 			u, v := ops[i].U, ops[i].V
 			if u == v {
@@ -129,33 +203,48 @@ func (b *Batcher) execEpoch(ops []coalesce.Op) []bool {
 			seen[k] = struct{}{}
 			if !b.g.HasEdge(u, v) {
 				res[i] = true
-				batch = append(batch, Edge{U: u, V: v})
+				insBatch = append(insBatch, Edge{U: u, V: v})
+				if !lbl.Connected(u, v) {
+					touched = append(touched, u, v)
+				}
 			}
 		}
-		b.g.InsertEdges(batch)
 	}
 
-	if len(delIdx) > 0 {
-		seen := make(map[uint64]struct{}, len(delIdx))
-		batch := make([]Edge, 0, len(delIdx))
-		for _, i := range delIdx {
-			u, v := ops[i].U, ops[i].V
-			if u == v {
-				continue
+	if len(insBatch) > 0 || len(delIdx) > 0 {
+		// The write lock spans from the first structure mutation to the
+		// last: ReadNow must never observe inserts applied but deletes
+		// pending. The delete pre-scan has to sit inside the window — it
+		// reads post-insert presence so an insert and delete of the same
+		// edge in one epoch compose.
+		b.mu.Lock()
+		b.g.InsertEdges(insBatch)
+		if len(delIdx) > 0 {
+			seen := make(map[uint64]struct{}, len(delIdx))
+			batch := make([]Edge, 0, len(delIdx))
+			for _, i := range delIdx {
+				u, v := ops[i].U, ops[i].V
+				if u == v {
+					continue
+				}
+				k := graph.Edge{U: u, V: v}.Key()
+				if _, dup := seen[k]; dup {
+					continue
+				}
+				seen[k] = struct{}{}
+				// Tree-ness is read post-insert, pre-delete — exactly the
+				// forest BatchDelete will sever.
+				if present, tree := b.g.EdgeInfo(u, v); present {
+					res[i] = true
+					batch = append(batch, Edge{U: u, V: v})
+					if tree {
+						touched = append(touched, u, v)
+					}
+				}
 			}
-			k := graph.Edge{U: u, V: v}.Key()
-			if _, dup := seen[k]; dup {
-				continue
-			}
-			seen[k] = struct{}{}
-			// Presence is checked after this epoch's inserts landed, so
-			// an insert and delete of the same edge in one epoch compose.
-			if b.g.HasEdge(u, v) {
-				res[i] = true
-				batch = append(batch, Edge{U: u, V: v})
-			}
+			b.g.DeleteEdges(batch)
 		}
-		b.g.DeleteEdges(batch)
+		b.mu.Unlock()
 	}
 
 	if len(qIdx) > 0 {
@@ -167,6 +256,11 @@ func (b *Batcher) execEpoch(ops []coalesce.Op) []bool {
 			res[qIdx[j]] = ok
 		}
 	}
+
+	// Publish before the dispatcher resolves the epoch's futures (our
+	// caller, coalesce.drain, closes them after we return): once any caller
+	// observes its commit, ReadRecent already reflects the epoch.
+	b.snap.Publish(touched)
 
 	if b.testHook != nil {
 		b.testHook(ops, res)
@@ -247,26 +341,114 @@ func (b *Batcher) ConnectedBatch(qs []Edge) []bool {
 	return b.many(coalesce.OpQuery, qs)
 }
 
+// ReadNow reports whether u and v are currently connected — read-committed.
+// It walks the live structure under a read lock that excludes only the
+// mutating phase of epoch execution: no staging, no future, no coalescing
+// window. The answer reflects every committed epoch and never a partially
+// applied one, but is not ordered against operations still staged; a caller
+// that needs its own prior writes visible should Flush first or use
+// Connected. Panics once Close has begun.
+func (b *Batcher) ReadNow(u, v int32) bool {
+	b.check(u, v)
+	b.mu.RLock()
+	if b.closed.Load() {
+		b.mu.RUnlock()
+		panic("conn: Batcher used after Close")
+	}
+	ok := b.g.Connected(u, v)
+	b.mu.RUnlock()
+	return ok
+}
+
+// ReadNowBatch answers k read-committed connectivity queries against one
+// consistent live state (the read lock is held across the whole batch).
+func (b *Batcher) ReadNowBatch(qs []Edge) []bool {
+	if len(qs) == 0 {
+		return nil
+	}
+	for _, q := range qs {
+		b.check(q.U, q.V)
+	}
+	b.mu.RLock()
+	if b.closed.Load() {
+		b.mu.RUnlock()
+		panic("conn: Batcher used after Close")
+	}
+	out := b.g.ConnectedBatch(qs)
+	b.mu.RUnlock()
+	return out
+}
+
+// ReadRecent reports whether u and v were connected as of the last committed
+// epoch that changed connectivity — bounded staleness, wait-free: two array
+// loads against an immutable published labelling, never blocking on writers
+// or other readers. Unlike other methods it remains usable after Close,
+// answering from the final snapshot.
+func (b *Batcher) ReadRecent(u, v int32) bool {
+	b.check(u, v)
+	return b.snap.Current().Connected(u, v)
+}
+
+// ReadRecentBatch answers k wait-free queries, all against the same
+// published snapshot (a single labelling is loaded for the whole batch).
+func (b *Batcher) ReadRecentBatch(qs []Edge) []bool {
+	if len(qs) == 0 {
+		return nil
+	}
+	l := b.snap.Current()
+	out := make([]bool, len(qs))
+	for i, q := range qs {
+		b.check(q.U, q.V)
+		out[i] = l.Connected(q.U, q.V)
+	}
+	return out
+}
+
+// RecentEpoch returns the publish counter of the snapshot ReadRecent is
+// answering from; it increases by one per committed epoch that changed
+// connectivity. Callers can use it to bound observed staleness.
+func (b *Batcher) RecentEpoch() uint64 { return b.snap.Current().Epoch() }
+
 // Flush forces an immediate epoch and blocks until every operation staged
-// before the call has committed.
+// before the call has committed. Flush on a closed (or closing) Batcher is
+// graceful — never a panic: Close's final sweep commits everything a racing
+// Flush could have flushed, and Flush waits for that sweep before
+// returning, so the barrier guarantee holds on both sides of the race.
 func (b *Batcher) Flush() {
 	if err := b.buf.Flush(); err != nil {
-		panic("conn: Batcher used after Close")
+		// ErrClosed: Close has begun but its final drain may not have run
+		// yet. Buffer.Close is idempotent and blocks until the dispatcher
+		// (final sweep included) has exited — ride it instead of failing.
+		b.buf.Close()
 	}
 }
 
 // Close commits everything still staged and stops the dispatcher. After
 // Close returns the underlying Graph is quiesced and may be used directly.
-// Close is idempotent; other methods panic once Close has begun.
-func (b *Batcher) Close() { b.buf.Close() }
+// Close is idempotent. Once Close has begun, update methods, Connected and
+// ReadNow panic; Flush is a no-op; ReadRecent keeps answering from the
+// final snapshot.
+func (b *Batcher) Close() {
+	b.closed.Store(true)
+	b.buf.Close()
+	// Empty critical section as a barrier: wait out any ReadNow that
+	// acquired the read lock before the closed flag landed, so the Graph
+	// is truly quiesced when we return.
+	b.mu.Lock()
+	b.mu.Unlock() //nolint:staticcheck
+}
 
 // BatcherStats are dispatcher counters: how much traffic was coalesced and
 // how large the epochs got. AvgEpoch is the realized average batch size —
-// the Δ of Theorem 1 under the observed traffic.
+// the Δ of Theorem 1 under the observed traffic. SnapshotPublishes and
+// SnapshotRebuilds count ReadRecent labelling publications and how many of
+// them fell back from incremental repair to a full relabelling.
 type BatcherStats struct {
-	Epochs   int64
-	Ops      int64
-	MaxEpoch int64
+	Epochs            int64
+	Ops               int64
+	MaxEpoch          int64
+	SnapshotPublishes int64
+	SnapshotRebuilds  int64
 }
 
 // AvgEpoch returns the mean operations per committed epoch.
@@ -280,5 +462,9 @@ func (s BatcherStats) AvgEpoch() float64 {
 // Stats returns coalescing counters accumulated since NewBatcher.
 func (b *Batcher) Stats() BatcherStats {
 	s := b.buf.Stats()
-	return BatcherStats{Epochs: s.Epochs, Ops: s.Ops, MaxEpoch: s.MaxEpoch}
+	sn := b.snap.Stats()
+	return BatcherStats{
+		Epochs: s.Epochs, Ops: s.Ops, MaxEpoch: s.MaxEpoch,
+		SnapshotPublishes: sn.Publishes, SnapshotRebuilds: sn.Rebuilds,
+	}
 }

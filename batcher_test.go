@@ -270,3 +270,348 @@ func TestBatcherFlushCommitsStagedOps(t *testing.T) {
 }
 
 func (b *Batcher) bufPending() int64 { return b.buf.Pending() }
+
+// TestBatcherFlushCloseRace pins the repaired Flush/Close interaction: a
+// Flush racing Close must be a graceful no-op, not a panic — Close's final
+// sweep already commits everything that Flush could have flushed. Run with
+// -race.
+func TestBatcherFlushCloseRace(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		g := New(64)
+		b := NewBatcher(g, WithMaxDelay(time.Hour), WithMaxBatch(1<<30))
+		var staged sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			staged.Add(1)
+			go func(i int) {
+				staged.Done()
+				// May observe the post-Close panic from Insert — that is
+				// the documented contract; only Flush must stay graceful.
+				defer func() { _ = recover() }()
+				b.Insert(int32(i), int32(i+1))
+			}(i)
+		}
+		staged.Wait()
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			b.Flush() // must not panic, before, during or after Close
+		}()
+		go func() {
+			defer wg.Done()
+			b.Close()
+		}()
+		wg.Wait()
+		b.Flush() // definitely after Close: still a no-op
+	}
+}
+
+// TestBatcherFlushAfterCloseIsNoOp is the deterministic half of the race
+// test above.
+func TestBatcherFlushAfterCloseIsNoOp(t *testing.T) {
+	b := NewBatcher(New(4))
+	b.Close()
+	b.Flush() // must not panic
+}
+
+func TestBatcherReadNowPanicsAfterClose(t *testing.T) {
+	b := NewBatcher(New(4))
+	b.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ReadNow after Close did not panic")
+		}
+	}()
+	b.ReadNow(0, 1)
+}
+
+// TestBatcherReadRecentSurvivesClose: the wait-free tier keeps serving the
+// final snapshot after Close.
+func TestBatcherReadRecentSurvivesClose(t *testing.T) {
+	g := New(8)
+	b := NewBatcher(g, WithMaxDelay(0))
+	b.Insert(1, 2)
+	b.Close()
+	if !b.ReadRecent(1, 2) || b.ReadRecent(0, 1) {
+		t.Fatal("ReadRecent wrong after Close")
+	}
+}
+
+// TestReadTiersQuiescentAgree drives rounds of mixed updates, flushes, and
+// then — with the pipeline drained and no writer in flight — checks all
+// three read tiers against a union-find oracle on every sampled pair. After
+// a Flush the tiers must coincide exactly: Connected by linearization,
+// ReadNow because every epoch has committed, ReadRecent because the
+// snapshot is published before the flush's epoch resolves.
+func TestReadTiersQuiescentAgree(t *testing.T) {
+	const n = 128
+	g := New(n)
+	b := NewBatcher(g, WithMaxBatch(64), WithMaxDelay(100*time.Microsecond))
+	defer b.Close()
+	rng := rand.New(rand.NewSource(7))
+	edges := map[uint64]bool{}
+	rounds := 30
+	if testing.Short() {
+		rounds = 8
+	}
+	for round := 0; round < rounds; round++ {
+		// Submissions are sequential on purpose: the oracle's edge map must
+		// stay exact; concurrency is exercised by the companion test below.
+		for w := 0; w < 4; w++ {
+			ops := make([]Edge, 8)
+			ins := rng.Intn(2) == 0
+			for i := range ops {
+				ops[i] = Edge{U: int32(rng.Intn(n)), V: int32(rng.Intn(n))}
+				k := graph.Edge{U: ops[i].U, V: ops[i].V}.Key()
+				if ops[i].U != ops[i].V {
+					edges[k] = ins
+				}
+			}
+			if ins {
+				b.InsertEdges(ops)
+			} else {
+				b.DeleteEdges(ops)
+			}
+		}
+		b.Flush()
+
+		uf := unionfind.New(n)
+		for k, present := range edges {
+			if present {
+				e := graph.FromKey(k)
+				uf.Union(e.U, e.V)
+			}
+		}
+		for s := 0; s < 200; s++ {
+			u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+			want := uf.Connected(u, v)
+			if got := b.Connected(u, v); got != want {
+				t.Fatalf("round %d: Connected(%d,%d) = %v, oracle %v", round, u, v, got, want)
+			}
+			if got := b.ReadNow(u, v); got != want {
+				t.Fatalf("round %d: ReadNow(%d,%d) = %v, oracle %v", round, u, v, got, want)
+			}
+			if got := b.ReadRecent(u, v); got != want {
+				t.Fatalf("round %d: ReadRecent(%d,%d) = %v, oracle %v", round, u, v, got, want)
+			}
+		}
+		qs := make([]Edge, 32)
+		for i := range qs {
+			qs[i] = Edge{U: int32(rng.Intn(n)), V: int32(rng.Intn(n))}
+		}
+		now := b.ReadNowBatch(qs)
+		recent := b.ReadRecentBatch(qs)
+		lin := b.ConnectedBatch(qs)
+		for i := range qs {
+			want := uf.Connected(qs[i].U, qs[i].V)
+			if now[i] != want || recent[i] != want || lin[i] != want {
+				t.Fatalf("round %d: batch tiers disagree at %d: now=%v recent=%v lin=%v oracle=%v",
+					round, i, now[i], recent[i], lin[i], want)
+			}
+		}
+	}
+}
+
+// TestReadTiersConcurrentConsistency exercises all three tiers while
+// writers are actively mutating — run with -race. The workload keeps
+// connectivity monotone and class-stable so exact answers are checkable
+// under full concurrency without stopping the world:
+//
+//   - the lower half of the vertices is pre-connected by a spanning path
+//     (before any reader starts), so every tier must always answer true
+//     for lower-half pairs;
+//   - writers insert random edges only within the lower half, so the
+//     isolated upper half stays isolated and every tier must always answer
+//     false for distinct upper-half pairs.
+//
+// Staleness is checked too: the snapshot epoch observed by ReadRecent
+// callers must be monotone per goroutine.
+func TestReadTiersConcurrentConsistency(t *testing.T) {
+	const n = 512
+	const half = n / 2
+	g := New(n)
+	b := NewBatcher(g, WithMaxBatch(128), WithMaxDelay(100*time.Microsecond))
+
+	base := make([]Edge, half-1)
+	for i := range base {
+		base[i] = Edge{U: int32(i), V: int32(i + 1)}
+	}
+	if got := b.InsertEdges(base); got != half-1 {
+		t.Fatalf("base insert credited %d, want %d", got, half-1)
+	}
+	b.Flush()
+
+	stop := make(chan struct{})
+	var writers, readers sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				u, v := int32(rng.Intn(half)), int32(rng.Intn(half))
+				if rng.Intn(3) == 0 {
+					b.Insert(u, v)
+				} else {
+					b.InsertEdges([]Edge{{U: u, V: v}, {U: v, V: u}})
+				}
+			}
+		}(w)
+	}
+	perReader := 4000
+	if testing.Short() {
+		perReader = 800
+	}
+	for r := 0; r < 6; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			rng := rand.New(rand.NewSource(int64(200 + r)))
+			var lastEpoch uint64
+			for i := 0; i < perReader; i++ {
+				lo1, lo2 := int32(rng.Intn(half)), int32(rng.Intn(half))
+				hi1, hi2 := int32(half+rng.Intn(half)), int32(half+rng.Intn(half))
+				var gotLo, gotHi bool
+				switch i % 3 {
+				case 0:
+					gotLo, gotHi = b.Connected(lo1, lo2), b.Connected(hi1, hi2)
+				case 1:
+					gotLo, gotHi = b.ReadNow(lo1, lo2), b.ReadNow(hi1, hi2)
+				default:
+					ans := b.ReadRecentBatch([]Edge{{U: lo1, V: lo2}, {U: hi1, V: hi2}})
+					gotLo, gotHi = ans[0], ans[1]
+					if ep := b.RecentEpoch(); ep < lastEpoch {
+						t.Errorf("reader %d: snapshot epoch went backwards %d -> %d", r, lastEpoch, ep)
+						return
+					} else {
+						lastEpoch = ep
+					}
+				}
+				if !gotLo {
+					t.Errorf("reader %d op %d: lower-half pair (%d,%d) read disconnected", r, i, lo1, lo2)
+					return
+				}
+				if gotHi && hi1 != hi2 {
+					t.Errorf("reader %d op %d: isolated pair (%d,%d) read connected", r, i, hi1, hi2)
+					return
+				}
+			}
+		}(r)
+	}
+	readers.Wait()
+	close(stop)
+	writers.Wait()
+	b.Close()
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	s := b.Stats()
+	t.Logf("epochs=%d ops=%d avg=%.1f publishes=%d rebuilds=%d",
+		s.Epochs, s.Ops, s.AvgEpoch(), s.SnapshotPublishes, s.SnapshotRebuilds)
+}
+
+// TestReadRecentReflectsFlushedEpoch pins the publish ordering: the
+// snapshot is published before an epoch's futures resolve, so once any
+// update call returns, ReadRecent reflects it.
+func TestReadRecentReflectsFlushedEpoch(t *testing.T) {
+	g := New(16)
+	b := NewBatcher(g, WithMaxDelay(0))
+	defer b.Close()
+	for i := int32(0); i < 15; i++ {
+		if b.Insert(i, i+1) { // blocks until the epoch committed
+			if !b.ReadRecent(0, i+1) {
+				t.Fatalf("ReadRecent(0,%d) stale after Insert returned", i+1)
+			}
+		}
+	}
+	b.Delete(7, 8)
+	if b.ReadRecent(0, 15) {
+		t.Fatal("ReadRecent did not observe the committed delete")
+	}
+	if !b.ReadRecent(0, 7) || !b.ReadRecent(8, 15) {
+		t.Fatal("ReadRecent split sides wrong")
+	}
+}
+
+// TestSnapshotSkipsNoChangeEpochs pins the publish pre-filter: epochs whose
+// applied updates provably preserve the partition (intra-component inserts,
+// non-tree deletes) must not advance the snapshot epoch, while genuine
+// merges and splits must.
+func TestSnapshotSkipsNoChangeEpochs(t *testing.T) {
+	g := New(8)
+	b := NewBatcher(g, WithMaxDelay(0))
+	defer b.Close()
+
+	b.Insert(0, 1)
+	b.Insert(1, 2)
+	ep := b.RecentEpoch()
+	if ep == 0 {
+		t.Fatal("merging inserts did not publish")
+	}
+
+	b.Insert(0, 2) // intra-component: closes a cycle, partition unchanged
+	b.Flush()
+	if got := b.RecentEpoch(); got != ep {
+		t.Fatalf("intra-component insert advanced snapshot epoch %d -> %d", ep, got)
+	}
+
+	b.Delete(0, 2) // non-tree delete: partition unchanged
+	b.Flush()
+	if got := b.RecentEpoch(); got != ep {
+		t.Fatalf("non-tree delete advanced snapshot epoch %d -> %d", ep, got)
+	}
+
+	b.Delete(0, 1) // tree delete with no replacement: splits {0} from {1,2}
+	b.Flush()
+	if got := b.RecentEpoch(); got <= ep {
+		t.Fatalf("splitting delete did not publish (epoch still %d)", got)
+	}
+	if b.ReadRecent(0, 1) || !b.ReadRecent(1, 2) {
+		t.Fatal("ReadRecent wrong after split")
+	}
+}
+
+// TestBatcherSnapshotThresholdPaths drives the same workload through a
+// snapshot that always rebuilds (threshold 1) and one that always repairs
+// incrementally (huge threshold) and checks both end at the same labelling.
+func TestBatcherSnapshotThresholdPaths(t *testing.T) {
+	const n = 256
+	finals := make([][]bool, 0, 2)
+	for _, threshold := range []int{1, 1 << 30} {
+		g := New(n)
+		b := NewBatcher(g, WithMaxDelay(0), WithSnapshotThreshold(threshold))
+		rng := rand.New(rand.NewSource(5))
+		for i := 0; i < 400; i++ {
+			u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+			if rng.Intn(3) == 0 {
+				b.Delete(u, v)
+			} else {
+				b.Insert(u, v)
+			}
+		}
+		b.Flush()
+		ans := make([]bool, 0, n)
+		for u := int32(0); u < n; u++ {
+			ans = append(ans, b.ReadRecent(0, u))
+		}
+		s := b.Stats()
+		if threshold == 1 && s.SnapshotPublishes > 0 && s.SnapshotRebuilds == 0 {
+			t.Error("threshold=1 never rebuilt")
+		}
+		if threshold == 1<<30 && s.SnapshotRebuilds != 0 {
+			t.Errorf("huge threshold rebuilt %d times", s.SnapshotRebuilds)
+		}
+		b.Close()
+		finals = append(finals, ans)
+	}
+	for i := range finals[0] {
+		if finals[0][i] != finals[1][i] {
+			t.Fatalf("threshold paths disagree at vertex %d", i)
+		}
+	}
+}

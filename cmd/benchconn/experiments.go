@@ -3,7 +3,9 @@ package main
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	conn "repro"
@@ -253,7 +255,10 @@ func runE8(cfg config) {
 	fmt.Printf("n=%d, m=%d; per-batch cost of delete+query, batch size sweep\n", n, m)
 	fmt.Printf("%10s %14s %14s %10s\n", "Δ", "dynamic", "static", "dyn/stat")
 	for _, delta := range []int{1, 8, 64, 512, 4096, 32768} {
-		if delta > m/2 {
+		rounds := 6
+		// Each round deletes a fresh slice of delta edges; stop once the
+		// sweep would run past the edge set (quick mode shrinks m).
+		if rounds*delta > m {
 			break
 		}
 		es := graphgen.RandomGraph(n, m, cfg.seed)
@@ -261,7 +266,6 @@ func runE8(cfg config) {
 		st := static.New(n)
 		st.BatchInsert(es)
 		st.BatchConnected(graphgen.QueryBatch(n, 1, cfg.seed)) // settle
-		rounds := 6
 		qs := graphgen.QueryBatch(n, 256, cfg.seed)
 		var dDyn, dStat time.Duration
 		for r := 0; r < rounds; r++ {
@@ -472,4 +476,105 @@ func runE12(cfg config) {
 	}
 	fmt.Printf("(closed-loop clients bound Δ by the number in flight; longer windows only pay off\n")
 	fmt.Printf(" once enough concurrent callers keep the staging buffer fed)\n")
+}
+
+// ---------------------------------------------------------------- E13
+
+func runE13(cfg config) {
+	n := cfg.size(1<<16, 1<<12)
+	header("e13", "read tiers under writer load (conn.Batcher)",
+		"queries split out of the write pipeline: ReadNow skips the coalescing window, ReadRecent is two array loads — read throughput decouples from epoch throughput")
+	dur := 600 * time.Millisecond
+	if cfg.quick {
+		dur = 150 * time.Millisecond
+	}
+	const readerGoroutines = 4
+	fmt.Printf("n=%d; %d reader goroutines per tier, %v per cell; writers insert/delete random edges\n", n, readerGoroutines, dur)
+	fmt.Printf("(each row is one run: its write rate was measured under that tier's read load)\n")
+	fmt.Printf("%10s %12s %14s %12s %12s\n",
+		"writers", "tier", "reads/s", "writes/s", "publishes")
+	tierName := []string{"Connected", "ReadNow", "ReadRecent"}
+	for _, writers := range []int{0, 2, 8} {
+		for tier := 0; tier < 3; tier++ {
+			g := conn.New(n)
+			base := graphgen.RandomGraph(n, n/2, cfg.seed)
+			out := make([]conn.Edge, len(base))
+			for i, e := range base {
+				out[i] = conn.Edge{U: e.U, V: e.V}
+			}
+			g.InsertEdges(out)
+			b := conn.NewBatcher(g, conn.WithMaxDelay(200*time.Microsecond), conn.WithMaxBatch(1<<14))
+
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			var writes atomic.Int64
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(cfg.seed + int64(w)))
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						u := int32(rng.Intn(n))
+						v := int32(rng.Intn(n))
+						if rng.Intn(3) == 0 {
+							b.Delete(u, v)
+						} else {
+							b.Insert(u, v)
+						}
+						writes.Add(1)
+					}
+				}(w)
+			}
+			var reads atomic.Int64
+			for r := 0; r < readerGoroutines; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(cfg.seed + 1000 + int64(r)))
+					local := int64(0)
+					for {
+						select {
+						case <-stop:
+							reads.Add(local)
+							return
+						default:
+						}
+						u := int32(rng.Intn(n))
+						v := int32(rng.Intn(n))
+						switch tier {
+						case 0:
+							b.Connected(u, v)
+						case 1:
+							b.ReadNow(u, v)
+						default:
+							b.ReadRecent(u, v)
+						}
+						local++
+						if local&1023 == 0 {
+							// The lock-free tiers never block; yield so the
+							// dispatcher and writers are not starved when
+							// readers outnumber cores.
+							runtime.Gosched()
+						}
+					}
+				}(r)
+			}
+			time.Sleep(dur)
+			close(stop)
+			wg.Wait()
+			fmt.Printf("%10d %12s %14.0f %12.0f %12d\n",
+				writers, tierName[tier],
+				float64(reads.Load())/dur.Seconds(),
+				float64(writes.Load())/dur.Seconds(),
+				b.Stats().SnapshotPublishes)
+			b.Close()
+		}
+	}
+	fmt.Printf("(Connected pays the coalescing window per query; ReadNow pays a read lock and a\n")
+	fmt.Printf(" root walk; ReadRecent pays two array loads against the last published epoch)\n")
 }

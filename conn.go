@@ -19,13 +19,21 @@
 // batch-parallel Euler-tour trees; see internal/core for the algorithms and
 // DESIGN.md for the system inventory.
 //
-// Graph is single-caller: methods must not be called concurrently. To serve
-// operations from many goroutines, wrap the graph in a Batcher, which
+// Graph is single-caller for updates: mutating methods must not be called
+// concurrently with anything else. Query methods (Connected,
+// ConnectedBatch, Components, ComponentSize, ComponentID,
+// ComponentVertices, ComponentLabels, NumComponents, HasEdge, NumEdges) are
+// read-only and may run concurrently with each other as long as no update
+// is in flight — see the read-only query contract in internal/core. To
+// serve operations from many goroutines, wrap the graph in a Batcher, which
 // coalesces concurrent single operations into the large batches the cost
-// bounds above reward:
+// bounds above reward and adds three query consistency tiers:
 //
 //	b := conn.NewBatcher(g)
-//	b.Insert(0, 1) // safe from any goroutine
+//	b.Insert(0, 1)      // safe from any goroutine
+//	b.Connected(0, 1)   // linearized: joins the epoch pipeline
+//	b.ReadNow(0, 1)     // read-committed: walks the live structure
+//	b.ReadRecent(0, 1)  // bounded-stale: two loads of the last snapshot
 package conn
 
 import (
@@ -101,6 +109,11 @@ func (g *Graph) NumEdges() int { return g.c.NumEdges() }
 // HasEdge reports whether the edge {u, v} is present.
 func (g *Graph) HasEdge(u, v int32) bool { return g.c.HasEdge(u, v) }
 
+// EdgeInfo reports whether {u, v} is present and, if present, whether it is
+// currently a spanning-forest (tree) edge, in one lookup; deleting a
+// non-tree edge never changes connectivity.
+func (g *Graph) EdgeInfo(u, v int32) (present, tree bool) { return g.c.EdgeInfo(u, v) }
+
 // InsertEdges adds a batch of edges in parallel. Self-loops, duplicate
 // batch entries and already-present edges are ignored. Returns the number
 // of edges actually added.
@@ -134,6 +147,24 @@ func (g *Graph) NumComponents() int { return g.c.NumComponents() }
 // ComponentSize returns the number of vertices in u's connected component
 // (at least 1). O(lg n) expected.
 func (g *Graph) ComponentSize(u int32) int64 { return g.c.ComponentSize(u) }
+
+// ComponentID returns a hashable component identifier: equal for two
+// vertices iff they are connected, unique per component, invalidated by any
+// update touching the component. O(lg n) expected.
+func (g *Graph) ComponentID(u int32) uint64 { return g.c.ComponentID(u) }
+
+// ComponentVertices returns the vertices of u's connected component
+// (including u), in Euler-tour order. O(component size).
+func (g *Graph) ComponentVertices(u int32) []int32 { return g.c.ComponentVertices(u) }
+
+// ComponentLabels fills dst (length N) with the canonical min-vertex
+// labelling: dst[u] is the smallest vertex id in u's component, so
+// dst[u] == dst[v] iff connected. Unlike Components' dense numbering, a
+// component keeps its label across updates that do not change its
+// membership. Together with ComponentID, ComponentSize and
+// ComponentVertices this makes Graph an internal/snapshot.Source — the feed
+// for Batcher's wait-free ReadRecent tier.
+func (g *Graph) ComponentLabels(dst []int32) { g.c.ComponentLabels(dst) }
 
 // SpanningForest returns the edges of a spanning forest of the current
 // graph (the structure's top-level forest). Useful for exporting a

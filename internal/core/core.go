@@ -11,6 +11,20 @@
 // (InterleavedLevelSearch, a single geometric search size per level and
 // deferred pushes — the version achieving the improved
 // O(lg n · lg(1+n/Δ)) amortized work bound).
+//
+// # Read-only query contract
+//
+// Connected, BatchConnected, ComponentOf, ComponentID, ComponentSize,
+// ComponentVertices, Components, ComponentLabels, NumComponents, N, Top and
+// Stats are pure reads: they bottom out in internal/ett's (and so
+// internal/treap's) read-only root walks and touch none of the structure's
+// mutable state. Any number of goroutines may run them concurrently with
+// each other, provided no mutation (BatchInsert, BatchDelete) is in flight
+// — this is what lets conn.Batcher serve queries outside the write
+// pipeline. HasEdge and NumEdges additionally read the edge dictionary,
+// which is phase-concurrent and safe for concurrent lookups under the same
+// no-writer condition. Enforced under -race by
+// TestConnConcurrentReadOnlyQueries.
 package core
 
 import (
@@ -168,6 +182,18 @@ func (c *Conn) HasEdge(u, v graph.Vertex) bool {
 	return c.recFor(graph.Edge{U: u, V: v}.Key()) != nil
 }
 
+// EdgeInfo reports whether (u, v) is present and, if present, whether it is
+// currently a spanning-forest (tree) edge — one dictionary lookup. Deleting
+// a non-tree edge never changes connectivity; the snapshot publisher uses
+// this to skip epochs that cannot move any component label. Read-only.
+func (c *Conn) EdgeInfo(u, v graph.Vertex) (present, tree bool) {
+	r := c.recFor(graph.Edge{U: u, V: v}.Key())
+	if r == nil {
+		return false, false
+	}
+	return true, r.IsTree
+}
+
 // Connected reports whether u and v are connected (single query).
 func (c *Conn) Connected(u, v graph.Vertex) bool {
 	return c.f[c.top].Connected(u, v)
@@ -227,6 +253,54 @@ func (c *Conn) NumComponents() int {
 // ComponentSize returns the number of vertices in u's connected component.
 func (c *Conn) ComponentSize(u graph.Vertex) int64 {
 	return c.f[c.top].Size(u)
+}
+
+// ComponentID returns a hashable component identifier for u: equal for two
+// vertices iff they are connected, unique per component, invalidated by any
+// update touching the component. Unlike ComponentOf it is a plain uint64
+// (the top-forest representative's node id, or a synthetic id for untouched
+// singletons), so callers can dedup components without pointer handles.
+func (c *Conn) ComponentID(u graph.Vertex) uint64 {
+	return repKey(c.f[c.top], u)
+}
+
+// ComponentVertices returns the vertices of u's connected component, in tour
+// order (a vertex never linked at the top level is a singleton). O(component
+// size). Read-only.
+func (c *Conn) ComponentVertices(u graph.Vertex) []graph.Vertex {
+	r := c.f[c.top].Rep(u)
+	if r == nil {
+		return []graph.Vertex{u}
+	}
+	return c.f[c.top].Vertices(r)
+}
+
+// ComponentLabels fills dst (length n) with the min-vertex labelling:
+// dst[u] is the smallest vertex id in u's component, so dst[u] == dst[v]
+// iff u and v are connected. Unlike Components' dense 0..k-1 numbering,
+// these labels are canonical — a component keeps its label across updates
+// that do not change its membership — which is what lets the snapshot read
+// path (internal/snapshot) repair a labelling incrementally. Read-only.
+func (c *Conn) ComponentLabels(dst []int32) {
+	if len(dst) != c.n {
+		panic("core: ComponentLabels: dst length != n")
+	}
+	byRep := make(map[*treap.Node]int32)
+	for u := 0; u < c.n; u++ {
+		r := c.f[c.top].Rep(graph.Vertex(u))
+		if r == nil {
+			dst[u] = int32(u)
+			continue
+		}
+		// Ascending scan: the first vertex seen for a representative is the
+		// component's minimum.
+		m, ok := byRep[r]
+		if !ok {
+			m = int32(u)
+			byRep[r] = m
+		}
+		dst[u] = m
+	}
 }
 
 // SpanningForest returns the edges of the current spanning forest (the tree

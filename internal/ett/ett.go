@@ -11,6 +11,18 @@
 // root walks). Batch mutations obtain parallelism by grouping operations by
 // tour: cuts on distinct trees run concurrently, links are applied as
 // sequential O(lg n) splices within each merge chain.
+//
+// # Read-only query contract
+//
+// Rep, Connected, Size, RepSize, RepTree, RepNonTree, Counts, CompTree,
+// CompNonTree, FetchTreeSlots, FetchNonTreeSlots, Vertices, BatchConnected
+// and BatchFindRep never create loop elements (they read f.verts directly
+// rather than through vert) and bottom out in internal/treap's read-only
+// walks, so any number of goroutines may run them concurrently with each
+// other — just not concurrently with a mutation (Link, Cut, the batch
+// variants, AddCounts, SetCounts). HasEdge is also safe concurrently (the
+// arc index is mutex-sharded). The contract is enforced under -race by
+// TestForestConcurrentReadOnlyQueries.
 package ett
 
 import (
@@ -109,7 +121,8 @@ func arcKey(u, v graph.Vertex) uint64 {
 // equal for two vertices iff they are connected, and is invalidated by any
 // link or cut touching the component. A vertex that has never been touched
 // at this level is a singleton and reports a nil representative — two nil
-// reps do NOT imply connectivity; use Connected for queries.
+// reps do NOT imply connectivity; use Connected for queries. Read-only:
+// safe for concurrent callers under the package's query contract.
 func (f *Forest) Rep(u graph.Vertex) *treap.Node {
 	nd := f.verts[u]
 	if nd == nil {
@@ -118,7 +131,8 @@ func (f *Forest) Rep(u graph.Vertex) *treap.Node {
 	return treap.Root(nd)
 }
 
-// Connected reports whether u and v lie in the same tree.
+// Connected reports whether u and v lie in the same tree. Read-only: safe
+// for concurrent callers under the package's query contract.
 func (f *Forest) Connected(u, v graph.Vertex) bool {
 	if u == v {
 		return true

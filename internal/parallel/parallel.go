@@ -92,6 +92,14 @@ func For(n int, grain int, body func(i int)) {
 // ForRange executes body(lo, hi) over a partition of [0, n) into contiguous
 // blocks, in parallel. This is the primitive behind For; use it directly when
 // the body can share per-block state.
+//
+// Two contracts callers rely on:
+//   - Block boundaries are deterministic given (n, grain): block b covers
+//     [b*grain, min(n, (b+1)*grain)), so lo is always a multiple of grain
+//     and lo/grain indexes per-block state uniquely — even if SetWorkers
+//     changes concurrently.
+//   - At most Workers() (as read on entry) bodies run concurrently, the
+//     calling goroutine included.
 func ForRange(n int, grain int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -104,51 +112,39 @@ func ForRange(n int, grain int, body func(lo, hi int)) {
 		body(0, n)
 		return
 	}
+	// A shared counter feeds blocks to at most p workers (the calling
+	// goroutine is one of them), so peak concurrent bodies never exceed the
+	// SetWorkers bound and idle workers steal remaining blocks — an
+	// approximation of work stealing for irregular bodies.
 	blocks := (n + grain - 1) / grain
-	if blocks > 4*p {
-		// Use a shared counter so idle workers steal remaining blocks;
-		// this approximates work stealing for irregular bodies.
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		workers := p
-		if workers > blocks {
-			workers = blocks
+	workers := p
+	if workers > blocks {
+		workers = blocks
+	}
+	var next atomic.Int64
+	run := func() {
+		for {
+			b := int(next.Add(1)) - 1
+			if b >= blocks {
+				return
+			}
+			lo := b * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			body(lo, hi)
 		}
-		wg.Add(workers)
-		for w := 0; w < workers; w++ {
-			go func() {
-				defer wg.Done()
-				for {
-					b := int(next.Add(1)) - 1
-					if b >= blocks {
-						return
-					}
-					lo := b * grain
-					hi := lo + grain
-					if hi > n {
-						hi = n
-					}
-					body(lo, hi)
-				}
-			}()
-		}
-		wg.Wait()
-		return
 	}
 	var wg sync.WaitGroup
-	wg.Add(blocks - 1)
-	for b := 1; b < blocks; b++ {
-		lo := b * grain
-		hi := lo + grain
-		if hi > n {
-			hi = n
-		}
-		go func(lo, hi int) {
+	wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
+		go func() {
 			defer wg.Done()
-			body(lo, hi)
-		}(lo, hi)
+			run()
+		}()
 	}
-	body(0, grain)
+	run()
 	wg.Wait()
 }
 

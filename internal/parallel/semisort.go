@@ -110,9 +110,16 @@ func GroupBy(keys []uint64) []Group {
 // GroupByParallel is GroupBy with the counting and scattering phases run in
 // parallel when n is large. Group discovery within buckets remains
 // sequential per bucket but buckets are processed concurrently.
+//
+// The worker count and grain are snapshotted once on entry: benchmarks call
+// SetWorkers concurrently, and the per-block output slots below must stay
+// aligned with the block partition ForRange actually uses. ForRange
+// guarantees block boundaries depend only on (nb, grain), so indexing by
+// lo/grain gives every block its own slot — no two blocks ever share one.
 func GroupByParallel(keys []uint64) []Group {
 	n := len(keys)
-	if n < 1<<14 || Workers() <= 1 {
+	p := Workers()
+	if n < 1<<14 || p <= 1 {
 		return GroupBy(keys)
 	}
 	nb := 1 << bits.Len(uint(2*n-1))
@@ -138,8 +145,9 @@ func GroupByParallel(keys []uint64) []Group {
 		order[pos[b]] = i
 		pos[b]++
 	}
-	perBucket := make([][]Group, Workers())
-	ForRange(nb, (nb+Workers()-1)/Workers(), func(lo, hi int) {
+	grain := (nb + p - 1) / p
+	perBlock := make([][]Group, (nb+grain-1)/grain)
+	ForRange(nb, grain, func(lo, hi int) {
 		var out []Group
 		for b := lo; b < hi; b++ {
 			l, h := off[b], off[b+1]
@@ -160,14 +168,10 @@ func GroupByParallel(keys []uint64) []Group {
 				out = append(out, g)
 			}
 		}
-		w := lo / ((nb + Workers() - 1) / Workers())
-		if w >= len(perBucket) {
-			w = len(perBucket) - 1
-		}
-		perBucket[w] = append(perBucket[w], out...)
+		perBlock[lo/grain] = out
 	})
 	var groups []Group
-	for _, g := range perBucket {
+	for _, g := range perBlock {
 		groups = append(groups, g...)
 	}
 	return groups

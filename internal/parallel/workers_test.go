@@ -1,0 +1,228 @@
+package parallel
+
+import (
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestForRangeRespectsWorkerBound pins the SetWorkers contract: at most
+// Workers() loop bodies run concurrently, calling goroutine included. The
+// block-count sweep covers the regimes the old implementation split on —
+// blocks <= 4p formerly spawned blocks-1 goroutines, up to 4p-1 concurrent
+// bodies.
+func TestForRangeRespectsWorkerBound(t *testing.T) {
+	defer SetWorkers(SetWorkers(0))
+	const grain = 8
+	for _, p := range []int{1, 2, 3, 4} {
+		for _, blocks := range []int{1, 2, p + 1, 3 * p, 4 * p, 8 * p} {
+			SetWorkers(p)
+			n := blocks * grain
+			var cur, peak atomic.Int64
+			ForRange(n, grain, func(lo, hi int) {
+				c := cur.Add(1)
+				for {
+					pk := peak.Load()
+					if c <= pk || peak.CompareAndSwap(pk, c) {
+						break
+					}
+				}
+				// Hold the body open long enough for overlap to be
+				// observable; the bound must hold regardless.
+				time.Sleep(200 * time.Microsecond)
+				cur.Add(-1)
+			})
+			if got := int(peak.Load()); got > p {
+				t.Errorf("p=%d blocks=%d: peak concurrent bodies %d > Workers() %d",
+					p, blocks, got, p)
+			}
+		}
+	}
+}
+
+// TestForRangeCoversPartition checks every index is visited exactly once and
+// that block boundaries sit at multiples of the grain (the contract
+// GroupByParallel's per-block output slots rely on).
+func TestForRangeCoversPartition(t *testing.T) {
+	defer SetWorkers(SetWorkers(0))
+	SetWorkers(4)
+	const n, grain = 1003, 16
+	visited := make([]atomic.Int32, n)
+	ForRange(n, grain, func(lo, hi int) {
+		if lo%grain != 0 {
+			t.Errorf("block lo %d not a multiple of grain %d", lo, grain)
+		}
+		for i := lo; i < hi; i++ {
+			visited[i].Add(1)
+		}
+	})
+	for i := range visited {
+		if got := visited[i].Load(); got != 1 {
+			t.Fatalf("index %d visited %d times", i, got)
+		}
+	}
+}
+
+// normalizeGroups maps a grouping to a canonical form: key -> sorted indices.
+// It also verifies each index appears exactly once across all groups and that
+// every group's indices actually carry the group's key.
+func normalizeGroups(t *testing.T, keys []uint64, groups []Group) map[uint64][]int {
+	t.Helper()
+	out := make(map[uint64][]int, len(groups))
+	seen := make([]bool, len(keys))
+	for _, g := range groups {
+		if _, dup := out[g.Key]; dup {
+			t.Fatalf("key %d appears in two groups", g.Key)
+		}
+		idx := append([]int(nil), g.Indices...)
+		sort.Ints(idx)
+		for _, i := range idx {
+			if i < 0 || i >= len(keys) {
+				t.Fatalf("index %d out of range", i)
+			}
+			if seen[i] {
+				t.Fatalf("index %d grouped twice", i)
+			}
+			seen[i] = true
+			if keys[i] != g.Key {
+				t.Fatalf("index %d has key %d, grouped under %d", i, keys[i], g.Key)
+			}
+		}
+		out[g.Key] = idx
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("index %d missing from grouping", i)
+		}
+	}
+	return out
+}
+
+func equalGroupings(a, b map[uint64][]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, ia := range a {
+		ib, ok := b[k]
+		if !ok || len(ia) != len(ib) {
+			return false
+		}
+		for j := range ia {
+			if ia[j] != ib[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func randomKeys(seed int64, n, keyRange int) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]uint64, n)
+	for i := range keys {
+		if rng.Intn(4) == 0 {
+			// Occasionally spray wide keys so buckets see both long
+			// duplicate chains and singletons.
+			keys[i] = rng.Uint64() % uint64(16*keyRange+1)
+		} else {
+			keys[i] = uint64(rng.Intn(keyRange))
+		}
+	}
+	return keys
+}
+
+// FuzzGroupByDifferential asserts GroupBy and GroupByParallel produce
+// identical groupings (after normalization) on random key multisets. Seeds
+// cover the n<=24 fast path, its boundary, the sequential bucket path, and
+// sizes >= 1<<14 that take the parallel path; tiny keyRange makes duplicate
+// chains long and bucket collisions frequent.
+func FuzzGroupByDifferential(f *testing.F) {
+	f.Add(int64(1), 0, 1)
+	f.Add(int64(2), 7, 2)
+	f.Add(int64(3), 24, 3) // fast-path upper boundary
+	f.Add(int64(4), 25, 3) // first bucketed size
+	f.Add(int64(5), 4096, 7)
+	f.Add(int64(6), 1<<14, 50) // first parallel size
+	f.Add(int64(7), 20000, 1)  // single hot key: one maximal bucket chain
+	f.Add(int64(8), 20000, 997)
+	f.Fuzz(func(t *testing.T, seed int64, n, keyRange int) {
+		if n < 0 || n > 1<<16 {
+			t.Skip()
+		}
+		if keyRange <= 0 {
+			keyRange = 1
+		}
+		keys := randomKeys(seed, n, keyRange)
+		seq := normalizeGroups(t, keys, GroupBy(keys))
+		par := normalizeGroups(t, keys, GroupByParallel(keys))
+		if !equalGroupings(seq, par) {
+			t.Fatalf("GroupBy and GroupByParallel disagree (seed=%d n=%d keyRange=%d)",
+				seed, n, keyRange)
+		}
+	})
+}
+
+// TestGroupByDifferentialRandom runs the differential check across a spread
+// of sizes without requiring -fuzz (the fuzz target alone only replays its
+// seed corpus under plain `go test`).
+func TestGroupByDifferentialRandom(t *testing.T) {
+	for _, tc := range []struct {
+		n, keyRange int
+	}{
+		{1, 1}, {16, 3}, {24, 2}, {25, 2}, {100, 5}, {1000, 1},
+		{1 << 14, 11}, {40000, 3}, {40000, 5000},
+	} {
+		for seed := int64(0); seed < 3; seed++ {
+			keys := randomKeys(seed, tc.n, tc.keyRange)
+			seq := normalizeGroups(t, keys, GroupBy(keys))
+			par := normalizeGroups(t, keys, GroupByParallel(keys))
+			if !equalGroupings(seq, par) {
+				t.Fatalf("disagree at n=%d keyRange=%d seed=%d", tc.n, tc.keyRange, seed)
+			}
+		}
+	}
+}
+
+// TestGroupByParallelSetWorkersRace flips the global worker bound while
+// groupings are in flight — the scenario benchmarks create. Run with -race:
+// the old writer-index computation re-read Workers() after sizing its output
+// slots and could make two blocks append to one slice concurrently.
+func TestGroupByParallelSetWorkersRace(t *testing.T) {
+	defer SetWorkers(SetWorkers(0))
+	keys := randomKeys(42, 1<<15, 300)
+	want := normalizeGroups(t, keys, GroupBy(keys))
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			SetWorkers(1 + i%8)
+			runtime.Gosched()
+		}
+	}()
+	iters := 60
+	if testing.Short() {
+		iters = 15
+	}
+	for i := 0; i < iters; i++ {
+		got := normalizeGroups(t, keys, GroupByParallel(keys))
+		if !equalGroupings(want, got) {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("iteration %d: grouping diverged under SetWorkers churn", i)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,196 @@
+// Package snapshot maintains an epoch-published component labelling for the
+// wait-free read tier of conn.Batcher (ReadRecent): after each committed
+// epoch the dispatcher publishes, through an atomic.Pointer, an immutable
+// array lbl such that lbl[u] == lbl[v] iff u and v were connected as of that
+// epoch. A reader then answers a connectivity query with two array loads and
+// a compare — no locks, no coalescing window, no treap walks — at the price
+// of bounded staleness (the last committed epoch, not the live structure).
+//
+// # Labelling invariant
+//
+// Every published labelling satisfies lbl[u] == the minimum vertex id of
+// u's component. Min-vertex labels have two properties the incremental
+// repair relies on: they are unique across the partition without a
+// renumbering pass, and a component that an epoch did not touch keeps its
+// label — so only dirty components need rewriting.
+//
+// # Incremental repair
+//
+// An epoch's connectivity changes are confined to components containing an
+// endpoint of an applied edge: a merge joins two components each holding an
+// endpoint of the inserted tree edge, and after a split (or a partial
+// reconnection through replacement edges) every resulting fragment contains
+// an endpoint of some deleted edge — walk the severed path from any vertex
+// of the fragment and the first missing edge's near endpoint lies in the
+// fragment. Publish therefore dedups the epoch's touched vertices by live
+// component, walks each dirty component once, and rewrites only those
+// labels; components whose aggregate size exceeds the rebuild threshold are
+// instead handled by one full relabelling pass. Each publish allocates a
+// fresh array: readers may hold a Labels for arbitrarily long, so buffers
+// are never recycled.
+package snapshot
+
+import "sync/atomic"
+
+// Labels is one immutable published labelling. All methods are wait-free
+// reads; a Labels never changes after publication.
+type Labels struct {
+	lbl   []int32
+	epoch uint64
+}
+
+// Connected reports whether u and v were in the same component as of the
+// publishing epoch: two array loads and a compare.
+func (l *Labels) Connected(u, v int32) bool { return l.lbl[u] == l.lbl[v] }
+
+// Label returns u's component label — the minimum vertex id of u's component
+// as of the publishing epoch.
+func (l *Labels) Label(u int32) int32 { return l.lbl[u] }
+
+// Epoch returns the publish counter: 0 for the initial labelling, +1 per
+// Publish that changed anything. Monotone; lets callers bound staleness.
+func (l *Labels) Epoch() uint64 { return l.epoch }
+
+// Len returns the vertex count.
+func (l *Labels) Len() int { return len(l.lbl) }
+
+// Source is the read-only view of the live structure the publisher walks.
+// All methods must be safe for the publisher to call while concurrent
+// readers run Labels methods (they are: conn.Graph's implementations are
+// pure reads under the core read-only query contract, and Publish is called
+// only from the single dispatcher goroutine with no writer in flight).
+type Source interface {
+	// ComponentID returns a component identifier: equal iff connected,
+	// unique per component.
+	ComponentID(u int32) uint64
+	// ComponentSize returns the vertex count of u's component.
+	ComponentSize(u int32) int64
+	// ComponentVertices returns every vertex of u's component.
+	ComponentVertices(u int32) []int32
+	// ComponentLabels fills dst with the full min-vertex labelling.
+	ComponentLabels(dst []int32)
+}
+
+// Store owns the published labelling. Current is safe from any goroutine;
+// Publish must be called from a single goroutine (the dispatcher) with no
+// structure mutation in flight.
+type Store struct {
+	n         int
+	threshold int64
+	src       Source
+	cur       atomic.Pointer[Labels]
+	publishes atomic.Int64
+	rebuilds  atomic.Int64
+}
+
+// Stats counts publisher activity.
+type Stats struct {
+	Publishes int64 // epochs that changed connectivity and published
+	Rebuilds  int64 // publishes that fell back to a full relabelling
+}
+
+// NewStore computes the initial labelling from src and returns a store.
+// threshold bounds the incremental repair: when the dirty components of an
+// epoch hold more than threshold vertices in total, Publish does one full
+// relabelling instead of walking them individually. threshold <= 0 selects
+// max(1024, n/4).
+func NewStore(n, threshold int, src Source) *Store {
+	if threshold <= 0 {
+		threshold = n / 4
+		if threshold < 1024 {
+			threshold = 1024
+		}
+	}
+	s := &Store{n: n, threshold: int64(threshold), src: src}
+	lbl := make([]int32, n)
+	src.ComponentLabels(lbl)
+	s.cur.Store(&Labels{lbl: lbl})
+	return s
+}
+
+// Current returns the most recently published labelling. Wait-free; safe
+// from any goroutine.
+func (s *Store) Current() *Labels { return s.cur.Load() }
+
+// Stats returns publisher counters.
+func (s *Store) Stats() Stats {
+	return Stats{Publishes: s.publishes.Load(), Rebuilds: s.rebuilds.Load()}
+}
+
+// Publish incorporates one committed epoch: touched lists the endpoints of
+// the epoch's applied insertions and deletions (a superset is fine; an empty
+// list means connectivity is unchanged and the current labelling stands).
+// A new snapshot is published only when some label actually changes —
+// updates that leave the partition intact (an edge inside a component, a
+// deleted non-bridge) cost the dirty-component walks but allocate nothing
+// and do not advance the epoch counter. Dispatcher-only.
+func (s *Store) Publish(touched []int32) {
+	if len(touched) == 0 {
+		return
+	}
+	prev := s.cur.Load()
+	// Dirty components, deduped by live component id; budget is the total
+	// number of labels the incremental path would rewrite.
+	witness := make(map[uint64]int32, len(touched))
+	var budget int64
+	for _, t := range touched {
+		id := s.src.ComponentID(t)
+		if _, ok := witness[id]; ok {
+			continue
+		}
+		witness[id] = t
+		budget += s.src.ComponentSize(t)
+		if budget > s.threshold {
+			break
+		}
+	}
+
+	if budget > s.threshold {
+		lbl := make([]int32, s.n)
+		s.src.ComponentLabels(lbl)
+		for i := range lbl {
+			if lbl[i] != prev.lbl[i] {
+				s.rebuilds.Add(1)
+				s.publishes.Add(1)
+				s.cur.Store(&Labels{lbl: lbl, epoch: prev.epoch + 1})
+				return
+			}
+		}
+		return // full relabelling reproduced the published labels
+	}
+
+	// Walk each dirty component once, recording the components whose labels
+	// actually differ; allocate a snapshot only if any do.
+	type patch struct {
+		vs []int32
+		m  int32
+	}
+	var patches []patch
+	for _, w := range witness {
+		vs := s.src.ComponentVertices(w)
+		m := vs[0]
+		for _, v := range vs {
+			if v < m {
+				m = v
+			}
+		}
+		for _, v := range vs {
+			if prev.lbl[v] != m {
+				patches = append(patches, patch{vs: vs, m: m})
+				break
+			}
+		}
+	}
+	if len(patches) == 0 {
+		return
+	}
+	lbl := make([]int32, s.n)
+	copy(lbl, prev.lbl)
+	for _, p := range patches {
+		for _, v := range p.vs {
+			lbl[v] = p.m
+		}
+	}
+	s.publishes.Add(1)
+	s.cur.Store(&Labels{lbl: lbl, epoch: prev.epoch + 1})
+}

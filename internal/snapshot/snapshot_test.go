@@ -1,0 +1,242 @@
+package snapshot
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// modelGraph is a Source backed by a plain edge set with connectivity
+// recomputed from scratch after every change — slow, obviously correct.
+type modelGraph struct {
+	n     int
+	edges map[[2]int32]bool
+	rep   []int32 // min-vertex label per vertex, recomputed by refresh
+}
+
+func newModel(n int) *modelGraph {
+	m := &modelGraph{n: n, edges: map[[2]int32]bool{}}
+	m.refresh()
+	return m
+}
+
+func key(u, v int32) [2]int32 {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int32{u, v}
+}
+
+func (m *modelGraph) refresh() {
+	parent := make([]int32, m.n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for e := range m.edges {
+		ru, rv := find(e[0]), find(e[1])
+		if ru != rv {
+			parent[ru] = rv
+		}
+	}
+	min := make([]int32, m.n)
+	for i := range min {
+		min[i] = int32(m.n)
+	}
+	for u := 0; u < m.n; u++ {
+		r := find(int32(u))
+		if int32(u) < min[r] {
+			min[r] = int32(u)
+		}
+	}
+	m.rep = make([]int32, m.n)
+	for u := 0; u < m.n; u++ {
+		m.rep[u] = min[find(int32(u))]
+	}
+}
+
+func (m *modelGraph) ComponentID(u int32) uint64 { return uint64(m.rep[u]) }
+
+func (m *modelGraph) ComponentSize(u int32) int64 {
+	var c int64
+	for v := 0; v < m.n; v++ {
+		if m.rep[v] == m.rep[u] {
+			c++
+		}
+	}
+	return c
+}
+
+func (m *modelGraph) ComponentVertices(u int32) []int32 {
+	var out []int32
+	for v := 0; v < m.n; v++ {
+		if m.rep[v] == m.rep[u] {
+			out = append(out, int32(v))
+		}
+	}
+	return out
+}
+
+func (m *modelGraph) ComponentLabels(dst []int32) { copy(dst, m.rep) }
+
+// mutate applies k random edge toggles and returns the touched endpoints.
+func (m *modelGraph) mutate(rng *rand.Rand, k int) []int32 {
+	var touched []int32
+	for i := 0; i < k; i++ {
+		u, v := int32(rng.Intn(m.n)), int32(rng.Intn(m.n))
+		if u == v {
+			continue
+		}
+		e := key(u, v)
+		if m.edges[e] {
+			delete(m.edges, e)
+		} else {
+			m.edges[e] = true
+		}
+		touched = append(touched, u, v)
+	}
+	m.refresh()
+	return touched
+}
+
+func checkAgainstModel(t *testing.T, l *Labels, m *modelGraph, tag string) {
+	t.Helper()
+	for u := 0; u < m.n; u++ {
+		if l.Label(int32(u)) != m.rep[u] {
+			t.Fatalf("%s: Label(%d) = %d, model says %d", tag, u, l.Label(int32(u)), m.rep[u])
+		}
+	}
+}
+
+// TestPublishDifferential drives random epochs through stores at both
+// extremes of the rebuild threshold — always-incremental and always-rebuild
+// — and checks every published labelling against the model.
+func TestPublishDifferential(t *testing.T) {
+	const n = 256
+	for _, threshold := range []int{1, n * n} {
+		m := newModel(n)
+		s := NewStore(n, threshold, m)
+		checkAgainstModel(t, s.Current(), m, "initial")
+		rng := rand.New(rand.NewSource(int64(threshold)))
+		for epoch := 0; epoch < 60; epoch++ {
+			touched := m.mutate(rng, 1+rng.Intn(8))
+			s.Publish(touched)
+			checkAgainstModel(t, s.Current(), m, "epoch")
+		}
+		st := s.Stats()
+		if threshold == 1 && st.Rebuilds != st.Publishes {
+			t.Errorf("threshold=1: want every publish to rebuild, got %d/%d", st.Rebuilds, st.Publishes)
+		}
+		if threshold == n*n && st.Rebuilds != 0 {
+			t.Errorf("threshold=n²: want no rebuilds, got %d", st.Rebuilds)
+		}
+	}
+}
+
+// TestPublishMergeSplitScenarios pins the two connectivity-changing shapes
+// the incremental path must repair: merging two labelled components, and a
+// split where the smaller fragment holds no minimum.
+func TestPublishMergeSplitScenarios(t *testing.T) {
+	const n = 16
+	m := newModel(n)
+	s := NewStore(n, n*n, m) // incremental only
+
+	// Build path 0-1-2-3 and path 8-9.
+	for _, e := range [][2]int32{{0, 1}, {1, 2}, {2, 3}, {8, 9}} {
+		m.edges[key(e[0], e[1])] = true
+	}
+	m.refresh()
+	s.Publish([]int32{0, 1, 1, 2, 2, 3, 8, 9})
+	checkAgainstModel(t, s.Current(), m, "build")
+
+	// Merge the two via (3,8): labels of 8 and 9 must fall to 0.
+	m.edges[key(3, 8)] = true
+	m.refresh()
+	s.Publish([]int32{3, 8})
+	checkAgainstModel(t, s.Current(), m, "merge")
+	if got := s.Current().Label(9); got != 0 {
+		t.Fatalf("after merge, Label(9) = %d, want 0", got)
+	}
+
+	// Split by cutting (1,2): fragment {2,3,8,9} gets fresh min 2, and the
+	// touched endpoints (1 and 2) sit in different fragments.
+	delete(m.edges, key(1, 2))
+	m.refresh()
+	s.Publish([]int32{1, 2})
+	checkAgainstModel(t, s.Current(), m, "split")
+	if !s.Current().Connected(2, 9) || s.Current().Connected(0, 9) {
+		t.Fatal("split labelling wrong")
+	}
+
+	// Empty touched set: no new publish, same snapshot.
+	before := s.Current()
+	s.Publish(nil)
+	if s.Current() != before {
+		t.Fatal("Publish(nil) replaced the snapshot")
+	}
+	if got := s.Current().Epoch(); got != 3 {
+		t.Fatalf("Epoch = %d, want 3", got)
+	}
+}
+
+// TestConcurrentReadersDuringPublish hammers Current from many goroutines
+// while the publisher replaces snapshots — run with -race. Readers verify
+// each loaded Labels is internally canonical (lbl[u] <= u and
+// lbl[lbl[u]] == lbl[u]), which would break if a published array were ever
+// mutated or torn.
+func TestConcurrentReadersDuringPublish(t *testing.T) {
+	const n = 512
+	m := newModel(n)
+	s := NewStore(n, 0, m)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				l := s.Current()
+				for u := 0; u < n; u++ {
+					lu := l.Label(int32(u))
+					if lu > int32(u) || l.Label(lu) != lu {
+						t.Errorf("snapshot not canonical at %d: lbl=%d", u, lu)
+						return
+					}
+					if !l.Connected(int32(u), lu) {
+						t.Errorf("Connected(%d, label) = false", u)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	rng := rand.New(rand.NewSource(99))
+	epochs := 200
+	if testing.Short() {
+		epochs = 40
+	}
+	var last uint64
+	for e := 0; e < epochs; e++ {
+		s.Publish(m.mutate(rng, 1+rng.Intn(6)))
+		if cur := s.Current().Epoch(); cur < last {
+			t.Fatalf("epoch went backwards: %d -> %d", last, cur)
+		} else {
+			last = cur
+		}
+	}
+	close(stop)
+	wg.Wait()
+	checkAgainstModel(t, s.Current(), m, "final")
+}

@@ -1,0 +1,72 @@
+package treap
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentReadOnlyQueries enforces the package's read-only query
+// contract under -race: with no mutation in flight, any number of goroutines
+// may run Root, Agg, Len, Index, At, First, Collect and Walk concurrently on
+// the same treap. A write anywhere in those paths (lazy propagation,
+// rebalancing, caching) would be flagged by the race detector.
+func TestConcurrentReadOnlyQueries(t *testing.T) {
+	const n = 4096
+	nodes := make([]*Node, n)
+	var root *Node
+	for i := 0; i < n; i++ {
+		nodes[i] = NewNode(Value{Cnt: 1, Size: 1, Tree: int64(i % 3)}, i)
+		root = Join(root, nodes[i])
+	}
+	wantAgg := Agg(root)
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < n; i += goroutines {
+				if Root(nodes[i]) != root {
+					t.Errorf("Root(nodes[%d]) != root", i)
+					return
+				}
+				if got := Agg(nodes[i]); got != wantAgg {
+					t.Errorf("Agg(nodes[%d]) = %+v, want %+v", i, got, wantAgg)
+					return
+				}
+				if got := Index(nodes[i]); got != int64(i) {
+					t.Errorf("Index(nodes[%d]) = %d", i, got)
+					return
+				}
+				if got := At(root, int64(i)); got != nodes[i] {
+					t.Errorf("At(root, %d) wrong node", i)
+					return
+				}
+				if Len(nodes[i]) != n {
+					t.Errorf("Len = %d, want %d", Len(nodes[i]), n)
+					return
+				}
+			}
+			if First(root) != nodes[0] {
+				t.Error("First(root) != nodes[0]")
+			}
+			var out []*Node
+			Collect(root, 16, func(v Value) int64 { return v.Tree }, &out)
+			for _, nd := range out {
+				if nd.Val.Tree == 0 {
+					t.Error("Collect returned a zero-projection node")
+				}
+			}
+			count := 0
+			Walk(root, func(*Node) { count++ })
+			if count != n {
+				t.Errorf("Walk visited %d nodes, want %d", count, n)
+			}
+			if msg := CheckInvariants(root); msg != "" {
+				t.Errorf("CheckInvariants: %s", msg)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

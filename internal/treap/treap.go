@@ -11,6 +11,19 @@
 // processing distinct tours concurrently (see internal/ett). The treap keeps
 // the sequence semantics simple and makes split/join — the operations Euler
 // tour trees stress — straightforward to verify.
+//
+// # Read-only query contract
+//
+// Root, Agg, Len, Index, At, First, Collect, Walk, ID and CheckInvariants
+// are pure root/child walks: they write no node field, keep no lazy state,
+// and perform no rebalancing (a treap has no splaying or path compression
+// to tempt them). Any number of goroutines may therefore run them
+// concurrently with each other on the same treap, provided no mutation
+// (NewNode on a shared pool aside, Join, SplitAt, SplitBefore, SetVal,
+// AddVal, Remove, Free) is in flight. This is the foundation the
+// concurrent read path builds on: conn.Batcher's ReadNow holds a read lock
+// that excludes exactly the mutating epoch, nothing else. The contract is
+// enforced by TestConcurrentReadOnlyQueries under -race.
 package treap
 
 import (
@@ -110,7 +123,8 @@ func update(t *Node) {
 
 // Root returns the root of the treap containing x. Two nodes are in the same
 // sequence iff they have the same root, so the root serves as the sequence
-// representative (invalidated by any split or join).
+// representative (invalidated by any split or join). Read-only: safe for
+// concurrent callers under the package's query contract.
 func Root(x *Node) *Node {
 	for x.p != nil {
 		x = x.p
@@ -118,7 +132,7 @@ func Root(x *Node) *Node {
 	return x
 }
 
-// Agg returns the aggregate over the whole sequence containing x.
+// Agg returns the aggregate over the whole sequence containing x. Read-only.
 func Agg(x *Node) Value { return Root(x).sum }
 
 // Len returns the number of elements in the sequence containing x.
