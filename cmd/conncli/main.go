@@ -14,17 +14,27 @@
 //	components       print the number of connected components
 //	size <u>         print the size of u's component
 //	stats            print internal counters
+//	checkpoint       durably snapshot the graph and truncate the WAL (-data only)
 //
 // Updates accumulate until a query/flush/EOF, then apply as two batches
 // (deletions, then insertions), so a burst of '+'/'-' lines costs two
 // parallel batch operations regardless of its length.
 //
+// With -data DIR the session is durable: every applied batch is fsynced to
+// a write-ahead log in DIR before it is acknowledged, 'checkpoint' bounds
+// the log, and a later invocation with the same -data restores the graph
+// (checkpoint + WAL tail) before reading its command stream — in that case
+// the universe is already declared and 'n' must be omitted.
+//
 //	go run ./cmd/conncli workload.txt
 //	generate-stream | go run ./cmd/conncli
+//	go run ./cmd/conncli -data /var/lib/conn workload.txt
 package main
 
 import (
 	"bufio"
+	"errors"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -35,9 +45,11 @@ import (
 )
 
 func main() {
+	data := flag.String("data", "", "durability directory: restore from it at startup, WAL every batch into it")
+	flag.Parse()
 	in := os.Stdin
-	if len(os.Args) > 1 {
-		f, err := os.Open(os.Args[1])
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -45,37 +57,79 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	if err := run(in, os.Stdout); err != nil {
+	if err := run(in, os.Stdout, *data); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
 type session struct {
-	g    *conn.Graph
-	ins  []conn.Edge
-	dels []conn.Edge
-	out  io.Writer
+	g       *conn.Graph
+	b       *conn.Batcher // non-nil iff the session is durable
+	dataDir string
+	ins     []conn.Edge
+	dels    []conn.Edge
+	out     io.Writer
 }
 
+// flush applies pending updates: deletions first, then insertions. In a
+// durable session each batch is one fsynced epoch through the Batcher; the
+// driver is single-threaded, so between commands the dispatcher is idle and
+// the Graph's read-only queries remain safe to call directly.
 func (s *session) flush() {
 	if s.g == nil {
 		return
 	}
 	if len(s.dels) > 0 {
-		s.g.DeleteEdges(s.dels)
+		if s.b != nil {
+			s.b.DeleteEdges(s.dels)
+		} else {
+			s.g.DeleteEdges(s.dels)
+		}
 		s.dels = s.dels[:0]
 	}
 	if len(s.ins) > 0 {
-		s.g.InsertEdges(s.ins)
+		if s.b != nil {
+			s.b.InsertEdges(s.ins)
+		} else {
+			s.g.InsertEdges(s.ins)
+		}
 		s.ins = s.ins[:0]
 	}
 }
 
-func run(in io.Reader, out io.Writer) error {
+// attach wires the freshly created or restored graph into a durable Batcher
+// when the session has a data directory.
+func (s *session) attach(g *conn.Graph) {
+	s.g = g
+	if s.dataDir != "" {
+		s.b = conn.NewBatcher(g, conn.WithMaxDelay(0), conn.WithDurability(s.dataDir))
+	}
+}
+
+func (s *session) close() {
+	if s.b != nil {
+		s.b.Close()
+		s.b = nil
+	}
+}
+
+func run(in io.Reader, out io.Writer, dataDir string) error {
+	s := &session{out: out, dataDir: dataDir}
+	defer s.close()
+	if dataDir != "" {
+		g, err := conn.Restore(dataDir)
+		switch {
+		case err == nil:
+			s.attach(g)
+		case errors.Is(err, conn.ErrNoDurableState):
+			// Fresh directory: the script's 'n' command will create it.
+		default:
+			return err
+		}
+	}
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	s := &session{out: out}
 	line := 0
 	for sc.Scan() {
 		line++
@@ -122,7 +176,7 @@ func (s *session) exec(text string) error {
 		if v <= 0 {
 			return fmt.Errorf("n must be positive")
 		}
-		s.g = conn.New(int(v))
+		s.attach(conn.New(int(v)))
 	case "+", "-":
 		u, err := argN(1)
 		if err != nil {
@@ -168,6 +222,15 @@ func (s *session) exec(text string) error {
 		st := s.g.Stats()
 		fmt.Fprintf(s.out, "edges=%d inserts=%d deletes=%d replaced=%d pushdowns=%d\n",
 			s.g.NumEdges(), st.Inserts, st.Deletes, st.Replaced, st.Pushdowns+st.TreePushes)
+	case "checkpoint":
+		if s.b == nil {
+			return fmt.Errorf("checkpoint requires -data")
+		}
+		s.flush()
+		if _, err := s.b.Checkpoint(); err != nil {
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+		fmt.Fprintln(s.out, "ok")
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}

@@ -1,14 +1,21 @@
 package main
 
 import (
+	"flag"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	conn "repro"
 )
+
+var update = flag.Bool("update", false, "rewrite golden files with observed output")
 
 func runScript(t *testing.T, script string) (string, error) {
 	t.Helper()
 	var out strings.Builder
-	err := run(strings.NewReader(script), &out)
+	err := run(strings.NewReader(script), &out, "")
 	return out.String(), err
 }
 
@@ -96,5 +103,74 @@ func TestCommentsAndBlankLines(t *testing.T) {
 	}
 	if got != "true\n" {
 		t.Fatalf("output %q", got)
+	}
+}
+
+// TestDurableGoldenScripts drives the full durable command loop — insert,
+// delete, query, checkpoint, then a second session that restores the same
+// -data directory — through stdin/stdout and compares each phase against
+// its golden file. Regenerate with `go test ./cmd/conncli -run Golden -update`.
+func TestDurableGoldenScripts(t *testing.T) {
+	dataDir := t.TempDir()
+	for _, phase := range []string{"durable_create", "durable_restore"} {
+		script, err := os.ReadFile(filepath.Join("testdata", phase+".txt"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out strings.Builder
+		if err := run(strings.NewReader(string(script)), &out, dataDir); err != nil {
+			t.Fatalf("%s: %v", phase, err)
+		}
+		goldenPath := filepath.Join("testdata", phase+".golden")
+		if *update {
+			if err := os.WriteFile(goldenPath, []byte(out.String()), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(goldenPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.String() != string(want) {
+			t.Errorf("%s: output mismatch\n--- got ---\n%s--- want ---\n%s", phase, out.String(), want)
+		}
+	}
+	// The WAL left behind by phase 2 must itself restore cleanly: the edge
+	// added after the checkpoint lives only in the log tail.
+	g, err := conn.Restore(dataDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 4 || !g.Connected(2, 3) {
+		t.Fatalf("final restore: edges=%d", g.NumEdges())
+	}
+}
+
+func TestCheckpointWithoutDataRejected(t *testing.T) {
+	_, err := runScript(t, "n 4\ncheckpoint\n")
+	if err == nil || !strings.Contains(err.Error(), "requires -data") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDurableFreshDirRequiresN(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	err := run(strings.NewReader("? 0 1\n"), &out, dir)
+	if err == nil || !strings.Contains(err.Error(), "before 'n") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDurableRestoredDirRejectsN(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run(strings.NewReader("n 4\n+ 0 1\n"), &out, dir); err != nil {
+		t.Fatal(err)
+	}
+	err := run(strings.NewReader("n 4\n"), &out, dir)
+	if err == nil || !strings.Contains(err.Error(), "already declared") {
+		t.Fatalf("err = %v", err)
 	}
 }

@@ -178,6 +178,18 @@ func (g *Graph) SpanningForest() []Edge {
 	return out
 }
 
+// NonTreeEdges returns the edges not in the structure's spanning forest;
+// SpanningForest and NonTreeEdges together enumerate the complete live edge
+// set. Used by durable checkpoints; order is unspecified.
+func (g *Graph) NonTreeEdges() []Edge {
+	es := g.c.NonTreeEdges()
+	out := make([]Edge, len(es))
+	for i, e := range es {
+		out[i] = Edge{U: e.U, V: e.V}
+	}
+	return out
+}
+
 // Stats exposes internal work counters (level decreases, replacement edges,
 // search rounds); useful for experiments and tuning.
 type Stats = core.Stats

@@ -1,0 +1,417 @@
+package conn
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/coalesce"
+	"repro/internal/graph"
+	"repro/internal/unionfind"
+	"repro/internal/wal"
+)
+
+// ackedEpoch is one committed epoch as the durability layer sees it: the
+// raw insert/delete batches (self-loops dropped, queries ignored) plus the
+// WAL sequence number it was logged under (0 if it carried no updates).
+type ackedEpoch struct {
+	seq      uint64
+	ins, del []graph.Edge
+}
+
+// collectDurableStream runs a concurrent mixed workload through a durable
+// Batcher rooted at dir, optionally checkpointing between two waves, and
+// returns the acked epoch stream in commit order.
+func collectDurableStream(t *testing.T, dir string, n int, withCkpt bool) []ackedEpoch {
+	t.Helper()
+	g := New(n)
+	b := NewBatcher(g, WithMaxBatch(48), WithMaxDelay(100*time.Microsecond), WithDurability(dir))
+	var epochs []ackedEpoch
+	var seq uint64
+	b.testHook = func(ops []coalesce.Op, res []bool) {
+		var e ackedEpoch
+		for _, op := range ops {
+			if op.U == op.V {
+				continue
+			}
+			switch op.Kind {
+			case coalesce.OpInsert:
+				e.ins = append(e.ins, graph.Edge{U: op.U, V: op.V})
+			case coalesce.OpDelete:
+				e.del = append(e.del, graph.Edge{U: op.U, V: op.V})
+			}
+		}
+		if len(e.ins)+len(e.del) > 0 {
+			seq++
+			e.seq = seq
+		}
+		epochs = append(epochs, e) // dispatcher goroutine only
+	}
+
+	perG := 600
+	if testing.Short() {
+		perG = 150
+	}
+	wave := func(waveID int) {
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(31*waveID + w)))
+				for i := 0; i < perG; i++ {
+					u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+					switch r := rng.Intn(100); {
+					case r < 45:
+						b.Insert(u, v)
+					case r < 75:
+						b.Delete(u, v)
+					case r < 90:
+						b.Connected(u, v)
+					default:
+						b.InsertEdges([]Edge{{U: u, V: v}, {U: v, V: u}})
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	wave(1)
+	if withCkpt {
+		if _, err := b.Checkpoint(); err != nil {
+			t.Fatalf("Checkpoint: %v", err)
+		}
+		wave(2)
+	}
+	b.Close()
+
+	// Sanity: the WAL's final seq matches the hook's accounting.
+	s := b.Stats()
+	if s.WALRecords != int64(seq) {
+		t.Fatalf("WALRecords = %d, hook assigned %d seqs", s.WALRecords, seq)
+	}
+	return epochs
+}
+
+// oracleState replays the acked epochs with seq in (0, upTo] through a
+// sequential edge-set oracle and returns the surviving edge keys.
+func oracleState(epochs []ackedEpoch, upTo uint64) map[uint64]bool {
+	edges := map[uint64]bool{}
+	for _, e := range epochs {
+		if e.seq == 0 || e.seq > upTo {
+			continue
+		}
+		for _, in := range e.ins {
+			edges[in.Key()] = true
+		}
+		for _, d := range e.del {
+			delete(edges, d.Key())
+		}
+	}
+	return edges
+}
+
+// verifyRecovered checks that a restored graph is exactly the oracle state:
+// same edge set, and the same connectivity partition as a union-find built
+// from it.
+func verifyRecovered(t *testing.T, g *Graph, n int, edges map[uint64]bool, tag string) {
+	t.Helper()
+	if g.NumEdges() != len(edges) {
+		t.Fatalf("%s: NumEdges = %d, oracle has %d", tag, g.NumEdges(), len(edges))
+	}
+	for k := range edges {
+		e := graph.FromKey(k)
+		if !g.HasEdge(e.U, e.V) {
+			t.Fatalf("%s: acked edge {%d,%d} lost", tag, e.U, e.V)
+		}
+	}
+	uf := unionfind.New(n)
+	for k := range edges {
+		e := graph.FromKey(k)
+		uf.Union(e.U, e.V)
+	}
+	lbl := make([]int32, n)
+	g.ComponentLabels(lbl)
+	fwd := map[int32]int32{} // uf root -> recovered label
+	rev := map[int32]int32{}
+	for u := 0; u < n; u++ {
+		r := uf.Find(int32(u))
+		if want, ok := fwd[r]; ok && want != lbl[u] {
+			t.Fatalf("%s: vertex %d split from its oracle component", tag, u)
+		}
+		fwd[r] = lbl[u]
+		if want, ok := rev[lbl[u]]; ok && want != r {
+			t.Fatalf("%s: vertex %d merged into a foreign oracle component", tag, u)
+		}
+		rev[lbl[u]] = r
+	}
+}
+
+// cloneDurableDir copies dir's checkpoints into a fresh directory and
+// installs walBytes as its WAL — one simulated crash image.
+func cloneDurableDir(t *testing.T, dir string, walBytes []byte) string {
+	t.Helper()
+	crash := t.TempDir()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.Name() == "wal.log" {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(crash, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(crash, "wal.log"), walBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return crash
+}
+
+// TestDurableCrashRecovery is the crash-recovery differential harness: a
+// random concurrent update stream runs through a durable Batcher, then
+// crashes are simulated at randomized WAL offsets — including torn
+// mid-record tails and bit corruption — by truncating/corrupting a copy of
+// the on-disk state. Each crash image is Restored and verified against a
+// union-find oracle replay of exactly the epoch prefix that survived: no
+// acked-and-surviving write may be lost, no discarded write may resurrect.
+// Run with -race.
+func TestDurableCrashRecovery(t *testing.T) {
+	const n = 96
+	for _, tc := range []struct {
+		name     string
+		withCkpt bool
+	}{{"wal-only", false}, {"checkpoint-plus-tail", true}} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			epochs := collectDurableStream(t, dir, n, tc.withCkpt)
+			walBytes, err := os.ReadFile(filepath.Join(dir, "wal.log"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := wal.Scan(bytes.NewReader(walBytes), nil); err != nil {
+				t.Fatal(err)
+			}
+			headerEnd := int64(wal.HeaderLen)
+
+			trials := 18
+			if testing.Short() {
+				trials = 8
+			}
+			rng := rand.New(rand.NewSource(9))
+			cuts := []int64{int64(len(walBytes)), headerEnd, int64(len(walBytes)) - 3}
+			for i := 0; i < trials; i++ {
+				cuts = append(cuts, headerEnd+rng.Int63n(int64(len(walBytes))-headerEnd+1))
+			}
+			for i, cut := range cuts {
+				img := append([]byte{}, walBytes[:cut]...)
+				crash := cloneDurableDir(t, dir, img)
+				res, err := wal.Scan(bytes.NewReader(img), nil)
+				if err != nil {
+					t.Fatalf("cut %d: scan: %v", cut, err)
+				}
+				g2, err := Restore(crash)
+				if err != nil {
+					t.Fatalf("cut %d: Restore: %v", cut, err)
+				}
+				verifyRecovered(t, g2, n, oracleState(epochs, res.LastSeq), "cut")
+				if i < 3 {
+					if err := g2.CheckInvariants(); err != nil {
+						t.Fatalf("cut %d: invariants: %v", cut, err)
+					}
+				}
+			}
+
+			// Bit-corruption crashes: flip one byte somewhere in the record
+			// region; the scan must stop before the flipped record and the
+			// restore must match that shorter prefix.
+			for i := 0; i < trials/2; i++ {
+				img := append([]byte{}, walBytes...)
+				img[headerEnd+rng.Int63n(int64(len(img))-headerEnd)] ^= byte(1 + rng.Intn(255))
+				crash := cloneDurableDir(t, dir, img)
+				res, err := wal.Scan(bytes.NewReader(img), nil)
+				if err != nil {
+					t.Fatalf("corrupt trial %d: scan: %v", i, err)
+				}
+				g2, err := Restore(crash)
+				if err != nil {
+					t.Fatalf("corrupt trial %d: Restore: %v", i, err)
+				}
+				verifyRecovered(t, g2, n, oracleState(epochs, res.LastSeq), "corrupt")
+			}
+
+			// The uncut image recovers the complete acked history.
+			g2, err := Restore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			verifyRecovered(t, g2, n, oracleState(epochs, ^uint64(0)), "full")
+			if err := g2.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestDurableRestartContinuesHistory exercises the full lifecycle: durable
+// writes, clean close, Restore, more durable writes on the same directory,
+// a checkpoint, crash, Restore again — the log seq and state must thread
+// through every step.
+func TestDurableRestartContinuesHistory(t *testing.T) {
+	dir := t.TempDir()
+	g := New(32)
+	b := NewBatcher(g, WithMaxDelay(0), WithDurability(dir))
+	b.InsertEdges([]Edge{{0, 1}, {1, 2}, {3, 4}})
+	b.Delete(3, 4)
+	b.Close()
+
+	g2, err := Restore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != 2 || !g2.Connected(0, 2) || g2.Connected(3, 4) {
+		t.Fatalf("restored state wrong: edges=%d", g2.NumEdges())
+	}
+
+	b2 := NewBatcher(g2, WithMaxDelay(0), WithDurability(dir))
+	b2.Insert(2, 3)
+	if _, err := b2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	b2.Insert(4, 5)
+	b2.Close()
+	if s := b2.Stats(); s.Checkpoints != 1 {
+		t.Fatalf("Checkpoints = %d", s.Checkpoints)
+	}
+
+	g3, err := Restore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3.NumEdges() != 4 || !g3.Connected(0, 3) || !g3.Connected(4, 5) || g3.Connected(0, 4) {
+		t.Fatalf("post-checkpoint restore wrong: edges=%d", g3.NumEdges())
+	}
+	if err := g3.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestoreNoState(t *testing.T) {
+	if _, err := Restore(t.TempDir()); !errors.Is(err, ErrNoDurableState) {
+		t.Fatalf("Restore of empty dir: %v", err)
+	}
+}
+
+// TestRestoreStubWALIsNoState: a crash during the very first WAL creation
+// leaves a sub-header stub; that is "nothing durable yet", not corruption —
+// the documented first-boot pattern must keep working.
+func TestRestoreStubWALIsNoState(t *testing.T) {
+	for _, stub := range [][]byte{{}, []byte("conn")} {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "wal.log"), stub, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Restore(dir); !errors.Is(err, ErrNoDurableState) {
+			t.Fatalf("Restore over %d-byte stub: %v", len(stub), err)
+		}
+		// And a durable Batcher must boot over the stub, not panic.
+		b := NewBatcher(New(8), WithMaxDelay(0), WithDurability(dir))
+		b.Insert(0, 1)
+		b.Close()
+		g, err := Restore(dir)
+		if err != nil || !g.Connected(0, 1) {
+			t.Fatalf("after reboot over stub: %v", err)
+		}
+	}
+}
+
+// TestRestoreRefusesLostCheckpoint: once the WAL has been truncated at a
+// checkpoint, losing or corrupting that checkpoint must surface as a
+// Restore error — never as a silently shrunken graph.
+func TestRestoreRefusesLostCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	g := New(16)
+	b := NewBatcher(g, WithMaxDelay(0), WithDurability(dir))
+	b.Insert(0, 1)
+	b.Insert(1, 2)
+	ckptPath, err := b.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Insert(2, 3)
+	b.Close()
+
+	// Corrupt the checkpoint: acked edges {0,1},{1,2} now exist nowhere.
+	if err := os.WriteFile(ckptPath, []byte("scribble"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Restore(dir); err == nil {
+		t.Fatal("Restore silently dropped the checkpointed prefix")
+	}
+	// Removing it entirely must fail the same way.
+	if err := os.Remove(ckptPath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Restore(dir); err == nil {
+		t.Fatal("Restore silently dropped the checkpointed prefix (file removed)")
+	}
+}
+
+// TestRestoreRejectsUniverseMismatch: a checkpoint and WAL from different
+// universes must produce an error before any replay, not a panic.
+func TestRestoreRejectsUniverseMismatch(t *testing.T) {
+	dir := t.TempDir()
+	b := NewBatcher(New(64), WithMaxDelay(0), WithDurability(dir))
+	b.Insert(20, 21)
+	b.Close()
+	if _, err := checkpoint.Write(dir, checkpoint.Snapshot{Seq: 0, N: 16}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Restore(dir); err == nil {
+		t.Fatal("mismatched universes restored")
+	}
+}
+
+func TestCheckpointWithoutDurabilityErrors(t *testing.T) {
+	b := NewBatcher(New(4))
+	defer b.Close()
+	if _, err := b.Checkpoint(); err == nil {
+		t.Fatal("Checkpoint without WithDurability succeeded")
+	}
+}
+
+// TestDurableAckImpliesDurable pins the fsync ordering at the API level:
+// after every single acked Insert, an immediate Restore from a copy of the
+// directory must already contain the edge.
+func TestDurableAckImpliesDurable(t *testing.T) {
+	dir := t.TempDir()
+	g := New(16)
+	b := NewBatcher(g, WithMaxDelay(0), WithDurability(dir))
+	defer b.Close()
+	for i := int32(0); i < 6; i++ {
+		b.Insert(i, i+1)
+		walBytes, err := os.ReadFile(filepath.Join(dir, "wal.log"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g2, err := Restore(cloneDurableDir(t, dir, walBytes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g2.Connected(0, i+1) {
+			t.Fatalf("acked insert {%d,%d} not durable", i, i+1)
+		}
+	}
+}

@@ -310,6 +310,15 @@ func (c *Conn) SpanningForest() []graph.Edge {
 	return parallel.Map(recs, func(r *adjlist.Rec) graph.Edge { return r.E })
 }
 
+// NonTreeEdges returns the live edges that are not part of the spanning
+// forest; SpanningForest ∪ NonTreeEdges is the complete live edge set (the
+// feed for durable checkpoints). The slice is freshly allocated; order is
+// unspecified. Read-only.
+func (c *Conn) NonTreeEdges() []graph.Edge {
+	recs := parallel.Filter(c.arena, func(r *adjlist.Rec) bool { return r != nil && !r.IsTree })
+	return parallel.Map(recs, func(r *adjlist.Rec) graph.Edge { return r.E })
+}
+
 // LevelHistogram returns, for each level 1..Top, the number of live edges
 // currently assigned to it (index 0 unused). Diagnostic for the experiment
 // harness: edges sink as deletions search for replacements.

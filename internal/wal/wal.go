@@ -1,0 +1,405 @@
+// Package wal implements the write-ahead log behind conn.Batcher's
+// WithDurability mode: one length-prefixed, CRC-checksummed record per
+// committed epoch that mutated the graph, fsynced before the epoch is
+// applied or acknowledged — group commit in the classic sense, one fsync
+// amortized over the whole coalesced batch, exactly the batching argument
+// the paper makes for its work bounds.
+//
+// File layout (all integers little-endian):
+//
+//	header  : magic "connwal\x01" (8) | n uint32 | baseSeq uint64 | crc32c uint32
+//	record* : payloadLen uint32 | crc32c(payload) uint32 | payload
+//	payload : seq uint64 | nIns uint32 | nDel uint32 | nIns+nDel edges (u,v uint32 each)
+//
+// n is the vertex universe the log belongs to. baseSeq is the sequence
+// number already captured by a checkpoint when the log was last reset; every
+// record in the file has seq > baseSeq, and seqs are strictly sequential
+// (baseSeq+1, baseSeq+2, ...).
+//
+// Recovery contract: Scan accepts any byte stream and never panics. It
+// stops cleanly at the first frame that is incomplete (torn tail from a
+// crash mid-write), fails its CRC, or decodes inconsistently — everything
+// from that offset on is discarded and reported via ScanResult.Torn. Open
+// truncates a torn tail so the next append starts at a record boundary.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/graph"
+)
+
+// HeaderLen is the byte length of the file header; records start here.
+const HeaderLen = 8 + 4 + 8 + 4
+
+const (
+	headerLen = HeaderLen
+	frameLen  = 4 + 4 // payloadLen + crc
+	recMinLen = 8 + 4 + 4
+
+	// maxPayload bounds a single record (~16M edges); anything larger is
+	// treated as corruption rather than an allocation request.
+	maxPayload = 1 << 27
+)
+
+var magic = [8]byte{'c', 'o', 'n', 'n', 'w', 'a', 'l', 1}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrBadHeader is returned when a WAL file exists but its header is missing,
+// truncated, checksum-corrupt, or disagrees with the expected universe.
+var ErrBadHeader = errors.New("wal: bad or missing file header")
+
+// Record is one durable epoch: the raw insert and delete batches the
+// dispatcher coalesced, in epoch order. Replaying a record is
+// InsertEdges(Ins) followed by DeleteEdges(Del) — the core's batch
+// operations ignore duplicates, present inserts and absent deletes, so the
+// raw batches reproduce exactly the state the epoch committed.
+type Record struct {
+	Seq uint64
+	Ins []graph.Edge
+	Del []graph.Edge
+}
+
+func encodeHeader(n int, baseSeq uint64) []byte {
+	buf := make([]byte, headerLen)
+	copy(buf, magic[:])
+	binary.LittleEndian.PutUint32(buf[8:], uint32(n))
+	binary.LittleEndian.PutUint64(buf[12:], baseSeq)
+	binary.LittleEndian.PutUint32(buf[20:], crc32.Checksum(buf[:20], castagnoli))
+	return buf
+}
+
+func decodeHeader(buf []byte) (n int, baseSeq uint64, err error) {
+	if len(buf) < headerLen || [8]byte(buf[:8]) != magic {
+		return 0, 0, ErrBadHeader
+	}
+	if crc32.Checksum(buf[:20], castagnoli) != binary.LittleEndian.Uint32(buf[20:24]) {
+		return 0, 0, fmt.Errorf("%w: header checksum mismatch", ErrBadHeader)
+	}
+	n = int(binary.LittleEndian.Uint32(buf[8:12]))
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("%w: vertex count %d", ErrBadHeader, n)
+	}
+	return n, binary.LittleEndian.Uint64(buf[12:20]), nil
+}
+
+// EncodeRecord serializes one record as a framed WAL entry.
+func EncodeRecord(r Record) []byte {
+	payload := recMinLen + 8*(len(r.Ins)+len(r.Del))
+	buf := make([]byte, frameLen+payload)
+	binary.LittleEndian.PutUint32(buf[0:], uint32(payload))
+	p := buf[frameLen:]
+	binary.LittleEndian.PutUint64(p[0:], r.Seq)
+	binary.LittleEndian.PutUint32(p[8:], uint32(len(r.Ins)))
+	binary.LittleEndian.PutUint32(p[12:], uint32(len(r.Del)))
+	o := recMinLen
+	for _, es := range [2][]graph.Edge{r.Ins, r.Del} {
+		for _, e := range es {
+			binary.LittleEndian.PutUint32(p[o:], uint32(e.U))
+			binary.LittleEndian.PutUint32(p[o+4:], uint32(e.V))
+			o += 8
+		}
+	}
+	binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(p, castagnoli))
+	return buf
+}
+
+// decodePayload validates and decodes a CRC-clean payload. n bounds vertex
+// ids; prevSeq enforces the strictly-sequential seq invariant.
+func decodePayload(p []byte, n int, prevSeq uint64) (Record, error) {
+	if len(p) < recMinLen {
+		return Record{}, errors.New("wal: short record payload")
+	}
+	r := Record{Seq: binary.LittleEndian.Uint64(p)}
+	nIns := int(binary.LittleEndian.Uint32(p[8:]))
+	nDel := int(binary.LittleEndian.Uint32(p[12:]))
+	if nIns < 0 || nDel < 0 || recMinLen+8*(nIns+nDel) != len(p) {
+		return Record{}, errors.New("wal: record edge counts disagree with payload length")
+	}
+	if r.Seq != prevSeq+1 {
+		return Record{}, fmt.Errorf("wal: record seq %d after %d", r.Seq, prevSeq)
+	}
+	es := make([]graph.Edge, nIns+nDel)
+	for i := range es {
+		u := int32(binary.LittleEndian.Uint32(p[recMinLen+8*i:]))
+		v := int32(binary.LittleEndian.Uint32(p[recMinLen+8*i+4:]))
+		if u < 0 || v < 0 || int(u) >= n || int(v) >= n {
+			return Record{}, fmt.Errorf("wal: edge {%d,%d} outside universe [0,%d)", u, v, n)
+		}
+		es[i] = graph.Edge{U: u, V: v}
+	}
+	r.Ins, r.Del = es[:nIns:nIns], es[nIns:]
+	return r, nil
+}
+
+// ReadHeader reads and validates only the file header, returning the vertex
+// universe and the checkpoint floor. Recovery uses it to cross-check a WAL
+// against a checkpoint before paying for a full replay scan.
+func ReadHeader(r io.Reader) (n int, baseSeq uint64, err error) {
+	hdr := make([]byte, headerLen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, 0, ErrBadHeader
+	}
+	return decodeHeader(hdr)
+}
+
+// ScanResult summarizes one pass over a WAL byte stream.
+type ScanResult struct {
+	N        int    // vertex universe from the header
+	BaseSeq  uint64 // checkpoint floor recorded in the header
+	LastSeq  uint64 // seq of the last valid record (BaseSeq if none)
+	Records  int    // valid records decoded
+	ValidLen int64  // offset one past the last valid record
+	Torn     bool   // trailing bytes after ValidLen were discarded
+}
+
+// Scan reads a WAL byte stream, invoking fn (if non-nil) for each valid
+// record in order. It never panics on arbitrary input: a bad header returns
+// ErrBadHeader; an incomplete, checksum-corrupt, or inconsistent frame stops
+// the scan cleanly with Torn set. fn's slices are freshly allocated and may
+// be retained. A non-nil fn error aborts the scan and is returned.
+func Scan(r io.Reader, fn func(Record) error) (ScanResult, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var res ScanResult
+	hdr := make([]byte, headerLen)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return res, ErrBadHeader
+	}
+	n, base, err := decodeHeader(hdr)
+	if err != nil {
+		return res, err
+	}
+	res.N, res.BaseSeq, res.LastSeq = n, base, base
+	res.ValidLen = headerLen
+	frame := make([]byte, frameLen)
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(br, frame); err != nil {
+			res.Torn = err != io.EOF
+			return res, nil
+		}
+		plen := int(binary.LittleEndian.Uint32(frame))
+		if plen < recMinLen || plen > maxPayload {
+			res.Torn = true
+			return res, nil
+		}
+		if cap(payload) < plen {
+			payload = make([]byte, plen)
+		}
+		payload = payload[:plen]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			res.Torn = true
+			return res, nil
+		}
+		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(frame[4:]) {
+			res.Torn = true
+			return res, nil
+		}
+		rec, err := decodePayload(payload, n, res.LastSeq)
+		if err != nil {
+			res.Torn = true
+			return res, nil
+		}
+		if fn != nil {
+			if err := fn(rec); err != nil {
+				return res, err
+			}
+		}
+		res.Records++
+		res.LastSeq = rec.Seq
+		res.ValidLen += int64(frameLen + plen)
+	}
+}
+
+// Log is an append-only WAL handle owned by a single goroutine (the
+// Batcher's dispatcher). Construct with Open.
+type Log struct {
+	path    string
+	f       *os.File
+	n       int
+	lastSeq uint64
+	closed  bool
+}
+
+// Open opens (or creates) the WAL at path for a universe of n vertices. An
+// existing file is scanned end to end: its header must match n, a torn tail
+// is truncated away, and appends continue after the last valid record's
+// seq. A new file is created with an fsynced header and an fsynced parent
+// directory so the log itself survives a crash immediately after creation.
+func Open(path string, n int) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	l := &Log{path: path, f: f, n: n}
+	if st.Size() < headerLen {
+		// Empty, or a partial header from a crash during initial creation —
+		// shorter than the header, the file cannot hold any record, so
+		// re-initializing loses nothing. (A post-checkpoint floor can never
+		// be in this state: Reset replaces the file atomically.)
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := l.writeFresh(0); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return l, nil
+	}
+	res, err := Scan(f, nil)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	if res.N != n {
+		f.Close()
+		return nil, fmt.Errorf("wal: open %s: %w: log universe n=%d, graph has n=%d",
+			path, ErrBadHeader, res.N, n)
+	}
+	if res.Torn || res.ValidLen < st.Size() {
+		if err := f.Truncate(res.ValidLen); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if _, err := f.Seek(res.ValidLen, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	l.lastSeq = res.LastSeq
+	return l, nil
+}
+
+// writeFresh initializes l.f (assumed empty) with a header carrying baseSeq
+// and fsyncs both the file and its directory.
+func (l *Log) writeFresh(baseSeq uint64) error {
+	if _, err := l.f.Write(encodeHeader(l.n, baseSeq)); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.lastSeq = baseSeq
+	return SyncDir(filepath.Dir(l.path))
+}
+
+// LastSeq returns the sequence number of the last durable record (or the
+// checkpoint floor if the log holds none).
+func (l *Log) LastSeq() uint64 { return l.lastSeq }
+
+// Append writes one record and fsyncs — the group-commit point. r.Seq must
+// be exactly LastSeq()+1. When Append returns a nil error the record is
+// durable: any later Scan of the file yields it. The int is the framed
+// byte length written.
+func (l *Log) Append(r Record) (int, error) {
+	if l.closed {
+		return 0, errors.New("wal: append to closed log")
+	}
+	if r.Seq != l.lastSeq+1 {
+		return 0, fmt.Errorf("wal: append seq %d, want %d", r.Seq, l.lastSeq+1)
+	}
+	enc := EncodeRecord(r)
+	if _, err := l.f.Write(enc); err != nil {
+		return 0, err
+	}
+	if err := l.f.Sync(); err != nil {
+		return 0, err
+	}
+	l.lastSeq = r.Seq
+	return len(enc), nil
+}
+
+// Reset atomically replaces the log with an empty one whose header records
+// baseSeq as the new floor — called after a checkpoint capturing every
+// record up to baseSeq has been durably written. The replacement is
+// write-temp-then-rename, so a crash at any point leaves either the old
+// complete log or the new empty one.
+func (l *Log) Reset(baseSeq uint64) error {
+	if l.closed {
+		return errors.New("wal: reset of closed log")
+	}
+	if baseSeq < l.lastSeq {
+		return fmt.Errorf("wal: reset to seq %d below last appended %d", baseSeq, l.lastSeq)
+	}
+	tmp := l.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(encodeHeader(l.n, baseSeq)); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := os.Rename(tmp, l.path); err != nil {
+		f.Close()
+		return err
+	}
+	if err := SyncDir(filepath.Dir(l.path)); err != nil {
+		f.Close()
+		return err
+	}
+	old := l.f
+	l.f = f
+	l.lastSeq = baseSeq
+	return old.Close()
+}
+
+// Size returns the current byte length of the log file.
+func (l *Log) Size() (int64, error) {
+	st, err := l.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// Close closes the file handle. Idempotent.
+func (l *Log) Close() error {
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	return l.f.Close()
+}
+
+// SyncDir fsyncs a directory so a freshly created or renamed entry is
+// durable. Errors from platforms that refuse to fsync directories are
+// ignored — the data-file fsyncs still bound the loss to metadata. Shared
+// with internal/checkpoint.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, os.ErrInvalid) {
+		return err
+	}
+	return nil
+}
