@@ -54,6 +54,31 @@ const (
 	DefaultMaxDelay = 500 * time.Microsecond
 )
 
+// ErrClosed is returned by the Batcher's error-returning methods (Do,
+// Checkpoint) once Close has begun.
+var ErrClosed = errors.New("conn: Batcher is closed")
+
+// OpKind labels one operation of a mixed batch passed to Batcher.Do.
+type OpKind uint8
+
+const (
+	// OpInsert stages an edge insertion; its result reports whether the
+	// edge was newly added.
+	OpInsert OpKind = iota
+	// OpDelete stages an edge deletion; its result reports whether the
+	// edge was removed.
+	OpDelete
+	// OpQuery stages a connectivity query against the epoch's post-update
+	// state.
+	OpQuery
+)
+
+// Op is one operation of a mixed batch passed to Batcher.Do.
+type Op struct {
+	Kind OpKind
+	U, V int32
+}
+
 // Batcher is a goroutine-safe connectivity front-end over a Graph. All
 // methods may be called from any number of goroutines; each call blocks
 // until the epoch containing the operation has committed, so a caller's own
@@ -263,9 +288,19 @@ func (b *Batcher) serviceCheckpoint() {
 	snap := checkpoint.Snapshot{Seq: seq, N: b.g.N(), Edges: toGraphEdges(edges)}
 	path, err := checkpoint.Write(b.dur.dir, snap)
 	if err == nil {
-		err = b.dur.log.Reset(seq)
-		checkpoint.Prune(b.dur.dir, seq)
-		b.dur.checkpoints.Add(1)
+		// Prune prior checkpoints and count the new one only after the WAL
+		// reset succeeds. If Reset fails, the directory must keep a usable
+		// (checkpoint, log) pair: the older snapshots stay as fallbacks and
+		// the log keeps every record, so Restore still recovers the full
+		// acked history whichever checkpoint it manages to read. The new
+		// snapshot file is left in place too — it is valid, just not yet
+		// the log's floor.
+		if err = b.dur.log.Reset(seq); err == nil {
+			checkpoint.Prune(b.dur.dir, seq)
+			b.dur.checkpoints.Add(1)
+		} else {
+			path = ""
+		}
 	}
 	req.path, req.err = path, err
 	close(req.done)
@@ -285,8 +320,10 @@ func toGraphEdges(es []Edge) []graph.Edge {
 // snapshot is taken at an epoch boundary by the dispatcher itself, so it is
 // transactionally consistent with the log: every operation acknowledged
 // before Checkpoint returns is either in the snapshot or in the remaining
-// WAL tail. Returns an error if the Batcher has no durability configured.
-// Panics once Close has begun, like all update methods.
+// WAL tail. Returns an error if the Batcher has no durability configured,
+// and ErrClosed (never a panic) once Close has begun. Safe on any graph,
+// including an edgeless one — the request rides a dispatcher nudge, not a
+// vertex operation.
 func (b *Batcher) Checkpoint() (string, error) {
 	if b.dur == nil {
 		return "", errors.New("conn: Checkpoint on a Batcher without WithDurability")
@@ -295,10 +332,20 @@ func (b *Batcher) Checkpoint() (string, error) {
 	defer b.ckptMu.Unlock()
 	req := &ckptRequest{done: make(chan struct{})}
 	b.ckptReq.Store(req)
-	// Push a harmless query through the pipeline: the epoch that carries it
-	// (or any earlier one that races in) runs serviceCheckpoint after its
-	// updates commit, so the wait below is bounded by one epoch.
-	b.one(coalesce.OpQuery, 0, 0)
+	// Dedicated dispatcher nudge: a flush barrier forces a drain, and the
+	// dispatcher services checkpoint requests at the end of every drain —
+	// even an empty one — so the wait below is bounded by one epoch without
+	// smuggling a fake query through the pipeline (which would touch vertex
+	// 0 and panic after Close instead of failing cleanly).
+	if err := b.buf.Flush(); err != nil {
+		// Close raced in. The request was published before the flush
+		// attempt, so the dispatcher's final sweep may still have serviced
+		// it; only if it can be retracted unserviced did the checkpoint
+		// definitely not happen.
+		if b.ckptReq.CompareAndSwap(req, nil) {
+			return "", ErrClosed
+		}
+	}
 	<-req.done
 	return req.path, req.err
 }
@@ -437,9 +484,16 @@ func (b *Batcher) execEpoch(ops []coalesce.Op) []bool {
 }
 
 func (b *Batcher) check(u, v int32) {
-	if n := int32(b.g.N()); u < 0 || u >= n || v < 0 || v >= n {
-		panic(fmt.Sprintf("conn: Batcher: vertex pair {%d, %d} out of range [0, %d)", u, v, n))
+	if err := b.checkRange(u, v); err != nil {
+		panic(err.Error())
 	}
+}
+
+func (b *Batcher) checkRange(u, v int32) error {
+	if n := int32(b.g.N()); u < 0 || u >= n || v < 0 || v >= n {
+		return fmt.Errorf("conn: Batcher: vertex pair {%d, %d} out of range [0, %d)", u, v, n)
+	}
+	return nil
 }
 
 func (b *Batcher) one(k coalesce.Kind, u, v int32) bool {
@@ -507,6 +561,45 @@ func (b *Batcher) DeleteEdges(es []Edge) int {
 // post-epoch snapshot; result i corresponds to query pair i.
 func (b *Batcher) ConnectedBatch(qs []Edge) []bool {
 	return b.many(coalesce.OpQuery, qs)
+}
+
+// Do stages a mixed batch of insertions, deletions and queries as one
+// atomic group — all land in the same epoch, applied in the epoch's usual
+// order (inserts, then deletes, then queries) — and returns one result per
+// operation, index-aligned. Unlike the single-kind methods it reports
+// failure instead of panicking: an out-of-range vertex or unknown kind
+// yields a descriptive error with nothing staged, and ErrClosed is returned
+// once Close has begun. It is the entry point remote front-ends use: a
+// network frame maps to one Do call, so a malformed or late frame can never
+// crash the process hosting the Batcher.
+func (b *Batcher) Do(ops []Op) ([]bool, error) {
+	if b.closed.Load() {
+		return nil, ErrClosed
+	}
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	cops := make([]coalesce.Op, len(ops))
+	for i, op := range ops {
+		if err := b.checkRange(op.U, op.V); err != nil {
+			return nil, err
+		}
+		switch op.Kind {
+		case OpInsert:
+			cops[i] = coalesce.Op{Kind: coalesce.OpInsert, U: op.U, V: op.V}
+		case OpDelete:
+			cops[i] = coalesce.Op{Kind: coalesce.OpDelete, U: op.U, V: op.V}
+		case OpQuery:
+			cops[i] = coalesce.Op{Kind: coalesce.OpQuery, U: op.U, V: op.V}
+		default:
+			return nil, fmt.Errorf("conn: Batcher.Do: unknown op kind %d", op.Kind)
+		}
+	}
+	f, err := b.buf.Submit(cops)
+	if err != nil {
+		return nil, ErrClosed
+	}
+	return f.Wait(), nil
 }
 
 // ReadNow reports whether u and v are currently connected — read-committed.
@@ -594,8 +687,8 @@ func (b *Batcher) Flush() {
 // Close commits everything still staged and stops the dispatcher. After
 // Close returns the underlying Graph is quiesced and may be used directly.
 // Close is idempotent. Once Close has begun, update methods, Connected and
-// ReadNow panic; Flush is a no-op; ReadRecent keeps answering from the
-// final snapshot.
+// ReadNow panic; Do and Checkpoint return ErrClosed; Flush is a no-op;
+// ReadRecent keeps answering from the final snapshot.
 func (b *Batcher) Close() {
 	b.closed.Store(true)
 	b.buf.Close()

@@ -1,0 +1,499 @@
+// Package client is the Go client for cmd/connserver: a connection-pooled,
+// pipelined front-end that mirrors the conn.Batcher API over the
+// internal/wire protocol.
+//
+// A Client owns a small pool of TCP connections. Any number of goroutines
+// may issue requests concurrently; each request is written as one frame on
+// a pooled connection and matched to its response by id, so many requests
+// ride one connection simultaneously (pipelining). On the server side every
+// in-flight frame blocks in the namespace's Batcher — concurrent frames
+// from any mix of clients coalesce into one large epoch, which is the whole
+// reason the server exists: Theorem 1's per-operation cost falls as batches
+// grow, and the network layer's job is to deliver big batches.
+//
+//	c, err := client.Dial("localhost:7421", client.WithConns(4))
+//	defer c.Close()
+//	c.Create("social", 1<<20, true) // durable namespace
+//	ns := c.Namespace("social")
+//	ns.Insert(1, 2)
+//	ok, _ := ns.Connected(1, 2)    // linearized, rides the epoch pipeline
+//	ok, _ = ns.ReadRecent(1, 2)    // wait-free snapshot tier
+//
+// Batching amplifies throughput further: InsertEdges / Do send one frame
+// for the whole group, and the group commits in a single epoch.
+//
+// Error model: methods return an error when the server rejects the request
+// (wire.Status* mapped to ErrNotFound, ErrExists, ...) or when the
+// connection fails. A failed connection is redialed on the next use, so a
+// client survives a server restart; requests in flight during the failure
+// return the transport error and were possibly not applied — idempotent
+// connectivity updates make blind retry safe, but that choice is the
+// caller's.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	conn "repro"
+	"repro/internal/wire"
+)
+
+// Errors mapped from wire status codes.
+var (
+	ErrNotFound = errors.New("client: namespace not found")
+	ErrExists   = errors.New("client: namespace already exists")
+	ErrDraining = errors.New("client: server is draining")
+	ErrClosed   = errors.New("client: client is closed")
+)
+
+// Option configures a Client.
+type Option func(*options)
+
+type options struct {
+	conns       int
+	dialTimeout time.Duration
+}
+
+// WithConns sets the connection-pool size (default 1). More connections let
+// more requests ride the network concurrently; requests within one
+// connection already pipeline.
+func WithConns(k int) Option {
+	return func(o *options) {
+		if k > 0 {
+			o.conns = k
+		}
+	}
+}
+
+// WithDialTimeout bounds each dial attempt (default 5s).
+func WithDialTimeout(d time.Duration) Option {
+	return func(o *options) {
+		if d > 0 {
+			o.dialTimeout = d
+		}
+	}
+}
+
+// Client is a pooled, pipelined connserver client. Safe for concurrent use.
+type Client struct {
+	addr   string
+	opts   options
+	nextID atomic.Uint64
+	rr     atomic.Uint32
+	closed atomic.Bool
+
+	mu   sync.Mutex // guards pool slots during (re)dial
+	pool []*poolConn
+}
+
+// Dial connects to a connserver. The first pool connection is established
+// eagerly so configuration errors surface here; the rest dial on first use.
+func Dial(addr string, opts ...Option) (*Client, error) {
+	o := options{conns: 1, dialTimeout: 5 * time.Second}
+	for _, f := range opts {
+		f(&o)
+	}
+	c := &Client{addr: addr, opts: o, pool: make([]*poolConn, o.conns)}
+	pc, err := c.dialSlot()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.pool[0] = pc
+	c.mu.Unlock()
+	return c, nil
+}
+
+// Close closes every pooled connection. In-flight requests fail.
+func (c *Client) Close() error {
+	c.closed.Store(true)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, pc := range c.pool {
+		if pc != nil {
+			pc.fail(ErrClosed)
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------- pool
+
+// poolConn is one pooled connection: a writer guarded by wmu, and a reader
+// goroutine that fans responses back to waiting requests by id.
+type poolConn struct {
+	c  net.Conn
+	bw *bufio.Writer
+
+	wmu sync.Mutex // serializes frame writes
+
+	pmu     sync.Mutex
+	pending map[uint64]chan result
+	dead    error // non-nil once the connection has failed
+}
+
+type result struct {
+	resp *wire.Response
+	err  error
+}
+
+func (c *Client) dialSlot() (*poolConn, error) {
+	nc, err := net.DialTimeout("tcp", c.addr, c.opts.dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", c.addr, err)
+	}
+	pc := &poolConn{
+		c:       nc,
+		bw:      bufio.NewWriterSize(nc, 1<<16),
+		pending: make(map[uint64]chan result),
+	}
+	go pc.readLoop()
+	return pc, nil
+}
+
+// readLoop owns the connection's read half: every arriving frame resolves
+// the pending request with its id. Any read or decode error kills the
+// connection and fails everything still pending.
+func (pc *poolConn) readLoop() {
+	br := bufio.NewReaderSize(pc.c, 1<<16)
+	for {
+		payload, err := wire.ReadFrame(br)
+		if err != nil {
+			pc.fail(fmt.Errorf("client: connection lost: %w", err))
+			return
+		}
+		resp, err := wire.DecodeResponse(payload)
+		if err != nil {
+			pc.fail(err)
+			return
+		}
+		pc.pmu.Lock()
+		ch, ok := pc.pending[resp.ID]
+		if ok {
+			delete(pc.pending, resp.ID)
+		}
+		pc.pmu.Unlock()
+		if ok {
+			ch <- result{resp: resp}
+		}
+	}
+}
+
+// fail marks the connection dead and resolves every pending request with
+// err. Idempotent; the first error wins.
+func (pc *poolConn) fail(err error) {
+	pc.pmu.Lock()
+	if pc.dead == nil {
+		pc.dead = err
+	}
+	pending := pc.pending
+	pc.pending = make(map[uint64]chan result)
+	pc.pmu.Unlock()
+	pc.c.Close()
+	for _, ch := range pending {
+		ch <- result{err: err}
+	}
+}
+
+// conn returns a live pooled connection, redialing the slot if its previous
+// occupant died. Slots are picked round-robin.
+func (c *Client) conn() (*poolConn, error) {
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	slot := int(c.rr.Add(1)) % len(c.pool)
+	c.mu.Lock()
+	pc := c.pool[slot]
+	if pc != nil {
+		pc.pmu.Lock()
+		dead := pc.dead != nil
+		pc.pmu.Unlock()
+		if !dead {
+			c.mu.Unlock()
+			return pc, nil
+		}
+	}
+	c.mu.Unlock()
+	// Dial outside c.mu so a slow dial does not block other slots.
+	fresh, err := c.dialSlot()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	// Another goroutine may have refilled the slot meanwhile; prefer the
+	// winner and fold the loser.
+	if cur := c.pool[slot]; cur != nil && cur != pc {
+		cur.pmu.Lock()
+		curDead := cur.dead != nil
+		cur.pmu.Unlock()
+		if !curDead {
+			c.mu.Unlock()
+			fresh.fail(ErrClosed)
+			return cur, nil
+		}
+	}
+	c.pool[slot] = fresh
+	closed := c.closed.Load()
+	c.mu.Unlock()
+	if closed {
+		fresh.fail(ErrClosed)
+		return nil, ErrClosed
+	}
+	return fresh, nil
+}
+
+// do performs one round trip: assign an id, register the waiter, write the
+// frame, block for the response.
+func (c *Client) do(req *wire.Request) (*wire.Response, error) {
+	pc, err := c.conn()
+	if err != nil {
+		return nil, err
+	}
+	req.ID = c.nextID.Add(1)
+	payload, err := wire.EncodeRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	ch := make(chan result, 1)
+	pc.pmu.Lock()
+	if pc.dead != nil {
+		err := pc.dead
+		pc.pmu.Unlock()
+		return nil, err
+	}
+	pc.pending[req.ID] = ch
+	pc.pmu.Unlock()
+
+	pc.wmu.Lock()
+	err = wire.WriteFrame(pc.bw, payload)
+	if err == nil {
+		err = pc.bw.Flush()
+	}
+	pc.wmu.Unlock()
+	if err != nil {
+		pc.fail(fmt.Errorf("client: write: %w", err))
+		// fail resolved our waiter (or we race its resolution); drain it so
+		// the channel cannot leak a stale result.
+		<-ch
+		return nil, err
+	}
+
+	res := <-ch
+	if res.err != nil {
+		return nil, res.err
+	}
+	if res.resp.Status != wire.StatusOK {
+		return nil, statusErr(res.resp)
+	}
+	return res.resp, nil
+}
+
+// statusErr maps a non-OK response onto the package's sentinel errors.
+func statusErr(r *wire.Response) error {
+	switch r.Status {
+	case wire.StatusNotFound:
+		return fmt.Errorf("%w: %s", ErrNotFound, r.Msg)
+	case wire.StatusExists:
+		return fmt.Errorf("%w: %s", ErrExists, r.Msg)
+	case wire.StatusDraining:
+		return fmt.Errorf("%w: %s", ErrDraining, r.Msg)
+	default:
+		return wire.StatusError(r)
+	}
+}
+
+// ---------------------------------------------------------------- admin API
+
+// Ping round-trips an empty frame.
+func (c *Client) Ping() error {
+	_, err := c.do(&wire.Request{Cmd: wire.CmdPing})
+	return err
+}
+
+// Create makes a new namespace over n vertices. A durable namespace
+// write-ahead-logs every epoch under the server's data directory and
+// survives server restarts.
+func (c *Client) Create(ns string, n int, durable bool) error {
+	_, err := c.do(&wire.Request{Cmd: wire.CmdCreate, NS: ns, N: uint32(n), Durable: durable})
+	return err
+}
+
+// Drop quiesces and removes a namespace; a durable namespace's on-disk
+// state is deleted.
+func (c *Client) Drop(ns string) error {
+	_, err := c.do(&wire.Request{Cmd: wire.CmdDrop, NS: ns})
+	return err
+}
+
+// NamespaceInfo describes one served namespace.
+type NamespaceInfo struct {
+	Name    string
+	N       int
+	Durable bool
+}
+
+// List returns the served namespaces, sorted by name.
+func (c *Client) List() ([]NamespaceInfo, error) {
+	resp, err := c.do(&wire.Request{Cmd: wire.CmdList})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]NamespaceInfo, len(resp.Namespaces))
+	for i, ns := range resp.Namespaces {
+		out[i] = NamespaceInfo{Name: ns.Name, N: ns.N, Durable: ns.Durable}
+	}
+	return out, nil
+}
+
+// Namespace returns a handle for issuing operations against one namespace.
+// The handle is cheap and safe to share between goroutines.
+func (c *Client) Namespace(name string) *Namespace {
+	return &Namespace{c: c, name: name}
+}
+
+// ---------------------------------------------------------------- namespace API
+
+// Namespace mirrors the conn.Batcher surface over the wire: single ops,
+// atomic batches, the three read tiers, stats and checkpoint.
+type Namespace struct {
+	c    *Client
+	name string
+}
+
+// Name returns the namespace's name.
+func (ns *Namespace) Name() string { return ns.name }
+
+// Do sends a mixed batch of operations as one frame; the server stages it
+// as one atomic group, so the whole batch lands in a single epoch. Results
+// are index-aligned with ops.
+func (ns *Namespace) Do(ops []conn.Op) ([]bool, error) {
+	wops := make([]wire.Op, len(ops))
+	for i, op := range ops {
+		wops[i] = wire.Op{Kind: wire.Kind(op.Kind), U: op.U, V: op.V}
+	}
+	resp, err := ns.c.do(&wire.Request{Cmd: wire.CmdBatch, NS: ns.name, Ops: wops})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Bits, nil
+}
+
+func (ns *Namespace) one(kind conn.OpKind, u, v int32) (bool, error) {
+	return oneBit(ns.Do([]conn.Op{{Kind: kind, U: u, V: v}}))
+}
+
+// Insert adds edge {u, v}; reports whether it was newly added.
+func (ns *Namespace) Insert(u, v int32) (bool, error) { return ns.one(conn.OpInsert, u, v) }
+
+// Delete removes edge {u, v}; reports whether it was removed.
+func (ns *Namespace) Delete(u, v int32) (bool, error) { return ns.one(conn.OpDelete, u, v) }
+
+// Connected answers a linearized connectivity query: it joins the epoch
+// pipeline and observes its epoch's post-update state.
+func (ns *Namespace) Connected(u, v int32) (bool, error) { return ns.one(conn.OpQuery, u, v) }
+
+func edgesToOps(kind conn.OpKind, es []conn.Edge) []conn.Op {
+	ops := make([]conn.Op, len(es))
+	for i, e := range es {
+		ops[i] = conn.Op{Kind: kind, U: e.U, V: e.V}
+	}
+	return ops
+}
+
+// InsertEdges stages a batch of insertions as one atomic group and returns
+// the number credited to this call.
+func (ns *Namespace) InsertEdges(es []conn.Edge) (int, error) {
+	bits, err := ns.Do(edgesToOps(conn.OpInsert, es))
+	return countTrue(bits), err
+}
+
+// DeleteEdges stages a batch of deletions as one atomic group and returns
+// the number credited to this call.
+func (ns *Namespace) DeleteEdges(es []conn.Edge) (int, error) {
+	bits, err := ns.Do(edgesToOps(conn.OpDelete, es))
+	return countTrue(bits), err
+}
+
+// ConnectedBatch answers k linearized queries against one post-epoch state.
+func (ns *Namespace) ConnectedBatch(qs []conn.Edge) ([]bool, error) {
+	return ns.Do(edgesToOps(conn.OpQuery, qs))
+}
+
+func countTrue(bs []bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+func (ns *Namespace) read(cmd wire.Cmd, qs []conn.Edge) ([]bool, error) {
+	pairs := make([]wire.Pair, len(qs))
+	for i, q := range qs {
+		pairs[i] = wire.Pair{U: q.U, V: q.V}
+	}
+	resp, err := ns.c.do(&wire.Request{Cmd: cmd, NS: ns.name, Pairs: pairs})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Bits, nil
+}
+
+func oneBit(bits []bool, err error) (bool, error) {
+	if err != nil {
+		return false, err
+	}
+	if len(bits) != 1 {
+		return false, fmt.Errorf("client: server returned %d results for 1 query", len(bits))
+	}
+	return bits[0], nil
+}
+
+// ReadNow answers a read-committed query against the live structure: no
+// coalescing window, excluded only by the mutating phase of each epoch.
+func (ns *Namespace) ReadNow(u, v int32) (bool, error) {
+	return oneBit(ns.read(wire.CmdReadNow, []conn.Edge{{U: u, V: v}}))
+}
+
+// ReadNowBatch answers k read-committed queries against one live state.
+func (ns *Namespace) ReadNowBatch(qs []conn.Edge) ([]bool, error) {
+	return ns.read(wire.CmdReadNow, qs)
+}
+
+// ReadRecent answers a wait-free bounded-staleness query from the server's
+// last published component snapshot.
+func (ns *Namespace) ReadRecent(u, v int32) (bool, error) {
+	return oneBit(ns.read(wire.CmdReadRecent, []conn.Edge{{U: u, V: v}}))
+}
+
+// ReadRecentBatch answers k wait-free queries from one published snapshot.
+func (ns *Namespace) ReadRecentBatch(qs []conn.Edge) ([]bool, error) {
+	return ns.read(wire.CmdReadRecent, qs)
+}
+
+// Stats returns the namespace's Batcher counters.
+func (ns *Namespace) Stats() (wire.Stats, error) {
+	resp, err := ns.c.do(&wire.Request{Cmd: wire.CmdStats, NS: ns.name})
+	if err != nil {
+		return wire.Stats{}, err
+	}
+	return resp.Stats, nil
+}
+
+// Checkpoint durably snapshots a durable namespace and truncates its WAL,
+// returning the snapshot's server-side path.
+func (ns *Namespace) Checkpoint() (string, error) {
+	resp, err := ns.c.do(&wire.Request{Cmd: wire.CmdCheckpoint, NS: ns.name})
+	if err != nil {
+		return "", err
+	}
+	return resp.Path, nil
+}

@@ -1,0 +1,130 @@
+package client_test
+
+import (
+	"errors"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/client"
+	"repro/internal/server"
+)
+
+// TestClientSurvivesServerRestart: a pooled client whose server goes away
+// and comes back on the same address must redial on use and keep working.
+func TestClientSurvivesServerRestart(t *testing.T) {
+	srv, err := server.New(server.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	go srv.Serve(ln)
+
+	cl, err := client.Dial(addr, client.WithConns(2))
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cl.Close()
+	if err := cl.Create("g", 32, false); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if ok, err := cl.Namespace("g").Insert(1, 2); err != nil || !ok {
+		t.Fatalf("Insert = %v, %v", ok, err)
+	}
+
+	srv.Shutdown()
+
+	// The server is gone; requests must fail with transport errors, never
+	// hang or panic.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if err := cl.Ping(); err != nil {
+			break
+		}
+		runtime.Gosched()
+	}
+	if err := cl.Ping(); err == nil {
+		t.Fatal("Ping kept succeeding after server shutdown")
+	}
+
+	// Restart on the same address (memory-only server: fresh state).
+	srv2, err := server.New(server.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("loopback port %s not immediately rebindable: %v", addr, err)
+	}
+	go srv2.Serve(ln2)
+	defer srv2.Shutdown()
+
+	// The pool redials lazily; every slot recovers within a few attempts.
+	var lastErr error
+	ok := false
+	for i := 0; i < 50 && !ok; i++ {
+		if lastErr = cl.Ping(); lastErr == nil {
+			ok = true
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if !ok {
+		t.Fatalf("client never recovered after restart: %v", lastErr)
+	}
+	// Both pool slots must be functional, not just one: issue more requests
+	// than slots.
+	if err := cl.Create("h", 16, false); err != nil {
+		t.Fatalf("Create after restart: %v", err)
+	}
+	nsH := cl.Namespace("h")
+	for i := 0; i < 6; i++ {
+		if _, err := nsH.Insert(int32(i%4), int32((i+1)%4)); err != nil {
+			t.Fatalf("Insert %d after restart: %v", i, err)
+		}
+	}
+}
+
+// TestClientErrorMapping: wire statuses surface as the package's sentinel
+// errors, and a closed client refuses work.
+func TestClientErrorMapping(t *testing.T) {
+	srv, err := server.New(server.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Shutdown()
+
+	cl, err := client.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Namespace("missing").Connected(0, 1); !errors.Is(err, client.ErrNotFound) {
+		t.Fatalf("Connected on missing namespace: %v", err)
+	}
+	if err := cl.Create("dup", 8, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Create("dup", 8, false); !errors.Is(err, client.ErrExists) {
+		t.Fatalf("duplicate Create: %v", err)
+	}
+	if _, err := cl.Namespace("dup").Do(nil); err != nil {
+		t.Fatalf("empty Do: %v", err)
+	}
+	cl.Close()
+	if err := cl.Ping(); !errors.Is(err, client.ErrClosed) {
+		t.Fatalf("Ping on closed client: %v", err)
+	}
+	if err := cl.Create("x", 4, false); !errors.Is(err, client.ErrClosed) {
+		t.Fatalf("Create on closed client: %v", err)
+	}
+}

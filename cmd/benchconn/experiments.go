@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"math/rand"
+	"net"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -11,12 +12,14 @@ import (
 	"time"
 
 	conn "repro"
+	"repro/client"
 	"repro/internal/core"
 	"repro/internal/ett"
 	"repro/internal/graph"
 	"repro/internal/graphgen"
 	"repro/internal/hdt"
 	"repro/internal/parallel"
+	"repro/internal/server"
 	"repro/internal/skiplist"
 	"repro/internal/static"
 	"repro/internal/treap"
@@ -667,4 +670,114 @@ func runE13(cfg config) {
 	}
 	fmt.Printf("(Connected pays the coalescing window per query; ReadNow pays a read lock and a\n")
 	fmt.Printf(" root walk; ReadRecent pays two array loads against the last published epoch)\n")
+}
+
+// ---------------------------------------------------------------- E15
+
+func runE15(cfg config) {
+	n := cfg.size(1<<15, 1<<12)
+	framesTotal := 1 << 10
+	if cfg.quick {
+		framesTotal = 1 << 7
+	}
+	const frameOps = 64
+	header("e15", "network front-end: throughput vs connections vs pipeline depth",
+		"in-flight frames block in the Batcher and coalesce into one epoch — network concurrency (conns × depth) grows Δ exactly like in-process concurrency")
+	srv, err := server.New(server.Options{MaxDelay: time.Millisecond, MaxBatch: 1 << 16})
+	if err != nil {
+		fmt.Printf("skipping e15: %v\n", err)
+		return
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Printf("skipping e15: %v\n", err)
+		return
+	}
+	go srv.Serve(ln)
+	defer srv.Shutdown()
+	addr := ln.Addr().String()
+
+	admin, err := client.Dial(addr)
+	if err != nil {
+		fmt.Printf("skipping e15: %v\n", err)
+		return
+	}
+	defer admin.Close()
+
+	fmt.Printf("n=%d; loopback server; frames of %d mixed ops (60%% insert / 20%% delete / 20%% query)\n", n, frameOps)
+	fmt.Printf("%8s %8s %12s %12s %10s %10s\n",
+		"conns", "depth", "wire-ops", "ops/sec", "epochs", "avgΔ")
+	cell := 0
+	for _, conns := range []int{1, 2, 4} {
+		for _, depth := range []int{1, 4, 16} {
+			cell++
+			nsName := fmt.Sprintf("bench%d", cell)
+			if err := admin.Create(nsName, n, false); err != nil {
+				fmt.Printf("skipping cell: %v\n", err)
+				continue
+			}
+			cl, err := client.Dial(addr, client.WithConns(conns))
+			if err != nil {
+				fmt.Printf("skipping cell: %v\n", err)
+				continue
+			}
+			// depth drivers per connection: the client round-robins frames
+			// across its pool, so conns×depth concurrent callers keep about
+			// `depth` frames in flight on each connection.
+			drivers := conns * depth
+			perDriver := framesTotal / drivers
+			if perDriver == 0 {
+				perDriver = 1
+			}
+			var wg sync.WaitGroup
+			var opCount atomic.Int64
+			d := timeIt(func() {
+				for c := 0; c < drivers; c++ {
+					wg.Add(1)
+					go func(c int) {
+						defer wg.Done()
+						rng := rand.New(rand.NewSource(cfg.seed + int64(c)))
+						ns := cl.Namespace(nsName)
+						group := make([]conn.Op, frameOps)
+						for f := 0; f < perDriver; f++ {
+							for i := range group {
+								kind := conn.OpInsert
+								switch x := rng.Intn(10); {
+								case x < 2:
+									kind = conn.OpDelete
+								case x < 4:
+									kind = conn.OpQuery
+								}
+								group[i] = conn.Op{Kind: kind,
+									U: int32(rng.Intn(n)), V: int32(rng.Intn(n))}
+							}
+							if _, err := ns.Do(group); err != nil {
+								fmt.Printf("driver error: %v\n", err)
+								return
+							}
+							opCount.Add(int64(len(group)))
+						}
+					}(c)
+				}
+				wg.Wait()
+			})
+			st, err := cl.Namespace(nsName).Stats()
+			if err != nil {
+				fmt.Printf("stats: %v\n", err)
+			}
+			avg := "-"
+			if st.Epochs > 0 {
+				avg = fmt.Sprintf("%10.0f", float64(st.Ops)/float64(st.Epochs))
+			}
+			fmt.Printf("%8d %8d %12d %12.0f %10d %10s\n",
+				conns, depth, opCount.Load(), float64(opCount.Load())/d.Seconds(),
+				st.Epochs, avg)
+			cl.Close()
+			admin.Drop(nsName)
+		}
+	}
+	fmt.Printf("(every in-flight frame is a blocked group in the Batcher; more connections and\n")
+	fmt.Printf(" deeper pipelines mean more groups per epoch — the network analogue of e12's\n")
+	fmt.Printf(" concurrent callers. Single-CPU containers understate the separation: client,\n")
+	fmt.Printf(" server and dispatcher all share one core)\n")
 }

@@ -1,0 +1,72 @@
+// Connserver is the network front-end for the batch-parallel connectivity
+// library: a TCP server hosting multiple named graph namespaces, speaking
+// the length-prefixed binary protocol in internal/wire. Clients (the public
+// client package) keep many frames in flight per connection; every in-flight
+// request blocks in its namespace's Batcher, so concurrent network traffic
+// coalesces into the large epochs the paper's Theorem 1 rewards — the
+// server is the piece that turns remote request streams into batch
+// parallelism.
+//
+//	connserver -addr :7421                  # memory-only namespaces
+//	connserver -addr :7421 -data /var/lib/conn
+//
+// With -data, namespaces created durable live under <data>/<namespace>/
+// (write-ahead log + checkpoints, exactly conn.WithDurability) and are
+// restored on startup. SIGTERM and SIGINT trigger a graceful drain: stop
+// accepting, answer every request already received, then flush and
+// checkpoint every durable namespace before exit — acked writes survive,
+// and restart replay is bounded by the final checkpoint.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":7421", "TCP listen address")
+	data := flag.String("data", "", "data directory for durable namespaces (empty = memory only)")
+	maxBatch := flag.Int("max-batch", 0, "epoch size target per namespace (0 = library default)")
+	maxDelay := flag.Duration("max-delay", 0, "epoch coalescing window per namespace (0 = library default)")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "connserver: unexpected arguments %q\n", flag.Args())
+		os.Exit(2)
+	}
+
+	logger := log.New(os.Stderr, "connserver: ", log.LstdFlags)
+	srv, err := server.New(server.Options{
+		DataDir:  *data,
+		MaxBatch: *maxBatch,
+		MaxDelay: *maxDelay,
+		Logf:     logger.Printf,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	done := make(chan struct{})
+	go func() {
+		sig := <-sigs
+		logger.Printf("received %v; draining", sig)
+		start := time.Now()
+		srv.Shutdown()
+		logger.Printf("drained in %v", time.Since(start).Round(time.Millisecond))
+		close(done)
+	}()
+
+	logger.Printf("listening on %s (data=%q)", *addr, *data)
+	if err := srv.ListenAndServe(*addr); err != nil {
+		logger.Fatal(err)
+	}
+	<-done // ListenAndServe returned because of the drain; let it finish
+}

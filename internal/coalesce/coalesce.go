@@ -103,7 +103,10 @@ type Buffer struct {
 // NewBuffer starts a buffer whose dispatcher drains staged operations into
 // epochs and executes each epoch with exec, which receives the concatenated
 // operations and must return one result per operation, in order. exec is
-// only ever called from the dispatcher goroutine.
+// only ever called from the dispatcher goroutine. A drain that collected
+// only barrier groups (Flush with nothing staged) still calls exec with an
+// empty op slice — executors with out-of-band epoch-boundary work rely on
+// Flush as a dispatcher nudge.
 //
 // The dispatcher commits an epoch as soon as maxBatch operations are staged,
 // or maxDelay after it first notices pending work, whichever comes first.
@@ -286,7 +289,12 @@ func (b *Buffer) drain() {
 		total += len(g.ops)
 	}
 	b.staged.Add(int64(-total))
-	if total > 0 {
+	if len(groups) > 0 {
+		// exec runs even when every drained group is an empty barrier
+		// (total == 0): a Flush is the dispatcher nudge that executors use
+		// to service out-of-band requests (conn.Batcher checkpoints) at an
+		// epoch boundary, so it must reach them. Empty drains are not
+		// counted as epochs.
 		ops := make([]Op, 0, total)
 		for _, g := range groups {
 			ops = append(ops, g.ops...)
@@ -299,10 +307,12 @@ func (b *Buffer) drain() {
 			g.res = res[i : i+len(g.ops) : i+len(g.ops)]
 			i += len(g.ops)
 		}
-		b.epochs.Add(1)
-		b.ops.Add(int64(total))
-		if t := int64(total); t > b.maxEpoch.Load() {
-			b.maxEpoch.Store(t)
+		if total > 0 {
+			b.epochs.Add(1)
+			b.ops.Add(int64(total))
+			if t := int64(total); t > b.maxEpoch.Load() {
+				b.maxEpoch.Store(t)
+			}
 		}
 	}
 	for _, g := range groups {

@@ -1,0 +1,514 @@
+// Package server hosts multiple named connectivity graphs behind a TCP
+// front-end speaking the internal/wire protocol. It is the network layer the
+// batch-parallel structure has been waiting for: each namespace owns its own
+// conn.Graph wrapped in a conn.Batcher, every connection may keep many
+// frames in flight (one goroutine per in-flight request), and all of those
+// blocked requests coalesce into the large epochs Theorem 1 rewards —
+// network concurrency translates directly into batch size.
+//
+// Namespace lifecycle: Create instantiates a Graph+Batcher (durable
+// namespaces live under <data>/<name>/ via conn.WithDurability and survive
+// restarts — New restores every directory it finds); Drop quiesces the
+// Batcher and, for durable namespaces, deletes the directory. Shutdown is
+// the graceful drain: stop accepting, let every already-received request
+// commit and answer, then flush and checkpoint each durable namespace
+// before closing its Batcher.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	conn "repro"
+	"repro/internal/wire"
+)
+
+// Options configures a Server. The zero value is a memory-only server with
+// the Batcher's default coalescing parameters.
+type Options struct {
+	// DataDir, when non-empty, enables durable namespaces: namespace <ns>
+	// keeps its WAL and checkpoints under DataDir/<ns>/, and New restores
+	// every namespace directory found there.
+	DataDir string
+
+	// MaxBatch / MaxDelay are passed through to each namespace's Batcher
+	// (zero selects the conn defaults).
+	MaxBatch int
+	MaxDelay time.Duration
+
+	// Logf, when non-nil, receives one line per server-lifecycle event
+	// (namespace restored, drain progress). Request traffic is not logged.
+	Logf func(format string, args ...any)
+}
+
+// Server is a multi-namespace connectivity server. Construct with New,
+// start with Serve (or ListenAndServe), stop with Shutdown.
+type Server struct {
+	opts Options
+
+	mu         sync.RWMutex // guards namespaces
+	namespaces map[string]*namespace
+
+	ln       net.Listener
+	lnMu     sync.Mutex
+	draining atomic.Bool
+	connMu   sync.Mutex
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup // live connection handlers
+}
+
+// namespace is one named graph: a Batcher over its own Graph, plus the
+// request-vs-drop guard. Requests hold mu.RLock while talking to b; Drop
+// and Shutdown take mu.Lock, so a namespace is closed only when no request
+// is mid-flight on it — the Batcher's panic-on-closed paths are unreachable.
+type namespace struct {
+	name    string
+	durable bool
+
+	mu     sync.RWMutex
+	closed bool
+	g      *conn.Graph
+	b      *conn.Batcher
+}
+
+// New builds a server and, if opts.DataDir is set, restores every durable
+// namespace directory found there.
+func New(opts Options) (*Server, error) {
+	s := &Server{
+		opts:       opts,
+		namespaces: make(map[string]*namespace),
+		conns:      make(map[net.Conn]struct{}),
+	}
+	if opts.DataDir != "" {
+		if err := os.MkdirAll(opts.DataDir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: data dir: %w", err)
+		}
+		ents, err := os.ReadDir(opts.DataDir)
+		if err != nil {
+			return nil, fmt.Errorf("server: data dir: %w", err)
+		}
+		for _, e := range ents {
+			if !e.IsDir() || !validName(e.Name()) {
+				continue
+			}
+			name := e.Name()
+			dir := filepath.Join(opts.DataDir, name)
+			g, err := conn.Restore(dir)
+			if errors.Is(err, conn.ErrNoDurableState) {
+				continue // empty leftover directory; nothing to serve
+			}
+			if err != nil {
+				return nil, fmt.Errorf("server: restore namespace %q: %w", name, err)
+			}
+			b, err := newBatcher(g, s.batcherOpts(dir))
+			if err != nil {
+				return nil, fmt.Errorf("server: namespace %q: %w", name, err)
+			}
+			s.namespaces[name] = &namespace{name: name, durable: true, g: g, b: b}
+			s.logf("restored namespace %q (n=%d, %d edges)", name, g.N(), g.NumEdges())
+		}
+	}
+	return s, nil
+}
+
+func (s *Server) batcherOpts(durDir string) []conn.BatcherOption {
+	var o []conn.BatcherOption
+	if s.opts.MaxBatch > 0 {
+		o = append(o, conn.WithMaxBatch(s.opts.MaxBatch))
+	}
+	if s.opts.MaxDelay > 0 {
+		o = append(o, conn.WithMaxDelay(s.opts.MaxDelay))
+	}
+	if durDir != "" {
+		o = append(o, conn.WithDurability(durDir))
+	}
+	return o
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// validName reports whether a namespace name is acceptable: 1..128 bytes of
+// [a-zA-Z0-9._-], not starting with '.' — safe as a directory name and free
+// of path separators.
+func validName(name string) bool {
+	if len(name) == 0 || len(name) > 128 || name[0] == '.' {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Addr returns the listener's address, or nil before Serve.
+func (s *Server) Addr() net.Addr {
+	s.lnMu.Lock()
+	defer s.lnMu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Serve accepts connections on ln until Shutdown closes it. It returns nil
+// after a Shutdown-initiated stop, or the accept error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.lnMu.Lock()
+	s.ln = ln
+	s.lnMu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		s.connMu.Lock()
+		// The draining check, registration, and wg.Add share the registry
+		// lock: Shutdown sets draining before sweeping the registry under
+		// this lock, so a conn that observes !draining here is registered
+		// and counted before the sweep and the wg.Wait that follows it.
+		if s.draining.Load() {
+			s.connMu.Unlock()
+			c.Close()
+			continue
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.connMu.Unlock()
+		go s.handleConn(c)
+	}
+}
+
+// Shutdown is the graceful drain: stop accepting, nudge every connection's
+// read loop to stop at the next frame boundary, wait until each in-flight
+// request has committed and its response has been written, then flush and
+// checkpoint every durable namespace and quiesce all Batchers. Safe to call
+// once; subsequent calls return immediately.
+func (s *Server) Shutdown() {
+	if s.draining.Swap(true) {
+		return
+	}
+	s.lnMu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.lnMu.Unlock()
+	// Wake blocked readers without tearing down the connections: in-flight
+	// requests still need their responses written.
+	s.connMu.Lock()
+	for c := range s.conns {
+		c.SetReadDeadline(time.Now())
+	}
+	s.connMu.Unlock()
+	s.wg.Wait()
+	s.logf("connections drained")
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for name, ns := range s.namespaces {
+		ns.mu.Lock()
+		ns.closed = true
+		ns.mu.Unlock()
+		ns.b.Flush()
+		if ns.durable {
+			if _, err := ns.b.Checkpoint(); err != nil {
+				s.logf("drain checkpoint of %q failed: %v", name, err)
+			} else {
+				s.logf("namespace %q checkpointed", name)
+			}
+		}
+		ns.b.Close()
+	}
+}
+
+// connIO is a connection's buffered read and write halves.
+type connIO struct {
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+func newConnReader(c net.Conn) *connIO {
+	return &connIO{
+		br: bufio.NewReaderSize(c, 1<<16),
+		bw: bufio.NewWriterSize(c, 1<<16),
+	}
+}
+
+// handleConn reads frames, dispatching each request to its own goroutine so
+// a pipelined client's frames block in the Batcher concurrently — that is
+// what coalesces them into one epoch. Responses are written as they
+// complete, matched by request id, serialized by a per-connection lock.
+func (s *Server) handleConn(c net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.connMu.Lock()
+		delete(s.conns, c)
+		s.connMu.Unlock()
+		c.Close()
+	}()
+	r := newConnReader(c)
+	var (
+		wmu   sync.Mutex
+		reqWG sync.WaitGroup
+	)
+	write := func(resp *wire.Response) {
+		payload, err := wire.EncodeResponse(resp)
+		if err != nil {
+			return // response of our own making failed to encode: drop it
+		}
+		wmu.Lock()
+		defer wmu.Unlock()
+		// Serialized writes, flushed per response: a pipelined client is
+		// already decoupled from per-response latency.
+		if wire.WriteFrame(r.bw, payload) == nil {
+			r.bw.Flush()
+		}
+	}
+	for {
+		payload, err := wire.ReadFrame(r.br)
+		if err != nil {
+			break // EOF, drain deadline, or framing loss: stop reading
+		}
+		req, err := wire.DecodeRequest(payload)
+		if err != nil {
+			break // framing is fine but the peer is speaking garbage
+		}
+		if s.draining.Load() {
+			write(&wire.Response{ID: req.ID, Status: wire.StatusDraining,
+				Msg: "server is draining"})
+			continue
+		}
+		reqWG.Add(1)
+		go func() {
+			defer reqWG.Done()
+			write(s.handle(req))
+		}()
+	}
+	reqWG.Wait()
+	wmu.Lock()
+	r.bw.Flush()
+	wmu.Unlock()
+}
+
+// handle executes one request. It runs on a per-request goroutine and may
+// block for an epoch; returning the response is the acknowledgement.
+func (s *Server) handle(req *wire.Request) *wire.Response {
+	fail := func(st wire.Status, format string, args ...any) *wire.Response {
+		return &wire.Response{ID: req.ID, Status: st, Msg: fmt.Sprintf(format, args...)}
+	}
+	switch req.Cmd {
+	case wire.CmdPing:
+		return &wire.Response{ID: req.ID}
+	case wire.CmdCreate:
+		return s.create(req, fail)
+	case wire.CmdDrop:
+		return s.drop(req, fail)
+	case wire.CmdList:
+		return s.list(req)
+	}
+
+	// Everything else targets an existing namespace. The read lock is held
+	// across the whole operation: Drop/Shutdown close a Batcher only under
+	// the write lock, so b is never closed mid-request.
+	ns, resp := s.lookup(req, fail)
+	if resp != nil {
+		return resp
+	}
+	ns.mu.RLock()
+	defer ns.mu.RUnlock()
+	if ns.closed {
+		return fail(wire.StatusNotFound, "namespace %q: dropped", req.NS)
+	}
+	switch req.Cmd {
+	case wire.CmdBatch:
+		ops := make([]conn.Op, len(req.Ops))
+		for i, op := range req.Ops {
+			ops[i] = conn.Op{Kind: conn.OpKind(op.Kind), U: op.U, V: op.V}
+		}
+		bits, err := ns.b.Do(ops)
+		if err != nil {
+			return fail(wire.StatusBadRequest, "%v", err)
+		}
+		if bits == nil {
+			bits = []bool{}
+		}
+		return &wire.Response{ID: req.ID, Bits: bits}
+	case wire.CmdReadNow, wire.CmdReadRecent:
+		n := int32(ns.g.N())
+		qs := make([]conn.Edge, len(req.Pairs))
+		for i, p := range req.Pairs {
+			if p.U < 0 || p.U >= n || p.V < 0 || p.V >= n {
+				return fail(wire.StatusBadRequest,
+					"vertex pair {%d, %d} out of range [0, %d)", p.U, p.V, n)
+			}
+			qs[i] = conn.Edge{U: p.U, V: p.V}
+		}
+		var bits []bool
+		if req.Cmd == wire.CmdReadNow {
+			bits = ns.b.ReadNowBatch(qs)
+		} else {
+			bits = ns.b.ReadRecentBatch(qs)
+		}
+		if bits == nil {
+			bits = []bool{}
+		}
+		return &wire.Response{ID: req.ID, Bits: bits}
+	case wire.CmdStats:
+		st := ns.b.Stats()
+		return &wire.Response{ID: req.ID, Stats: wire.Stats{
+			Epochs:            uint64(st.Epochs),
+			Ops:               uint64(st.Ops),
+			MaxEpoch:          uint64(st.MaxEpoch),
+			SnapshotPublishes: uint64(st.SnapshotPublishes),
+			SnapshotRebuilds:  uint64(st.SnapshotRebuilds),
+			WALRecords:        uint64(st.WALRecords),
+			WALBytes:          uint64(st.WALBytes),
+			WALAppendNanos:    uint64(st.WALAppendTime.Nanoseconds()),
+			Checkpoints:       uint64(st.Checkpoints),
+		}}
+	case wire.CmdCheckpoint:
+		if !ns.durable {
+			return fail(wire.StatusBadRequest, "namespace %q is not durable", req.NS)
+		}
+		path, err := ns.b.Checkpoint()
+		if err != nil {
+			return fail(wire.StatusInternal, "checkpoint: %v", err)
+		}
+		return &wire.Response{ID: req.ID, Path: path}
+	}
+	return fail(wire.StatusBadRequest, "unknown command %d", req.Cmd)
+}
+
+func (s *Server) lookup(req *wire.Request, fail failFunc) (*namespace, *wire.Response) {
+	s.mu.RLock()
+	ns, ok := s.namespaces[req.NS]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fail(wire.StatusNotFound, "namespace %q does not exist", req.NS)
+	}
+	return ns, nil
+}
+
+type failFunc func(st wire.Status, format string, args ...any) *wire.Response
+
+func (s *Server) create(req *wire.Request, fail failFunc) *wire.Response {
+	if !validName(req.NS) {
+		return fail(wire.StatusBadRequest, "invalid namespace name %q", req.NS)
+	}
+	if req.N == 0 || req.N > 1<<30 {
+		return fail(wire.StatusBadRequest, "vertex count %d out of range [1, 2^30]", req.N)
+	}
+	if req.Durable && s.opts.DataDir == "" {
+		return fail(wire.StatusBadRequest, "durable namespaces need a server data directory")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.namespaces[req.NS]; ok {
+		return fail(wire.StatusExists, "namespace %q already exists", req.NS)
+	}
+	var dir string
+	if req.Durable {
+		dir = filepath.Join(s.opts.DataDir, req.NS)
+		// Refuse to adopt a leftover durable directory under a fresh Create:
+		// the caller asked for a new namespace, not whatever a previous
+		// instance left behind (restart-restore happens in New; drop removes
+		// the directory entirely, and both Create and Drop run under s.mu,
+		// so a non-empty directory here really is leftover state). A cheap
+		// existence probe only — never a full restore under the server lock.
+		ents, err := os.ReadDir(dir)
+		if err != nil && !os.IsNotExist(err) {
+			return fail(wire.StatusInternal, "namespace %q directory: %v", req.NS, err)
+		}
+		if len(ents) > 0 {
+			return fail(wire.StatusExists,
+				"namespace %q has leftover durable state; restart the server to restore it or drop it", req.NS)
+		}
+	}
+	g := conn.New(int(req.N))
+	b, err := newBatcher(g, s.batcherOpts(dir))
+	if err != nil {
+		return fail(wire.StatusInternal, "create %q: %v", req.NS, err)
+	}
+	s.namespaces[req.NS] = &namespace{name: req.NS, durable: req.Durable, g: g, b: b}
+	return &wire.Response{ID: req.ID}
+}
+
+// newBatcher converts conn.NewBatcher's environmental panics (unwritable
+// data subdirectory, WAL open failure) into errors: one tenant's bad
+// directory must never take down the whole server.
+func newBatcher(g *conn.Graph, opts []conn.BatcherOption) (b *conn.Batcher, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			b, err = nil, fmt.Errorf("%v", r)
+		}
+	}()
+	return conn.NewBatcher(g, opts...), nil
+}
+
+func (s *Server) drop(req *wire.Request, fail failFunc) *wire.Response {
+	// The whole drop — map removal, quiesce, and durable-state deletion —
+	// runs under s.mu so a concurrent Create of the same name cannot
+	// resurrect the directory while RemoveAll is sweeping it. Lock order
+	// s.mu → ns.mu matches every request path (lookup releases s.mu before
+	// taking ns.mu), and waiting out in-flight requests here is bounded by
+	// one epoch per request.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ns, ok := s.namespaces[req.NS]
+	if !ok {
+		return fail(wire.StatusNotFound, "namespace %q does not exist", req.NS)
+	}
+	delete(s.namespaces, req.NS)
+	// The write lock waits out every in-flight request on this namespace;
+	// new lookups already miss the map.
+	ns.mu.Lock()
+	ns.closed = true
+	ns.mu.Unlock()
+	ns.b.Close()
+	if ns.durable {
+		if err := os.RemoveAll(filepath.Join(s.opts.DataDir, ns.name)); err != nil {
+			return fail(wire.StatusInternal, "drop %q: %v", req.NS, err)
+		}
+	}
+	return &wire.Response{ID: req.ID}
+}
+
+func (s *Server) list(req *wire.Request) *wire.Response {
+	s.mu.RLock()
+	infos := make([]wire.NSInfo, 0, len(s.namespaces))
+	for _, ns := range s.namespaces {
+		infos = append(infos, wire.NSInfo{Name: ns.name, N: ns.g.N(), Durable: ns.durable})
+	}
+	s.mu.RUnlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return &wire.Response{ID: req.ID, Namespaces: infos}
+}

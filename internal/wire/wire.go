@@ -1,0 +1,566 @@
+// Package wire defines the binary protocol between cmd/connserver and the
+// public client package: a dependency-free, length-prefixed frame format in
+// the same idiom as internal/wal (little-endian integers, CRC32-Castagnoli
+// over every payload, decoders that never panic on arbitrary bytes).
+//
+// Frame layout (both directions, all integers little-endian):
+//
+//	frame   : payloadLen uint32 | crc32c(payload) uint32 | payload
+//	request : id uint64 | cmd uint8 | body
+//	response: id uint64 | status uint8 | body
+//
+// Requests and responses are matched by id, not by position: a client may
+// keep many frames in flight on one connection (pipelining) and the server
+// answers each as its epoch commits. That is the whole point of the
+// protocol — concurrent frames blocked in the Batcher coalesce into the
+// large epochs Theorem 1 rewards, exactly as concurrent goroutines do in
+// process.
+//
+// Bodies per command (strings are len uint16 | bytes; booleans are packed
+// little-endian into ceil(k/8) bitmap bytes):
+//
+//	CmdBatch      : ns | nOps uint32 | (kind uint8 | u uint32 | v uint32)*
+//	                → nOps uint32 | bitmap           (one bit per op, in order)
+//	CmdReadNow    : ns | nPairs uint32 | (u uint32 | v uint32)*
+//	                → nPairs uint32 | bitmap
+//	CmdReadRecent : like CmdReadNow
+//	CmdCreate     : ns | n uint32 | flags uint8      (FlagDurable)
+//	                → empty
+//	CmdDrop       : ns                               → empty
+//	CmdList       : empty                            → count uint32 |
+//	                (ns | n uint32 | flags uint8)*
+//	CmdStats      : ns                               → 9 uint64 counters
+//	CmdCheckpoint : ns                               → path string
+//	CmdPing       : empty                            → empty
+//
+// Error responses (Status != StatusOK) carry a message string instead of
+// the command body.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// MaxFrame bounds a single frame's payload; a longer length prefix is
+// treated as a protocol error rather than an allocation request.
+const MaxFrame = 1 << 26
+
+// frameLen is the byte length of the frame header (payloadLen + crc).
+const frameLen = 4 + 4
+
+// maxName bounds a namespace name on the wire; the server enforces its own
+// (stricter) validity rules on top.
+const maxName = 255
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrFrame is returned by ReadFrame for any malformed frame: a bad length
+// prefix, a checksum mismatch, or a truncated payload. The connection is
+// unusable afterwards — framing has lost sync — and should be closed.
+var ErrFrame = errors.New("wire: malformed frame")
+
+// ErrDecode is returned for a CRC-clean payload that does not decode as a
+// request or response.
+var ErrDecode = errors.New("wire: malformed message")
+
+// Cmd identifies a request type.
+type Cmd uint8
+
+const (
+	CmdBatch Cmd = iota + 1
+	CmdReadNow
+	CmdReadRecent
+	CmdCreate
+	CmdDrop
+	CmdList
+	CmdStats
+	CmdCheckpoint
+	CmdPing
+)
+
+// Status is a response's result code. Anything but StatusOK is an error and
+// the response carries only a message.
+type Status uint8
+
+const (
+	StatusOK Status = iota
+	// StatusBadRequest: the request was understood but invalid (vertex out
+	// of range, bad namespace name, durable namespace without a data dir).
+	StatusBadRequest
+	// StatusNotFound: the namespace does not exist.
+	StatusNotFound
+	// StatusExists: Create of a namespace that already exists.
+	StatusExists
+	// StatusDraining: the server is shutting down and refuses new work.
+	StatusDraining
+	// StatusInternal: the server failed to execute a valid request.
+	StatusInternal
+)
+
+// FlagDurable marks a namespace as write-ahead-logged under the server's
+// data directory.
+const FlagDurable uint8 = 1 << 0
+
+// Kind labels one operation inside a CmdBatch frame. Values match the
+// coalescing layer's ordering (insert, delete, query).
+type Kind uint8
+
+const (
+	KindInsert Kind = iota
+	KindDelete
+	KindQuery
+)
+
+// Op is one operation of a CmdBatch request.
+type Op struct {
+	Kind Kind
+	U, V int32
+}
+
+// Pair is one vertex pair of a read-tier request.
+type Pair struct {
+	U, V int32
+}
+
+// NSInfo describes one namespace in a CmdList response.
+type NSInfo struct {
+	Name    string
+	N       int
+	Durable bool
+}
+
+// Stats is the fixed counter block of a CmdStats response — the subset of
+// conn.BatcherStats that is meaningful across the wire.
+type Stats struct {
+	Epochs            uint64
+	Ops               uint64
+	MaxEpoch          uint64
+	SnapshotPublishes uint64
+	SnapshotRebuilds  uint64
+	WALRecords        uint64
+	WALBytes          uint64
+	WALAppendNanos    uint64
+	Checkpoints       uint64
+}
+
+const statsLen = 9 * 8
+
+// Request is one decoded client frame. Fields beyond ID/Cmd are populated
+// per command as documented in the package comment.
+type Request struct {
+	ID      uint64
+	Cmd     Cmd
+	NS      string
+	Ops     []Op   // CmdBatch
+	Pairs   []Pair // CmdReadNow / CmdReadRecent
+	N       uint32 // CmdCreate
+	Durable bool   // CmdCreate
+}
+
+// Response is one decoded server frame. Msg is set iff Status != StatusOK;
+// the other fields are populated per the request's command.
+type Response struct {
+	ID         uint64
+	Status     Status
+	Msg        string
+	Bits       []bool   // CmdBatch / read tiers
+	Namespaces []NSInfo // CmdList
+	Stats      Stats    // CmdStats
+	Path       string   // CmdCheckpoint
+}
+
+// ---------------------------------------------------------------- framing
+
+// WriteFrame writes one length-prefixed, checksummed frame. The caller owns
+// buffering and flushing (both endpoints wrap connections in bufio).
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("%w: payload of %d bytes exceeds MaxFrame", ErrFrame, len(payload))
+	}
+	var hdr [frameLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, castagnoli))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame and returns its verified payload. io.EOF at a
+// frame boundary is returned as io.EOF; a partial header or payload becomes
+// io.ErrUnexpectedEOF; length or checksum violations return ErrFrame.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [frameLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	plen := binary.LittleEndian.Uint32(hdr[0:])
+	if plen > MaxFrame {
+		return nil, fmt.Errorf("%w: length prefix %d exceeds MaxFrame", ErrFrame, plen)
+	}
+	payload := make([]byte, plen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(hdr[4:]) {
+		return nil, fmt.Errorf("%w: payload checksum mismatch", ErrFrame)
+	}
+	return payload, nil
+}
+
+// ---------------------------------------------------------------- encoding
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...)
+}
+
+func appendBitmap(dst []byte, bits []bool) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(bits)))
+	var cur byte
+	for i, b := range bits {
+		if b {
+			cur |= 1 << (i % 8)
+		}
+		if i%8 == 7 {
+			dst = append(dst, cur)
+			cur = 0
+		}
+	}
+	if len(bits)%8 != 0 {
+		dst = append(dst, cur)
+	}
+	return dst
+}
+
+// EncodeRequest serializes a request payload (not including the frame
+// header; pass the result to WriteFrame).
+func EncodeRequest(r *Request) ([]byte, error) {
+	if len(r.NS) > maxName {
+		return nil, fmt.Errorf("%w: namespace name of %d bytes", ErrDecode, len(r.NS))
+	}
+	buf := binary.LittleEndian.AppendUint64(make([]byte, 0, 64), r.ID)
+	buf = append(buf, byte(r.Cmd))
+	switch r.Cmd {
+	case CmdBatch:
+		buf = appendString(buf, r.NS)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Ops)))
+		for _, op := range r.Ops {
+			buf = append(buf, byte(op.Kind))
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(op.U))
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(op.V))
+		}
+	case CmdReadNow, CmdReadRecent:
+		buf = appendString(buf, r.NS)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Pairs)))
+		for _, p := range r.Pairs {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(p.U))
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(p.V))
+		}
+	case CmdCreate:
+		buf = appendString(buf, r.NS)
+		buf = binary.LittleEndian.AppendUint32(buf, r.N)
+		var flags uint8
+		if r.Durable {
+			flags |= FlagDurable
+		}
+		buf = append(buf, flags)
+	case CmdDrop, CmdStats, CmdCheckpoint:
+		buf = appendString(buf, r.NS)
+	case CmdList, CmdPing:
+		// no body
+	default:
+		return nil, fmt.Errorf("%w: unknown command %d", ErrDecode, r.Cmd)
+	}
+	return buf, nil
+}
+
+// EncodeResponse serializes a response payload.
+func EncodeResponse(r *Response) ([]byte, error) {
+	buf := binary.LittleEndian.AppendUint64(make([]byte, 0, 64), r.ID)
+	buf = append(buf, byte(r.Status))
+	if r.Status != StatusOK {
+		if len(r.Msg) > 1<<15 {
+			r.Msg = r.Msg[:1<<15]
+		}
+		return appendString(buf, r.Msg), nil
+	}
+	switch {
+	case r.Bits != nil:
+		buf = append(buf, bodyBits)
+		buf = appendBitmap(buf, r.Bits)
+	case r.Namespaces != nil:
+		buf = append(buf, bodyList)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Namespaces)))
+		for _, ns := range r.Namespaces {
+			if len(ns.Name) > maxName {
+				return nil, fmt.Errorf("%w: namespace name of %d bytes", ErrDecode, len(ns.Name))
+			}
+			buf = appendString(buf, ns.Name)
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(ns.N))
+			var flags uint8
+			if ns.Durable {
+				flags |= FlagDurable
+			}
+			buf = append(buf, flags)
+		}
+	case r.Path != "":
+		buf = append(buf, bodyPath)
+		buf = appendString(buf, r.Path)
+	case r.Stats != (Stats{}):
+		buf = append(buf, bodyStats)
+		for _, v := range r.Stats.fields() {
+			buf = binary.LittleEndian.AppendUint64(buf, v)
+		}
+	default:
+		buf = append(buf, bodyEmpty)
+	}
+	return buf, nil
+}
+
+// Response body tags: the response encodes which body shape follows, so a
+// response is decodable without remembering the request's command.
+const (
+	bodyEmpty byte = iota
+	bodyBits
+	bodyList
+	bodyPath
+	bodyStats
+)
+
+func (s *Stats) fields() [9]uint64 {
+	return [9]uint64{
+		s.Epochs, s.Ops, s.MaxEpoch, s.SnapshotPublishes, s.SnapshotRebuilds,
+		s.WALRecords, s.WALBytes, s.WALAppendNanos, s.Checkpoints,
+	}
+}
+
+func (s *Stats) setFields(f [9]uint64) {
+	s.Epochs, s.Ops, s.MaxEpoch, s.SnapshotPublishes, s.SnapshotRebuilds,
+		s.WALRecords, s.WALBytes, s.WALAppendNanos, s.Checkpoints =
+		f[0], f[1], f[2], f[3], f[4], f[5], f[6], f[7], f[8]
+}
+
+// ---------------------------------------------------------------- decoding
+
+// reader is a bounds-checked cursor over a payload; every take reports
+// failure instead of slicing out of range.
+type reader struct {
+	p  []byte
+	ok bool
+}
+
+func (d *reader) bytes(n int) []byte {
+	if !d.ok || n < 0 || len(d.p) < n {
+		d.ok = false
+		return nil
+	}
+	b := d.p[:n]
+	d.p = d.p[n:]
+	return b
+}
+
+func (d *reader) u8() uint8 {
+	b := d.bytes(1)
+	if !d.ok {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *reader) u16() uint16 {
+	b := d.bytes(2)
+	if !d.ok {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (d *reader) u32() uint32 {
+	b := d.bytes(4)
+	if !d.ok {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *reader) u64() uint64 {
+	b := d.bytes(8)
+	if !d.ok {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *reader) str() string {
+	n := int(d.u16())
+	return string(d.bytes(n))
+}
+
+// name reads a namespace string, enforcing the same maxName bound the
+// encoders apply — anything a decoder accepts must re-encode (the fuzz
+// contract).
+func (d *reader) name() string {
+	n := int(d.u16())
+	if n > maxName {
+		d.ok = false
+		return ""
+	}
+	return string(d.bytes(n))
+}
+
+// count reads a uint32 element count and validates it against the bytes
+// remaining at perElem bytes each, so a hostile count cannot force a giant
+// allocation.
+func (d *reader) count(perElem int) int {
+	n := int(d.u32())
+	if !d.ok || n < 0 || (perElem > 0 && n > len(d.p)/perElem) {
+		d.ok = false
+		return 0
+	}
+	return n
+}
+
+func (d *reader) bitmap() []bool {
+	n := d.count(0)
+	if !d.ok || n > 8*len(d.p) {
+		d.ok = false
+		return nil
+	}
+	raw := d.bytes((n + 7) / 8)
+	if !d.ok {
+		return nil
+	}
+	bits := make([]bool, n)
+	for i := range bits {
+		bits[i] = raw[i/8]&(1<<(i%8)) != 0
+	}
+	return bits
+}
+
+// DecodeRequest parses a request payload. It never panics on arbitrary
+// input; anything malformed returns ErrDecode.
+func DecodeRequest(p []byte) (*Request, error) {
+	d := &reader{p: p, ok: true}
+	r := &Request{ID: d.u64(), Cmd: Cmd(d.u8())}
+	switch r.Cmd {
+	case CmdBatch:
+		r.NS = d.name()
+		n := d.count(9)
+		if d.ok {
+			r.Ops = make([]Op, n)
+			for i := range r.Ops {
+				r.Ops[i] = Op{Kind: Kind(d.u8()), U: int32(d.u32()), V: int32(d.u32())}
+				if r.Ops[i].Kind > KindQuery {
+					d.ok = false
+				}
+			}
+		}
+	case CmdReadNow, CmdReadRecent:
+		r.NS = d.name()
+		n := d.count(8)
+		if d.ok {
+			r.Pairs = make([]Pair, n)
+			for i := range r.Pairs {
+				r.Pairs[i] = Pair{U: int32(d.u32()), V: int32(d.u32())}
+			}
+		}
+	case CmdCreate:
+		r.NS = d.name()
+		r.N = d.u32()
+		r.Durable = d.u8()&FlagDurable != 0
+	case CmdDrop, CmdStats, CmdCheckpoint:
+		r.NS = d.name()
+	case CmdList, CmdPing:
+		// no body
+	default:
+		return nil, fmt.Errorf("%w: unknown command %d", ErrDecode, r.Cmd)
+	}
+	if !d.ok || len(d.p) != 0 {
+		return nil, fmt.Errorf("%w: bad %v request", ErrDecode, r.Cmd)
+	}
+	return r, nil
+}
+
+// DecodeResponse parses a response payload. It never panics on arbitrary
+// input; anything malformed returns ErrDecode.
+func DecodeResponse(p []byte) (*Response, error) {
+	d := &reader{p: p, ok: true}
+	r := &Response{ID: d.u64(), Status: Status(d.u8())}
+	if !d.ok || r.Status > StatusInternal {
+		return nil, fmt.Errorf("%w: bad response status", ErrDecode)
+	}
+	if r.Status != StatusOK {
+		r.Msg = d.str()
+		if !d.ok || len(d.p) != 0 {
+			return nil, fmt.Errorf("%w: bad error response", ErrDecode)
+		}
+		return r, nil
+	}
+	switch tag := d.u8(); tag {
+	case bodyEmpty:
+	case bodyBits:
+		r.Bits = d.bitmap()
+		if r.Bits == nil && d.ok {
+			r.Bits = []bool{} // distinguish "empty result" from "no body"
+		}
+	case bodyList:
+		n := d.count(7)
+		if d.ok {
+			r.Namespaces = make([]NSInfo, n)
+			for i := range r.Namespaces {
+				name := d.name()
+				nn := d.u32()
+				flags := d.u8()
+				r.Namespaces[i] = NSInfo{Name: name, N: int(nn), Durable: flags&FlagDurable != 0}
+			}
+		}
+	case bodyPath:
+		r.Path = d.str()
+	case bodyStats:
+		var f [9]uint64
+		for i := range f {
+			f[i] = d.u64()
+		}
+		r.Stats.setFields(f)
+	default:
+		return nil, fmt.Errorf("%w: unknown response body tag %d", ErrDecode, tag)
+	}
+	if !d.ok || len(d.p) != 0 {
+		return nil, fmt.Errorf("%w: bad response body", ErrDecode)
+	}
+	return r, nil
+}
+
+// StatusError converts a non-OK response into a Go error; the client package
+// wraps these for its callers. Returns nil for StatusOK.
+func StatusError(r *Response) error {
+	if r.Status == StatusOK {
+		return nil
+	}
+	return fmt.Errorf("wire: %s: %s", statusName(r.Status), r.Msg)
+}
+
+func statusName(s Status) string {
+	switch s {
+	case StatusBadRequest:
+		return "bad request"
+	case StatusNotFound:
+		return "namespace not found"
+	case StatusExists:
+		return "namespace exists"
+	case StatusDraining:
+		return "server draining"
+	case StatusInternal:
+		return "internal error"
+	}
+	return fmt.Sprintf("status %d", s)
+}

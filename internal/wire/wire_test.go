@@ -1,0 +1,250 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func roundTripRequest(t *testing.T, r *Request) *Request {
+	t.Helper()
+	p, err := EncodeRequest(r)
+	if err != nil {
+		t.Fatalf("EncodeRequest: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, p); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	payload, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	got, err := DecodeRequest(payload)
+	if err != nil {
+		t.Fatalf("DecodeRequest: %v", err)
+	}
+	return got
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	reqs := []*Request{
+		{ID: 1, Cmd: CmdPing},
+		{ID: 2, Cmd: CmdList},
+		{ID: 3, Cmd: CmdCreate, NS: "social", N: 1 << 20, Durable: true},
+		{ID: 4, Cmd: CmdCreate, NS: "scratch", N: 16},
+		{ID: 5, Cmd: CmdDrop, NS: "scratch"},
+		{ID: 6, Cmd: CmdStats, NS: "social"},
+		{ID: 7, Cmd: CmdCheckpoint, NS: "social"},
+		{ID: 8, Cmd: CmdBatch, NS: "social", Ops: []Op{
+			{Kind: KindInsert, U: 0, V: 1},
+			{Kind: KindDelete, U: 7, V: 3},
+			{Kind: KindQuery, U: 2, V: 2},
+		}},
+		{ID: 9, Cmd: CmdBatch, NS: "social", Ops: []Op{}},
+		{ID: 10, Cmd: CmdReadNow, NS: "a", Pairs: []Pair{{1, 2}, {3, 4}}},
+		{ID: 11, Cmd: CmdReadRecent, NS: "b", Pairs: []Pair{{0, 0}}},
+	}
+	for _, r := range reqs {
+		got := roundTripRequest(t, r)
+		if got.ID != r.ID || got.Cmd != r.Cmd || got.NS != r.NS ||
+			got.N != r.N || got.Durable != r.Durable ||
+			len(got.Ops) != len(r.Ops) || len(got.Pairs) != len(r.Pairs) {
+			t.Fatalf("round trip mismatch: sent %+v, got %+v", r, got)
+		}
+		for i := range r.Ops {
+			if got.Ops[i] != r.Ops[i] {
+				t.Fatalf("op %d: sent %+v, got %+v", i, r.Ops[i], got.Ops[i])
+			}
+		}
+		for i := range r.Pairs {
+			if got.Pairs[i] != r.Pairs[i] {
+				t.Fatalf("pair %d: sent %+v, got %+v", i, r.Pairs[i], got.Pairs[i])
+			}
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	resps := []*Response{
+		{ID: 1, Status: StatusOK},
+		{ID: 2, Status: StatusNotFound, Msg: "no such namespace"},
+		{ID: 3, Status: StatusOK, Bits: []bool{true, false, true, true, false, false, true, false, true}},
+		{ID: 4, Status: StatusOK, Bits: []bool{}},
+		{ID: 5, Status: StatusOK, Namespaces: []NSInfo{
+			{Name: "a", N: 10, Durable: true}, {Name: "b", N: 1 << 20},
+		}},
+		{ID: 6, Status: StatusOK, Path: "/data/ns/checkpoint-0000000000000001.ckpt"},
+		{ID: 7, Status: StatusOK, Stats: Stats{Epochs: 3, Ops: 100, MaxEpoch: 64,
+			SnapshotPublishes: 2, SnapshotRebuilds: 1, WALRecords: 3, WALBytes: 4096,
+			WALAppendNanos: 12345, Checkpoints: 1}},
+		{ID: 8, Status: StatusDraining, Msg: "shutting down"},
+	}
+	for _, r := range resps {
+		p, err := EncodeResponse(r)
+		if err != nil {
+			t.Fatalf("EncodeResponse: %v", err)
+		}
+		got, err := DecodeResponse(p)
+		if err != nil {
+			t.Fatalf("DecodeResponse(%+v): %v", r, err)
+		}
+		if !reflect.DeepEqual(got, r) {
+			t.Fatalf("round trip mismatch:\nsent %+v\ngot  %+v", r, got)
+		}
+	}
+}
+
+func TestReadFrameRejectsCorruption(t *testing.T) {
+	p, err := EncodeRequest(&Request{ID: 9, Cmd: CmdBatch, NS: "x",
+		Ops: []Op{{Kind: KindInsert, U: 1, V: 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+
+	// Flip every byte in turn: ReadFrame must either error or (if the flip
+	// hit the length prefix making the frame short) report unexpected EOF —
+	// never return a payload that then decodes as a different valid request.
+	for i := range clean {
+		dirty := append([]byte(nil), clean...)
+		dirty[i] ^= 0x40
+		payload, err := ReadFrame(bytes.NewReader(dirty))
+		if err != nil {
+			continue
+		}
+		got, err := DecodeRequest(payload)
+		if err != nil {
+			continue
+		}
+		// A surviving decode must be byte-identical to the original request
+		// (possible only if the flip canceled out, which XOR 0x40 cannot).
+		if got.ID != 9 {
+			t.Fatalf("flip at %d produced a silently different request: %+v", i, got)
+		}
+	}
+
+	// Truncations: every proper prefix must fail cleanly.
+	for i := 0; i < len(clean); i++ {
+		if _, err := ReadFrame(bytes.NewReader(clean[:i])); err == nil {
+			t.Fatalf("truncation to %d bytes did not error", i)
+		}
+	}
+}
+
+func TestReadFrameBoundsAllocation(t *testing.T) {
+	var hdr [8]byte
+	hdr[0] = 0xff
+	hdr[1] = 0xff
+	hdr[2] = 0xff
+	hdr[3] = 0x7f // ~2G length prefix
+	if _, err := ReadFrame(bytes.NewReader(hdr[:])); !errors.Is(err, ErrFrame) {
+		t.Fatalf("oversized length prefix: got %v, want ErrFrame", err)
+	}
+}
+
+func TestDecodeHostileCounts(t *testing.T) {
+	// A CmdBatch whose op count claims far more elements than the payload
+	// holds must fail without allocating for the claimed count.
+	p, err := EncodeRequest(&Request{ID: 1, Cmd: CmdBatch, NS: "x",
+		Ops: []Op{{Kind: KindInsert, U: 1, V: 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Op count sits after id(8) + cmd(1) + nsLen(2) + ns(1).
+	off := 8 + 1 + 2 + 1
+	p[off], p[off+1], p[off+2], p[off+3] = 0xff, 0xff, 0xff, 0xff
+	if _, err := DecodeRequest(p); err == nil {
+		t.Fatal("hostile op count decoded successfully")
+	}
+}
+
+func TestDecodeRejectsOversizedName(t *testing.T) {
+	// A namespace string longer than maxName must be rejected by the
+	// decoder, not just by the encoder — otherwise a decoded request could
+	// fail to re-encode (the fuzz canonicality contract).
+	var p []byte
+	p = append(p, make([]byte, 8)...) // id
+	p = append(p, byte(CmdDrop))
+	p = append(p, 0x2c, 0x01) // nsLen = 300
+	p = append(p, make([]byte, 300)...)
+	if _, err := DecodeRequest(p); err == nil {
+		t.Fatal("request with a 300-byte namespace decoded successfully")
+	}
+}
+
+func TestDecodeRequestArbitraryBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		b := make([]byte, rng.Intn(64))
+		rng.Read(b)
+		DecodeRequest(b)  // must not panic
+		DecodeResponse(b) // must not panic
+	}
+}
+
+func TestWriteFrameRejectsOversize(t *testing.T) {
+	if err := WriteFrame(io.Discard, make([]byte, MaxFrame+1)); !errors.Is(err, ErrFrame) {
+		t.Fatalf("oversized payload: got %v, want ErrFrame", err)
+	}
+}
+
+// FuzzWireDecode exercises both decoders on arbitrary bytes: neither may
+// panic, and anything either accepts must re-encode and re-decode to the
+// same value (the same accept-implies-canonical contract the WAL and
+// checkpoint fuzzers enforce).
+func FuzzWireDecode(f *testing.F) {
+	seed := []*Request{
+		{ID: 1, Cmd: CmdPing},
+		{ID: 2, Cmd: CmdCreate, NS: "ns", N: 100, Durable: true},
+		{ID: 3, Cmd: CmdBatch, NS: "g", Ops: []Op{{KindInsert, 0, 1}, {KindQuery, 1, 2}}},
+		{ID: 4, Cmd: CmdReadRecent, NS: "g", Pairs: []Pair{{5, 6}}},
+	}
+	for _, r := range seed {
+		p, err := EncodeRequest(r)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(p)
+	}
+	rp, err := EncodeResponse(&Response{ID: 7, Status: StatusOK, Bits: []bool{true, false, true}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(rp)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if req, err := DecodeRequest(data); err == nil {
+			re, err := EncodeRequest(req)
+			if err != nil {
+				t.Fatalf("accepted request failed to re-encode: %v", err)
+			}
+			req2, err := DecodeRequest(re)
+			if err != nil {
+				t.Fatalf("re-encoded request failed to decode: %v", err)
+			}
+			if !reflect.DeepEqual(req, req2) {
+				t.Fatalf("request not canonical: %+v vs %+v", req, req2)
+			}
+		}
+		if resp, err := DecodeResponse(data); err == nil {
+			re, err := EncodeResponse(resp)
+			if err != nil {
+				t.Fatalf("accepted response failed to re-encode: %v", err)
+			}
+			resp2, err := DecodeResponse(re)
+			if err != nil {
+				t.Fatalf("re-encoded response failed to decode: %v", err)
+			}
+			if !reflect.DeepEqual(resp, resp2) {
+				t.Fatalf("response not canonical: %+v vs %+v", resp, resp2)
+			}
+		}
+	})
+}
