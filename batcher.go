@@ -123,10 +123,38 @@ type Batcher struct {
 
 	closed atomic.Bool
 
+	// applied is the durable seq of the last fully applied (and snapshot-
+	// published) epoch — what AppliedSeq reports. It trails WALSeq by the
+	// width of one epoch's apply phase: a record is logged first, applied
+	// after.
+	applied atomic.Uint64
+
+	// subs is the copy-on-write list of epoch subscribers (SubscribeEpochs):
+	// the durable dispatcher path tees each fsynced epoch to every entry.
+	subsMu sync.Mutex
+	subs   atomic.Pointer[[]*epochSub]
+
 	// testHook, when set before any operation is submitted, observes each
 	// committed epoch (concatenated ops and their results) from the
 	// dispatcher goroutine. Tests use it to replay epochs against an oracle.
 	testHook func(ops []coalesce.Op, res []bool)
+}
+
+// EpochRecord is one durable mutating epoch as observed by an epoch
+// subscriber: the WAL sequence number and the raw coalesced insert and
+// delete batches, in application order. Replaying Ins then Del through the
+// batch operations reproduces the epoch exactly (duplicates, present
+// inserts and absent deletes are ignored at every layer). The slices are
+// shared across subscribers and must not be mutated.
+type EpochRecord struct {
+	Seq uint64
+	Ins []Edge
+	Del []Edge
+}
+
+// epochSub is one registered epoch subscriber.
+type epochSub struct {
+	fn func(EpochRecord)
 }
 
 // BatcherOption configures a Batcher.
@@ -227,6 +255,10 @@ func NewBatcher(g *Graph, opts ...BatcherOption) *Batcher {
 			panic(fmt.Sprintf("conn: WithDurability(%q): %v", o.durDir, err))
 		}
 		b.dur = &durability{dir: o.durDir, log: log}
+		// The WithDurability contract says g already reflects the durable
+		// state in dir (fresh, or from Restore, which replays the full log),
+		// so the applied position starts at the log's end, not at zero.
+		b.applied.Store(log.LastSeq())
 	}
 	// Graph implements snapshot.Source (ComponentID / ComponentSize /
 	// ComponentVertices / ComponentLabels are read-only queries); the store
@@ -271,6 +303,80 @@ func (b *Batcher) logEpoch(ops []coalesce.Op) {
 	b.dur.appendNanos.Add(time.Since(t0).Nanoseconds())
 	b.dur.records.Add(1)
 	b.dur.bytes.Add(int64(nbytes))
+	// Replication tee: the record is durable, so subscribers (the Hub
+	// shipping epochs to followers) may see it now — before the epoch is
+	// applied or acknowledged, exactly the ordering the WAL itself gets.
+	if subs := b.subs.Load(); subs != nil && len(*subs) > 0 {
+		er := EpochRecord{Seq: rec.Seq, Ins: fromInternal(ins), Del: fromInternal(del)}
+		for _, s := range *subs {
+			s.fn(er)
+		}
+	}
+}
+
+// SubscribeEpochs registers fn as an epoch subscriber: the dispatcher calls
+// it for every mutating epoch, on the dispatcher goroutine, after the
+// epoch's WAL record is fsynced and before the epoch is applied or any
+// caller's future resolves. fn must not block — a slow consumer must buffer
+// or drop on its own side of the hand-off, never stall the write pipeline.
+// Only durable Batchers (WithDurability) emit epochs; on a memory-only
+// Batcher the subscription is registered but never fires. The returned
+// cancel function removes the subscription and is idempotent.
+func (b *Batcher) SubscribeEpochs(fn func(EpochRecord)) (cancel func()) {
+	sub := &epochSub{fn: fn}
+	b.subsMu.Lock()
+	var cur []*epochSub
+	if p := b.subs.Load(); p != nil {
+		cur = *p
+	}
+	next := make([]*epochSub, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = sub
+	b.subs.Store(&next)
+	b.subsMu.Unlock()
+	return func() {
+		b.subsMu.Lock()
+		defer b.subsMu.Unlock()
+		p := b.subs.Load()
+		if p == nil {
+			return
+		}
+		out := make([]*epochSub, 0, len(*p))
+		for _, s := range *p {
+			if s != sub {
+				out = append(out, s)
+			}
+		}
+		b.subs.Store(&out)
+	}
+}
+
+// WALSeq returns the sequence number of the last durable epoch (zero for a
+// Batcher without WithDurability, or before the first mutating epoch when
+// the log has never been checkpointed). Safe from any goroutine.
+func (b *Batcher) WALSeq() uint64 {
+	if b.dur == nil {
+		return 0
+	}
+	return b.dur.log.LastSeq()
+}
+
+// AppliedSeq returns the durable seq of the last epoch whose mutations are
+// fully applied and visible to every read tier. It trails WALSeq by at most
+// the in-flight epoch (logged-but-not-yet-applied), which makes it the seq
+// a read response may claim: sampled before a read, it never exceeds the
+// state the read reflects. Safe from any goroutine.
+func (b *Batcher) AppliedSeq() uint64 { return b.applied.Load() }
+
+// WALFloor returns the WAL's checkpoint floor: the sequence number already
+// captured by the checkpoint the log was last reset behind (zero if never
+// reset, or without WithDurability). Records in the live log cover exactly
+// (WALFloor, WALSeq]. Safe from any goroutine.
+func (b *Batcher) WALFloor() uint64 {
+	if b.dur == nil {
+		return 0
+	}
+	return b.dur.log.BaseSeq()
 }
 
 // serviceCheckpoint runs on the dispatcher at the end of an epoch, when the
@@ -350,8 +456,11 @@ func (b *Batcher) Checkpoint() (string, error) {
 	return req.path, req.err
 }
 
-// execEpoch applies one drained epoch to the underlying graph. It runs on
-// the dispatcher goroutine only, so the single-writer contract of Graph
+// execEpoch applies one drained epoch to the underlying graph and returns
+// the results plus the epoch's durable commit position (the WAL seq the
+// epoch's state reflects: its own record's seq for a mutating epoch, the
+// last logged seq for a query-only one, zero without durability). It runs
+// on the dispatcher goroutine only, so the single-writer contract of Graph
 // holds. Insert and delete credit goes to the first staging of each edge in
 // epoch order; queries run against the post-update state.
 //
@@ -360,13 +469,17 @@ func (b *Batcher) Checkpoint() (string, error) {
 // the snapshot publish are read-only walks and run lock-free alongside
 // ReadNow (read-read is safe under the core contract; no other writer can
 // exist because this is the sole dispatcher).
-func (b *Batcher) execEpoch(ops []coalesce.Op) []bool {
+func (b *Batcher) execEpoch(ops []coalesce.Op) ([]bool, uint64) {
 	// Durability barrier: the epoch's updates hit the fsynced WAL before
 	// the first structure mutation and before any future resolves, so a
 	// caller that observes its commit can never lose the write to a crash.
 	if b.dur != nil {
 		b.logEpoch(ops)
 	}
+	// The epoch's commit position is sampled here, after this epoch's own
+	// append and before any later epoch can log: exactly the seq a caller
+	// needs for read-your-writes fencing, never a later writer's.
+	epochSeq := b.WALSeq()
 
 	res := make([]bool, len(ops))
 	var insIdx, delIdx, qIdx []int
@@ -480,7 +593,11 @@ func (b *Batcher) execEpoch(ops []coalesce.Op) []bool {
 	if b.testHook != nil {
 		b.testHook(ops, res)
 	}
-	return res
+	// The epoch is fully applied and its snapshot published: readers that
+	// sample AppliedSeq from here on may safely claim this position —
+	// a claimed seq never exceeds the state a subsequent read reflects.
+	b.applied.Store(epochSeq)
+	return res, epochSeq
 }
 
 func (b *Batcher) check(u, v int32) {
@@ -573,16 +690,26 @@ func (b *Batcher) ConnectedBatch(qs []Edge) []bool {
 // network frame maps to one Do call, so a malformed or late frame can never
 // crash the process hosting the Batcher.
 func (b *Batcher) Do(ops []Op) ([]bool, error) {
+	bits, _, err := b.DoSeq(ops)
+	return bits, err
+}
+
+// DoSeq is Do plus the committed epoch's durable position: the WAL sequence
+// number the post-epoch state reflects (the epoch's own record for a
+// mutating group, the last logged seq for a query-only one, zero without
+// WithDurability). It is exact — never a later writer's seq — which makes
+// it the correct read-your-writes fence for replica-routed reads.
+func (b *Batcher) DoSeq(ops []Op) ([]bool, uint64, error) {
 	if b.closed.Load() {
-		return nil, ErrClosed
+		return nil, 0, ErrClosed
 	}
 	if len(ops) == 0 {
-		return nil, nil
+		return nil, b.WALSeq(), nil
 	}
 	cops := make([]coalesce.Op, len(ops))
 	for i, op := range ops {
 		if err := b.checkRange(op.U, op.V); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		switch op.Kind {
 		case OpInsert:
@@ -592,14 +719,14 @@ func (b *Batcher) Do(ops []Op) ([]bool, error) {
 		case OpQuery:
 			cops[i] = coalesce.Op{Kind: coalesce.OpQuery, U: op.U, V: op.V}
 		default:
-			return nil, fmt.Errorf("conn: Batcher.Do: unknown op kind %d", op.Kind)
+			return nil, 0, fmt.Errorf("conn: Batcher.Do: unknown op kind %d", op.Kind)
 		}
 	}
 	f, err := b.buf.Submit(cops)
 	if err != nil {
-		return nil, ErrClosed
+		return nil, 0, ErrClosed
 	}
-	return f.Wait(), nil
+	return f.Wait(), f.Seq(), nil
 }
 
 // ReadNow reports whether u and v are currently connected — read-committed.

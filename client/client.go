@@ -22,6 +22,15 @@
 // Batching amplifies throughput further: InsertEdges / Do send one frame
 // for the whole group, and the group commits in a single epoch.
 //
+// Replication-aware reads: WithReplicas(addrs...) fans bounded-staleness
+// reads (ReadRecent / ReadRecentBatch) out across read-only replica
+// servers, round-robin, with failover back to the primary. Each replica
+// answer carries the replica's applied epoch seq, and the client fences it
+// against the highest primary seq its own writes observed — read-your-
+// writes without coordination. Writes always go to the primary; a mutation
+// that reaches a replica comes back as a *RedirectError carrying the
+// primary's address.
+//
 // Error model: methods return an error when the server rejects the request
 // (wire.Status* mapped to ErrNotFound, ErrExists, ...) or when the
 // connection fails. A failed connection is redialed on the next use, so a
@@ -41,6 +50,7 @@ import (
 	"time"
 
 	conn "repro"
+	"repro/internal/backoff"
 	"repro/internal/wire"
 )
 
@@ -52,12 +62,25 @@ var (
 	ErrClosed   = errors.New("client: client is closed")
 )
 
+// RedirectError is returned when a mutating request reached a read-only
+// replica: Primary is the address the replica follows — retarget writes
+// there. The client never follows the redirect itself; connectivity updates
+// are idempotent, but the retry decision belongs to the caller.
+type RedirectError struct {
+	Primary string
+}
+
+func (e *RedirectError) Error() string {
+	return fmt.Sprintf("client: read-only replica; writes go to the primary at %s", e.Primary)
+}
+
 // Option configures a Client.
 type Option func(*options)
 
 type options struct {
 	conns       int
 	dialTimeout time.Duration
+	replicas    []string
 }
 
 // WithConns sets the connection-pool size (default 1). More connections let
@@ -80,16 +103,39 @@ func WithDialTimeout(d time.Duration) Option {
 	}
 }
 
+// WithReplicas enables failover-aware read routing: bounded-staleness reads
+// (ReadRecent / ReadRecentBatch) fan out round-robin across the given
+// replica addresses instead of loading the primary. Every replica answer
+// carries the replica's applied epoch seq, and the client fences it against
+// the highest primary seq its own writes have observed (read-your-writes):
+// an answer that is too stale is discarded and the next replica — and
+// finally the primary — is tried. An unreachable replica is put in
+// exponential-backoff timeout and retried later; writes, linearized reads
+// and ReadNow always go to the primary.
+func WithReplicas(addrs ...string) Option {
+	return func(o *options) {
+		o.replicas = append(o.replicas, addrs...)
+	}
+}
+
 // Client is a pooled, pipelined connserver client. Safe for concurrent use.
 type Client struct {
 	addr   string
 	opts   options
 	nextID atomic.Uint64
 	rr     atomic.Uint32
+	rrRep  atomic.Uint32
 	closed atomic.Bool
 
 	mu   sync.Mutex // guards pool slots during (re)dial
 	pool []*poolConn
+
+	replicas []*replicaSlot
+
+	// observed tracks, per namespace, the highest primary seq this client's
+	// own writes have been acknowledged at — the read-your-writes fence for
+	// replica-routed reads. Values are *atomic.Uint64.
+	observed sync.Map
 }
 
 // Dial connects to a connserver. The first pool connection is established
@@ -100,6 +146,11 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 		f(&o)
 	}
 	c := &Client{addr: addr, opts: o, pool: make([]*poolConn, o.conns)}
+	for _, ra := range o.replicas {
+		c.replicas = append(c.replicas, &replicaSlot{
+			addr: ra, bo: *backoff.New(50*time.Millisecond, 2*time.Second),
+		})
+	}
 	pc, err := c.dialSlot()
 	if err != nil {
 		return nil, err
@@ -114,13 +165,43 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 func (c *Client) Close() error {
 	c.closed.Store(true)
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	for _, pc := range c.pool {
 		if pc != nil {
 			pc.fail(ErrClosed)
 		}
 	}
+	c.mu.Unlock()
+	for _, r := range c.replicas {
+		r.mu.Lock()
+		if r.pc != nil {
+			r.pc.fail(ErrClosed)
+			r.pc = nil
+		}
+		r.mu.Unlock()
+	}
 	return nil
+}
+
+// ObservedSeq returns the read-your-writes fence for a namespace: the
+// highest primary epoch seq this client's own acknowledged writes reached.
+// Replica-routed reads must reflect at least this seq to be accepted.
+func (c *Client) ObservedSeq(ns string) uint64 {
+	if v, ok := c.observed.Load(ns); ok {
+		return v.(*atomic.Uint64).Load()
+	}
+	return 0
+}
+
+// bumpObserved raises the namespace's fence to seq (monotonically).
+func (c *Client) bumpObserved(ns string, seq uint64) {
+	v, _ := c.observed.LoadOrStore(ns, new(atomic.Uint64))
+	a := v.(*atomic.Uint64)
+	for {
+		cur := a.Load()
+		if seq <= cur || a.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
 }
 
 // ---------------------------------------------------------------- pool
@@ -143,10 +224,12 @@ type result struct {
 	err  error
 }
 
-func (c *Client) dialSlot() (*poolConn, error) {
-	nc, err := net.DialTimeout("tcp", c.addr, c.opts.dialTimeout)
+func (c *Client) dialSlot() (*poolConn, error) { return c.dialAddr(c.addr) }
+
+func (c *Client) dialAddr(addr string) (*poolConn, error) {
+	nc, err := net.DialTimeout("tcp", addr, c.opts.dialTimeout)
 	if err != nil {
-		return nil, fmt.Errorf("client: dial %s: %w", c.addr, err)
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 	}
 	pc := &poolConn{
 		c:       nc,
@@ -248,13 +331,11 @@ func (c *Client) conn() (*poolConn, error) {
 	return fresh, nil
 }
 
-// do performs one round trip: assign an id, register the waiter, write the
-// frame, block for the response.
-func (c *Client) do(req *wire.Request) (*wire.Response, error) {
-	pc, err := c.conn()
-	if err != nil {
-		return nil, err
-	}
+// roundTrip performs one request/response exchange on a specific pooled
+// connection: assign an id, register the waiter, write the frame, block for
+// the response. It returns transport failures only; the response may carry
+// a non-OK status for the caller to interpret.
+func (c *Client) roundTrip(pc *poolConn, req *wire.Request) (*wire.Response, error) {
 	req.ID = c.nextID.Add(1)
 	payload, err := wire.EncodeRequest(req)
 	if err != nil {
@@ -288,10 +369,36 @@ func (c *Client) do(req *wire.Request) (*wire.Response, error) {
 	if res.err != nil {
 		return nil, res.err
 	}
-	if res.resp.Status != wire.StatusOK {
-		return nil, statusErr(res.resp)
-	}
 	return res.resp, nil
+}
+
+// do performs one round trip against the primary, mapping non-OK statuses
+// to errors and maintaining the read-your-writes fence on mutating batches.
+func (c *Client) do(req *wire.Request) (*wire.Response, error) {
+	pc, err := c.conn()
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.roundTrip(pc, req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != wire.StatusOK {
+		return nil, statusErr(resp)
+	}
+	if req.Cmd == wire.CmdBatch && resp.Seq > 0 && hasMutation(req.Ops) {
+		c.bumpObserved(req.NS, resp.Seq)
+	}
+	return resp, nil
+}
+
+func hasMutation(ops []wire.Op) bool {
+	for _, op := range ops {
+		if op.Kind != wire.KindQuery {
+			return true
+		}
+	}
+	return false
 }
 
 // statusErr maps a non-OK response onto the package's sentinel errors.
@@ -303,9 +410,119 @@ func statusErr(r *wire.Response) error {
 		return fmt.Errorf("%w: %s", ErrExists, r.Msg)
 	case wire.StatusDraining:
 		return fmt.Errorf("%w: %s", ErrDraining, r.Msg)
+	case wire.StatusReadOnly:
+		return &RedirectError{Primary: r.Msg}
 	default:
 		return wire.StatusError(r)
 	}
+}
+
+// ---------------------------------------------------------------- replicas
+
+// replicaSlot is one configured replica: a single lazily-dialed connection
+// plus failure backoff state.
+type replicaSlot struct {
+	addr string
+
+	mu        sync.Mutex
+	pc        *poolConn
+	downUntil time.Time
+	bo        backoff.B
+}
+
+// get returns a live connection to the replica, dialing if needed, or nil
+// while the replica is in failure backoff.
+func (r *replicaSlot) get(c *Client) *poolConn {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.pc != nil {
+		r.pc.pmu.Lock()
+		dead := r.pc.dead != nil
+		r.pc.pmu.Unlock()
+		if !dead {
+			return r.pc
+		}
+		r.pc = nil
+	}
+	if time.Now().Before(r.downUntil) {
+		return nil
+	}
+	pc, err := c.dialAddr(r.addr)
+	if err != nil {
+		r.markDownLocked()
+		return nil
+	}
+	// Close may have swept this slot between doRead's entry check and the
+	// dial (Close sets the flag before taking r.mu): a connection installed
+	// now would never be failed, leaking it and its readLoop. Mirrors the
+	// primary pool's post-dial closed re-check in conn().
+	if c.closed.Load() {
+		pc.fail(ErrClosed)
+		return nil
+	}
+	r.pc = pc
+	return pc
+}
+
+// markDown records a failure: close the connection and back off
+// exponentially (50ms doubling to 2s) before the next dial attempt.
+func (r *replicaSlot) markDown() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.pc != nil {
+		r.pc.fail(errors.New("client: replica marked down"))
+		r.pc = nil
+	}
+	r.markDownLocked()
+}
+
+func (r *replicaSlot) markDownLocked() {
+	r.downUntil = time.Now().Add(r.bo.Next())
+}
+
+// markUp clears the backoff after a successful exchange.
+func (r *replicaSlot) markUp() {
+	r.mu.Lock()
+	r.bo.Reset()
+	r.downUntil = time.Time{}
+	r.mu.Unlock()
+}
+
+// doRead routes one bounded-staleness read: try each configured replica
+// once, round-robin, accepting the first answer that is fresh enough
+// (resp.Seq >= the namespace's observed-seq fence); fall back to the
+// primary when every replica is down, stale, erroring, or not yet serving
+// the namespace. The primary's answer always passes the fence.
+func (c *Client) doRead(req *wire.Request) (*wire.Response, error) {
+	if len(c.replicas) == 0 || c.closed.Load() {
+		return c.do(req)
+	}
+	fence := c.ObservedSeq(req.NS)
+	start := int(c.rrRep.Add(1))
+	for i := 0; i < len(c.replicas); i++ {
+		r := c.replicas[(start+i)%len(c.replicas)]
+		pc := r.get(c)
+		if pc == nil {
+			continue
+		}
+		resp, err := c.roundTrip(pc, req)
+		if err != nil {
+			r.markDown()
+			continue
+		}
+		if resp.Status != wire.StatusOK {
+			// Replica-side refusal (namespace not replicated yet, draining):
+			// not a connection failure — leave the replica up, use the
+			// primary for this read.
+			continue
+		}
+		if resp.Seq < fence {
+			continue // too stale: fails read-your-writes
+		}
+		r.markUp()
+		return resp, nil
+	}
+	return c.do(req)
 }
 
 // ---------------------------------------------------------------- admin API
@@ -440,7 +657,17 @@ func (ns *Namespace) read(cmd wire.Cmd, qs []conn.Edge) ([]bool, error) {
 	for i, q := range qs {
 		pairs[i] = wire.Pair{U: q.U, V: q.V}
 	}
-	resp, err := ns.c.do(&wire.Request{Cmd: cmd, NS: ns.name, Pairs: pairs})
+	req := &wire.Request{Cmd: cmd, NS: ns.name, Pairs: pairs}
+	// Only the bounded-staleness tier may be served by a replica; ReadNow
+	// promises "all committed epochs", which only the primary can keep.
+	if cmd == wire.CmdReadRecent {
+		resp, err := ns.c.doRead(req)
+		if err != nil {
+			return nil, err
+		}
+		return resp.Bits, nil
+	}
+	resp, err := ns.c.do(req)
 	if err != nil {
 		return nil, err
 	}

@@ -672,6 +672,191 @@ func runE13(cfg config) {
 	fmt.Printf(" root walk; ReadRecent pays two array loads against the last published epoch)\n")
 }
 
+// ---------------------------------------------------------------- E16
+
+func runE16(cfg config) {
+	n := cfg.size(1<<14, 1<<11)
+	dur := 400 * time.Millisecond
+	if cfg.quick {
+		dur = 120 * time.Millisecond
+	}
+	const readerGoroutines = 4
+	header("e16", "replication: ReadRecent throughput vs replica count under writer load",
+		"the WAL is a replayable epoch stream; shipping it to followers scales the bounded-stale read tier horizontally while writes stay on one primary")
+	dataDir, err := os.MkdirTemp("", "benchconn-e16-*")
+	if err != nil {
+		fmt.Printf("skipping e16: %v\n", err)
+		return
+	}
+	defer os.RemoveAll(dataDir)
+
+	primary, err := server.New(server.Options{
+		DataDir: dataDir, MaxDelay: 200 * time.Microsecond, MaxBatch: 1 << 14,
+	})
+	if err != nil {
+		fmt.Printf("skipping e16: %v\n", err)
+		return
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Printf("skipping e16: %v\n", err)
+		return
+	}
+	go primary.Serve(ln)
+	defer primary.Shutdown()
+	primaryAddr := ln.Addr().String()
+
+	admin, err := client.Dial(primaryAddr)
+	if err != nil {
+		fmt.Printf("skipping e16: %v\n", err)
+		return
+	}
+	defer admin.Close()
+	if err := admin.Create("g", n, true); err != nil {
+		fmt.Printf("skipping e16: %v\n", err)
+		return
+	}
+	nsAdmin := admin.Namespace("g")
+	base := graphgen.RandomGraph(n, n/2, cfg.seed)
+	for _, b := range graphgen.Batches(base, 1<<12) {
+		es := make([]conn.Edge, len(b))
+		for i, e := range b {
+			es[i] = conn.Edge{U: e.U, V: e.V}
+		}
+		if _, err := nsAdmin.InsertEdges(es); err != nil {
+			fmt.Printf("skipping e16: preload: %v\n", err)
+			return
+		}
+	}
+
+	// waitApplied polls a replica until it has applied the primary seq the
+	// admin client last observed.
+	waitApplied := func(addr string) bool {
+		target := admin.ObservedSeq("g")
+		deadline := time.Now().Add(20 * time.Second)
+		for time.Now().Before(deadline) {
+			cl, err := client.Dial(addr)
+			if err == nil {
+				st, err := cl.Namespace("g").Stats()
+				cl.Close()
+				if err == nil && st.AppliedSeq >= target {
+					return true
+				}
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		return false
+	}
+
+	fmt.Printf("n=%d; durable primary + R replica servers in-process; %d ReadRecent readers, %v per cell\n",
+		n, readerGoroutines, dur)
+	fmt.Printf("%10s %10s %14s %12s %12s %10s\n",
+		"replicas", "writers", "reads/s", "writes/s", "shipped", "maxlag")
+	for _, replicaCount := range []int{0, 1, 2} {
+		var replicaSrvs []*server.Server
+		var replicaAddrs []string
+		ok := true
+		for i := 0; i < replicaCount; i++ {
+			r, err := server.New(server.Options{ReplicaOf: primaryAddr})
+			if err != nil {
+				fmt.Printf("skipping replicas=%d: %v\n", replicaCount, err)
+				ok = false
+				break
+			}
+			rln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				fmt.Printf("skipping replicas=%d: %v\n", replicaCount, err)
+				r.Shutdown()
+				ok = false
+				break
+			}
+			go r.Serve(rln)
+			replicaSrvs = append(replicaSrvs, r)
+			replicaAddrs = append(replicaAddrs, rln.Addr().String())
+			if !waitApplied(replicaAddrs[i]) {
+				fmt.Printf("skipping replicas=%d: replica never converged\n", replicaCount)
+				ok = false
+				break
+			}
+		}
+		if ok {
+			for _, writers := range []int{0, 2} {
+				readCl, err := client.Dial(primaryAddr, client.WithReplicas(replicaAddrs...))
+				if err != nil {
+					fmt.Printf("skipping cell: %v\n", err)
+					continue
+				}
+				stop := make(chan struct{})
+				var wg sync.WaitGroup
+				var reads, writes atomic.Int64
+				for w := 0; w < writers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						rng := rand.New(rand.NewSource(cfg.seed + int64(w)))
+						ns := admin.Namespace("g")
+						for {
+							select {
+							case <-stop:
+								return
+							default:
+							}
+							u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+							if rng.Intn(3) == 0 {
+								ns.Delete(u, v)
+							} else {
+								ns.Insert(u, v)
+							}
+							writes.Add(1)
+							// Single-CPU CI: writers must not starve the
+							// dispatcher or the replica apply loops.
+							runtime.Gosched()
+						}
+					}(w)
+				}
+				for r := 0; r < readerGoroutines; r++ {
+					wg.Add(1)
+					go func(r int) {
+						defer wg.Done()
+						rng := rand.New(rand.NewSource(cfg.seed + 100 + int64(r)))
+						ns := readCl.Namespace("g")
+						local := int64(0)
+						for {
+							select {
+							case <-stop:
+								reads.Add(local)
+								return
+							default:
+							}
+							if _, err := ns.ReadRecent(int32(rng.Intn(n)), int32(rng.Intn(n))); err == nil {
+								local++
+							}
+							runtime.Gosched()
+						}
+					}(r)
+				}
+				time.Sleep(dur)
+				close(stop)
+				wg.Wait()
+				st, _ := nsAdmin.Stats()
+				fmt.Printf("%10d %10d %14.0f %12.0f %12d %10d\n",
+					replicaCount, writers,
+					float64(reads.Load())/dur.Seconds(),
+					float64(writes.Load())/dur.Seconds(),
+					st.LastShippedSeq, st.MaxFollowerLag)
+				readCl.Close()
+			}
+		}
+		for _, r := range replicaSrvs {
+			r.Shutdown()
+		}
+	}
+	fmt.Printf("(reads with bounded-staleness tolerance fan out over the replicas, fenced by the\n")
+	fmt.Printf(" client's observed write seq; writes always hit the primary. On a multi-core host\n")
+	fmt.Printf(" aggregate read throughput grows with replica count — a single-CPU container\n")
+	fmt.Printf(" serializes primary, replicas and clients onto one core and understates it)\n")
+}
+
 // ---------------------------------------------------------------- E15
 
 func runE15(cfg config) {
@@ -723,7 +908,10 @@ func runE15(cfg config) {
 			}
 			// depth drivers per connection: the client round-robins frames
 			// across its pool, so conns×depth concurrent callers keep about
-			// `depth` frames in flight on each connection.
+			// `depth` frames in flight on each connection. Driver loops need
+			// no explicit Gosched — every iteration blocks on a full wire
+			// round trip, so the scheduler always gets the core back (the
+			// e13 lesson applies to spinning readers, not blocking ones).
 			drivers := conns * depth
 			perDriver := framesTotal / drivers
 			if perDriver == 0 {

@@ -24,11 +24,24 @@
 // a write-ahead log in DIR before it is acknowledged, 'checkpoint' bounds
 // the log, and a later invocation with the same -data restores the graph
 // (checkpoint + WAL tail) before reading its command stream — in that case
-// the universe is already declared and 'n' must be omitted.
+// the universe is already declared and 'n' must be omitted. A durable
+// session's 'stats' adds a WAL line (records, bytes, checkpoints, and the
+// log's floor/last sequence numbers).
+//
+// With -addr HOST:PORT the same command stream drives a remote connserver
+// namespace (-ns, default "default") through the client package instead of
+// a local graph: 'n <count> [durable]' creates the namespace (omit it if it
+// already exists), updates ride batched CmdBatch frames, '?' is a
+// linearized query, and 'stats' prints the server's counters — including
+// the replication block (connected subscribers, last shipped seq, max
+// follower lag on a primary; applied seq on a replica). 'components' and
+// 'size' are local-only (the wire protocol serves connectivity, not
+// component enumeration).
 //
 //	go run ./cmd/conncli workload.txt
 //	generate-stream | go run ./cmd/conncli
 //	go run ./cmd/conncli -data /var/lib/conn workload.txt
+//	go run ./cmd/conncli -addr localhost:7421 -ns social workload.txt
 package main
 
 import (
@@ -42,11 +55,18 @@ import (
 	"strings"
 
 	conn "repro"
+	"repro/client"
 )
 
 func main() {
 	data := flag.String("data", "", "durability directory: restore from it at startup, WAL every batch into it")
+	addr := flag.String("addr", "", "connserver address: drive a remote namespace instead of a local graph")
+	ns := flag.String("ns", "default", "remote namespace name (with -addr)")
 	flag.Parse()
+	if *data != "" && *addr != "" {
+		fmt.Fprintln(os.Stderr, "conncli: -data is local-only; a remote namespace's durability is the server's")
+		os.Exit(2)
+	}
 	in := os.Stdin
 	if flag.NArg() > 0 {
 		f, err := os.Open(flag.Arg(0))
@@ -57,7 +77,7 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	if err := run(in, os.Stdout, *data); err != nil {
+	if err := run(in, os.Stdout, *data, *addr, *ns); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -67,18 +87,39 @@ type session struct {
 	g       *conn.Graph
 	b       *conn.Batcher // non-nil iff the session is durable
 	dataDir string
-	ins     []conn.Edge
-	dels    []conn.Edge
-	out     io.Writer
+
+	rcl    *client.Client    // non-nil iff the session is remote (-addr)
+	remote *client.Namespace // the driven remote namespace
+	nsName string
+
+	ins  []conn.Edge
+	dels []conn.Edge
+	out  io.Writer
 }
 
 // flush applies pending updates: deletions first, then insertions. In a
 // durable session each batch is one fsynced epoch through the Batcher; the
 // driver is single-threaded, so between commands the dispatcher is idle and
-// the Graph's read-only queries remain safe to call directly.
-func (s *session) flush() {
+// the Graph's read-only queries remain safe to call directly. In a remote
+// session each batch is one CmdBatch frame, committed as one server epoch.
+func (s *session) flush() error {
+	if s.remote != nil {
+		if len(s.dels) > 0 {
+			if _, err := s.remote.DeleteEdges(s.dels); err != nil {
+				return err
+			}
+			s.dels = s.dels[:0]
+		}
+		if len(s.ins) > 0 {
+			if _, err := s.remote.InsertEdges(s.ins); err != nil {
+				return err
+			}
+			s.ins = s.ins[:0]
+		}
+		return nil
+	}
 	if s.g == nil {
-		return
+		return nil
 	}
 	if len(s.dels) > 0 {
 		if s.b != nil {
@@ -96,6 +137,7 @@ func (s *session) flush() {
 		}
 		s.ins = s.ins[:0]
 	}
+	return nil
 }
 
 // attach wires the freshly created or restored graph into a durable Batcher
@@ -112,11 +154,23 @@ func (s *session) close() {
 		s.b.Close()
 		s.b = nil
 	}
+	if s.rcl != nil {
+		s.rcl.Close()
+		s.rcl = nil
+	}
 }
 
-func run(in io.Reader, out io.Writer, dataDir string) error {
-	s := &session{out: out, dataDir: dataDir}
+func run(in io.Reader, out io.Writer, dataDir, addr, nsName string) error {
+	s := &session{out: out, dataDir: dataDir, nsName: nsName}
 	defer s.close()
+	if addr != "" {
+		cl, err := client.Dial(addr)
+		if err != nil {
+			return err
+		}
+		s.rcl = cl
+		s.remote = cl.Namespace(nsName)
+	}
 	if dataDir != "" {
 		g, err := conn.Restore(dataDir)
 		switch {
@@ -144,7 +198,9 @@ func run(in io.Reader, out io.Writer, dataDir string) error {
 			return fmt.Errorf("line %d: %w", line, err)
 		}
 	}
-	s.flush()
+	if err := s.flush(); err != nil {
+		return err
+	}
 	return sc.Err()
 }
 
@@ -161,7 +217,7 @@ func (s *session) exec(text string) error {
 		}
 		return int32(v), nil
 	}
-	if cmd != "n" && s.g == nil {
+	if cmd != "n" && s.g == nil && s.remote == nil {
 		return fmt.Errorf("%s before 'n <count>'", cmd)
 	}
 	switch cmd {
@@ -170,11 +226,21 @@ func (s *session) exec(text string) error {
 		if err != nil {
 			return err
 		}
-		if s.g != nil {
-			return fmt.Errorf("universe already declared")
-		}
 		if v <= 0 {
 			return fmt.Errorf("n must be positive")
+		}
+		if s.remote != nil {
+			durable := false
+			if len(fields) > 2 {
+				if fields[2] != "durable" {
+					return fmt.Errorf("n: unknown flag %q (want 'durable')", fields[2])
+				}
+				durable = true
+			}
+			return s.rcl.Create(s.nsName, int(v), durable)
+		}
+		if s.g != nil {
+			return fmt.Errorf("universe already declared")
 		}
 		s.attach(conn.New(int(v)))
 	case "+", "-":
@@ -186,7 +252,7 @@ func (s *session) exec(text string) error {
 		if err != nil {
 			return err
 		}
-		if u < 0 || v < 0 || int(u) >= s.g.N() || int(v) >= s.g.N() {
+		if s.g != nil && (u < 0 || v < 0 || int(u) >= s.g.N() || int(v) >= s.g.N()) {
 			return fmt.Errorf("vertex out of range [0,%d)", s.g.N())
 		}
 		if cmd == "+" {
@@ -203,11 +269,24 @@ func (s *session) exec(text string) error {
 		if err != nil {
 			return err
 		}
-		s.flush()
+		if err := s.flush(); err != nil {
+			return err
+		}
+		if s.remote != nil {
+			ok, err := s.remote.Connected(u, v)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(s.out, ok)
+			return nil
+		}
 		fmt.Fprintln(s.out, s.g.Connected(u, v))
 	case "flush":
-		s.flush()
+		return s.flush()
 	case "components":
+		if s.remote != nil {
+			return fmt.Errorf("components is local-only (the wire protocol serves connectivity queries)")
+		}
 		s.flush()
 		fmt.Fprintln(s.out, s.g.NumComponents())
 	case "size":
@@ -215,18 +294,50 @@ func (s *session) exec(text string) error {
 		if err != nil {
 			return err
 		}
+		if s.remote != nil {
+			return fmt.Errorf("size is local-only (the wire protocol serves connectivity queries)")
+		}
 		s.flush()
 		fmt.Fprintln(s.out, s.g.ComponentSize(u))
 	case "stats":
-		s.flush()
+		if err := s.flush(); err != nil {
+			return err
+		}
+		if s.remote != nil {
+			st, err := s.remote.Stats()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(s.out, "epochs=%d ops=%d maxepoch=%d publishes=%d rebuilds=%d\n",
+				st.Epochs, st.Ops, st.MaxEpoch, st.SnapshotPublishes, st.SnapshotRebuilds)
+			fmt.Fprintf(s.out, "wal: records=%d bytes=%d checkpoints=%d\n",
+				st.WALRecords, st.WALBytes, st.Checkpoints)
+			fmt.Fprintf(s.out, "repl: subscribers=%d last_shipped=%d max_lag=%d applied=%d\n",
+				st.Subscribers, st.LastShippedSeq, st.MaxFollowerLag, st.AppliedSeq)
+			return nil
+		}
 		st := s.g.Stats()
 		fmt.Fprintf(s.out, "edges=%d inserts=%d deletes=%d replaced=%d pushdowns=%d\n",
 			s.g.NumEdges(), st.Inserts, st.Deletes, st.Replaced, st.Pushdowns+st.TreePushes)
+		if s.b != nil {
+			bs := s.b.Stats()
+			fmt.Fprintf(s.out, "wal: records=%d bytes=%d checkpoints=%d floor=%d last=%d\n",
+				bs.WALRecords, bs.WALBytes, bs.Checkpoints, s.b.WALFloor(), s.b.WALSeq())
+		}
 	case "checkpoint":
+		if err := s.flush(); err != nil {
+			return err
+		}
+		if s.remote != nil {
+			if _, err := s.remote.Checkpoint(); err != nil {
+				return fmt.Errorf("checkpoint: %w", err)
+			}
+			fmt.Fprintln(s.out, "ok")
+			return nil
+		}
 		if s.b == nil {
 			return fmt.Errorf("checkpoint requires -data")
 		}
-		s.flush()
 		if _, err := s.b.Checkpoint(); err != nil {
 			return fmt.Errorf("checkpoint: %w", err)
 		}

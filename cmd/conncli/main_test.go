@@ -2,12 +2,14 @@ package main
 
 import (
 	"flag"
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	conn "repro"
+	"repro/internal/server"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files with observed output")
@@ -15,7 +17,7 @@ var update = flag.Bool("update", false, "rewrite golden files with observed outp
 func runScript(t *testing.T, script string) (string, error) {
 	t.Helper()
 	var out strings.Builder
-	err := run(strings.NewReader(script), &out, "")
+	err := run(strings.NewReader(script), &out, "", "", "default")
 	return out.String(), err
 }
 
@@ -118,7 +120,7 @@ func TestDurableGoldenScripts(t *testing.T) {
 			t.Fatal(err)
 		}
 		var out strings.Builder
-		if err := run(strings.NewReader(string(script)), &out, dataDir); err != nil {
+		if err := run(strings.NewReader(string(script)), &out, dataDir, "", "default"); err != nil {
 			t.Fatalf("%s: %v", phase, err)
 		}
 		goldenPath := filepath.Join("testdata", phase+".golden")
@@ -157,7 +159,7 @@ func TestCheckpointWithoutDataRejected(t *testing.T) {
 func TestDurableFreshDirRequiresN(t *testing.T) {
 	dir := t.TempDir()
 	var out strings.Builder
-	err := run(strings.NewReader("? 0 1\n"), &out, dir)
+	err := run(strings.NewReader("? 0 1\n"), &out, dir, "", "default")
 	if err == nil || !strings.Contains(err.Error(), "before 'n") {
 		t.Fatalf("err = %v", err)
 	}
@@ -166,11 +168,47 @@ func TestDurableFreshDirRequiresN(t *testing.T) {
 func TestDurableRestoredDirRejectsN(t *testing.T) {
 	dir := t.TempDir()
 	var out strings.Builder
-	if err := run(strings.NewReader("n 4\n+ 0 1\n"), &out, dir); err != nil {
+	if err := run(strings.NewReader("n 4\n+ 0 1\n"), &out, dir, "", "default"); err != nil {
 		t.Fatal(err)
 	}
-	err := run(strings.NewReader("n 4\n"), &out, dir)
+	err := run(strings.NewReader("n 4\n"), &out, dir, "", "default")
 	if err == nil || !strings.Contains(err.Error(), "already declared") {
 		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestRemoteSession drives a live connserver through conncli's -addr mode:
+// updates, queries, checkpoint, and the stats output with its replication
+// block.
+func TestRemoteSession(t *testing.T) {
+	srv, err := server.New(server.Options{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Shutdown()
+
+	var out strings.Builder
+	script := "n 16 durable\n+ 0 1\n+ 1 2\n? 0 2\n- 1 2\n? 0 2\ncheckpoint\nstats\n"
+	if err := run(strings.NewReader(script), &out, "", ln.Addr().String(), "g"); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.HasPrefix(got, "true\nfalse\nok\n") {
+		t.Fatalf("remote query/checkpoint output:\n%s", got)
+	}
+	if !strings.Contains(got, "repl: subscribers=0") ||
+		!strings.Contains(got, "wal: records=") {
+		t.Fatalf("stats output missing wal/replication block:\n%s", got)
+	}
+
+	// Local-only commands must fail loudly, not silently misreport.
+	err = run(strings.NewReader("components\n"), &out, "", ln.Addr().String(), "g")
+	if err == nil || !strings.Contains(err.Error(), "local-only") {
+		t.Fatalf("remote components err = %v", err)
 	}
 }

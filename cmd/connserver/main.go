@@ -9,6 +9,7 @@
 //
 //	connserver -addr :7421                  # memory-only namespaces
 //	connserver -addr :7421 -data /var/lib/conn
+//	connserver -addr :7422 -replica-of primary:7421
 //
 // With -data, namespaces created durable live under <data>/<namespace>/
 // (write-ahead log + checkpoints, exactly conn.WithDurability) and are
@@ -16,6 +17,13 @@
 // accepting, answer every request already received, then flush and
 // checkpoint every durable namespace before exit — acked writes survive,
 // and restart replay is bounded by the final checkpoint.
+//
+// With -replica-of, the server is a read-only replica: it subscribes to the
+// primary's per-namespace epoch streams (WAL shipping with checkpoint +
+// log-tail catch-up), applies them locally, and serves the bounded-stale
+// read tiers; mutating requests are answered with a redirect to the
+// primary. Replicas reconnect with exponential backoff and keep serving
+// their last applied state while the primary is down.
 package main
 
 import (
@@ -35,6 +43,7 @@ func main() {
 	data := flag.String("data", "", "data directory for durable namespaces (empty = memory only)")
 	maxBatch := flag.Int("max-batch", 0, "epoch size target per namespace (0 = library default)")
 	maxDelay := flag.Duration("max-delay", 0, "epoch coalescing window per namespace (0 = library default)")
+	replicaOf := flag.String("replica-of", "", "primary connserver address to follow as a read-only replica (memory only)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "connserver: unexpected arguments %q\n", flag.Args())
@@ -43,10 +52,11 @@ func main() {
 
 	logger := log.New(os.Stderr, "connserver: ", log.LstdFlags)
 	srv, err := server.New(server.Options{
-		DataDir:  *data,
-		MaxBatch: *maxBatch,
-		MaxDelay: *maxDelay,
-		Logf:     logger.Printf,
+		DataDir:   *data,
+		MaxBatch:  *maxBatch,
+		MaxDelay:  *maxDelay,
+		ReplicaOf: *replicaOf,
+		Logf:      logger.Printf,
 	})
 	if err != nil {
 		logger.Fatal(err)
@@ -64,7 +74,11 @@ func main() {
 		close(done)
 	}()
 
-	logger.Printf("listening on %s (data=%q)", *addr, *data)
+	if *replicaOf != "" {
+		logger.Printf("listening on %s (read-only replica of %s)", *addr, *replicaOf)
+	} else {
+		logger.Printf("listening on %s (data=%q)", *addr, *data)
+	}
 	if err := srv.ListenAndServe(*addr); err != nil {
 		logger.Fatal(err)
 	}

@@ -415,3 +415,79 @@ func TestDurableAckImpliesDurable(t *testing.T) {
 		}
 	}
 }
+
+// TestDoSeqIsExact: the seq DoSeq returns is the caller's own epoch — the
+// WAL record that committed its ops (or, for a query-only group, the last
+// mutating seq its answer reflects) — never a later writer's position. A
+// fence built from it therefore demands exactly the caller's writes from a
+// replica, which is what keeps read-your-writes routing from degrading to
+// primary-only reads under concurrent write load.
+func TestDoSeqIsExact(t *testing.T) {
+	dir := t.TempDir()
+	g := New(64)
+	b := NewBatcher(g, WithMaxDelay(0), WithDurability(dir))
+	defer b.Close()
+
+	_, s1, err := b.DoSeq([]Op{{Kind: OpInsert, U: 0, V: 1}})
+	if err != nil || s1 != 1 {
+		t.Fatalf("first mutating DoSeq = seq %d, %v; want 1", s1, err)
+	}
+	_, s2, err := b.DoSeq([]Op{{Kind: OpInsert, U: 1, V: 2}})
+	if err != nil || s2 != 2 {
+		t.Fatalf("second mutating DoSeq = seq %d, %v; want 2", s2, err)
+	}
+	// Query-only group: no record is logged; the reported position is the
+	// last mutating seq the post-epoch state reflects.
+	bits, s3, err := b.DoSeq([]Op{{Kind: OpQuery, U: 0, V: 2}})
+	if err != nil || s3 != 2 || !bits[0] {
+		t.Fatalf("query-only DoSeq = %v, seq %d, %v; want true, 2", bits, s3, err)
+	}
+
+	// Concurrent writers: every caller's seq must cover its own write —
+	// replaying the WAL prefix up to that seq must contain the edge.
+	const writers = 8
+	var wg sync.WaitGroup
+	seqs := make([]uint64, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			_, s, err := b.DoSeq([]Op{{Kind: OpInsert, U: int32(10 + w), V: int32(20 + w)}})
+			if err != nil {
+				t.Errorf("writer %d: %v", w, err)
+				return
+			}
+			seqs[w] = s
+		}(w)
+	}
+	wg.Wait()
+	b.Flush()
+
+	f, err := os.Open(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	firstSeq := make(map[uint64]uint64) // edge key -> seq of the record holding it
+	if _, err := wal.Scan(f, func(r wal.Record) error {
+		for _, e := range r.Ins {
+			k := graph.Edge{U: e.U, V: e.V}.Key()
+			if _, ok := firstSeq[k]; !ok {
+				firstSeq[k] = r.Seq
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < writers; w++ {
+		k := graph.Edge{U: int32(10 + w), V: int32(20 + w)}.Key()
+		logged, ok := firstSeq[k]
+		if !ok {
+			t.Fatalf("writer %d's edge missing from the WAL", w)
+		}
+		if seqs[w] != logged {
+			t.Fatalf("writer %d: DoSeq reported %d but its edge committed at %d", w, seqs[w], logged)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+// Package backoff is the one exponential-backoff implementation shared by
+// everything in the replication path that retries — the follower's
+// reconnect loop, the client's per-replica failure timeout, and the
+// replica manager's primary discovery. Centralizing it means a tuning
+// change (or adding jitter against reconnect thundering herds) lands
+// everywhere at once instead of in three hand-rolled copies.
+package backoff
+
+import "time"
+
+// B is a capped exponential backoff: Next returns Min, 2·Min, 4·Min, …
+// capped at Max; Reset snaps back to Min after a success. The zero value is
+// unusable — construct with New.
+type B struct {
+	min, max time.Duration
+	cur      time.Duration
+}
+
+// New returns a backoff doubling from min up to max. min must be positive;
+// max below min is raised to min.
+func New(min, max time.Duration) *B {
+	if min <= 0 {
+		min = time.Millisecond
+	}
+	if max < min {
+		max = min
+	}
+	return &B{min: min, max: max}
+}
+
+// Next returns the delay to wait before the upcoming retry and advances
+// the sequence.
+func (b *B) Next() time.Duration {
+	if b.cur == 0 {
+		b.cur = b.min
+	}
+	d := b.cur
+	if b.cur *= 2; b.cur > b.max {
+		b.cur = b.max
+	}
+	return d
+}
+
+// Reset returns the sequence to its starting delay — call after a success.
+func (b *B) Reset() { b.cur = 0 }

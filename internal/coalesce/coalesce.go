@@ -62,6 +62,7 @@ var ErrClosed = errors.New("coalesce: buffer is closed")
 type group struct {
 	ops  []Op
 	res  []bool        // written by the dispatcher before done is closed
+	seq  uint64        // executor-assigned commit position of the group's epoch
 	done chan struct{} // closed once the group's epoch has committed
 }
 
@@ -91,7 +92,7 @@ type Buffer struct {
 	kick     chan struct{} // wakes the dispatcher; capacity 1
 	closing  chan struct{}
 	wg       sync.WaitGroup
-	exec     func([]Op) []bool
+	exec     func([]Op) ([]bool, uint64)
 	maxBatch int
 	maxDelay time.Duration
 
@@ -102,11 +103,13 @@ type Buffer struct {
 
 // NewBuffer starts a buffer whose dispatcher drains staged operations into
 // epochs and executes each epoch with exec, which receives the concatenated
-// operations and must return one result per operation, in order. exec is
-// only ever called from the dispatcher goroutine. A drain that collected
-// only barrier groups (Flush with nothing staged) still calls exec with an
-// empty op slice — executors with out-of-band epoch-boundary work rely on
-// Flush as a dispatcher nudge.
+// operations and must return one result per operation, in order, plus the
+// epoch's commit position (an executor-defined sequence number, zero if it
+// has none; fanned back to every group via Future.Seq). exec is only ever
+// called from the dispatcher goroutine. A drain that collected only barrier
+// groups (Flush with nothing staged) still calls exec with an empty op
+// slice — executors with out-of-band epoch-boundary work rely on Flush as
+// a dispatcher nudge.
 //
 // The dispatcher commits an epoch as soon as maxBatch operations are staged,
 // or maxDelay after it first notices pending work, whichever comes first.
@@ -114,7 +117,7 @@ type Buffer struct {
 // wakes, so epochs coalesce only what accumulates while an execution is in
 // flight. shards <= 0 selects GOMAXPROCS stripes; maxBatch <= 0 selects a
 // default of 8192.
-func NewBuffer(shards, maxBatch int, maxDelay time.Duration, exec func(ops []Op) []bool) *Buffer {
+func NewBuffer(shards, maxBatch int, maxDelay time.Duration, exec func(ops []Op) ([]bool, uint64)) *Buffer {
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
 	}
@@ -145,6 +148,13 @@ type Future struct{ g *group }
 func (f Future) Wait() []bool {
 	<-f.g.done
 	return f.g.res
+}
+
+// Seq returns the commit position the executor assigned to the group's
+// epoch (zero if the executor has no sequence). Valid only after Wait.
+func (f Future) Seq() uint64 {
+	<-f.g.done
+	return f.g.seq
 }
 
 // Submit stages ops as one atomic group — all land in the same epoch — and
@@ -299,12 +309,13 @@ func (b *Buffer) drain() {
 		for _, g := range groups {
 			ops = append(ops, g.ops...)
 		}
-		res := b.exec(ops)
+		res, seq := b.exec(ops)
 		i := 0
 		for _, g := range groups {
 			// Full slice expression: callers may append to their result
 			// slice, which must not grow into the next group's range.
 			g.res = res[i : i+len(g.ops) : i+len(g.ops)]
+			g.seq = seq
 			i += len(g.ops)
 		}
 		if total > 0 {

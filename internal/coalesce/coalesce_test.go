@@ -7,15 +7,16 @@ import (
 	"time"
 )
 
-// echoExec returns true for every op and counts invocations.
-func echoExec(calls *atomic.Int64) func([]Op) []bool {
-	return func(ops []Op) []bool {
-		calls.Add(1)
+// echoExec returns true for every op and counts invocations as the
+// epoch's commit position.
+func echoExec(calls *atomic.Int64) func([]Op) ([]bool, uint64) {
+	return func(ops []Op) ([]bool, uint64) {
+		n := calls.Add(1)
 		res := make([]bool, len(ops))
 		for i := range res {
 			res[i] = true
 		}
-		return res
+		return res, uint64(n)
 	}
 }
 
@@ -38,6 +39,11 @@ func TestSubmitWaitRoundTrip(t *testing.T) {
 			if len(res) != 1 || !res[0] {
 				t.Errorf("Wait = %v", res)
 			}
+			// All four ops land in the single epoch, whose exec invocation
+			// count (echoExec's seq) is 1 — fanned back to every group.
+			if seq := f.Seq(); seq != 1 {
+				t.Errorf("Seq = %d, want 1", seq)
+			}
 		}(i)
 	}
 	wg.Wait()
@@ -55,10 +61,10 @@ func TestSubmitWaitRoundTrip(t *testing.T) {
 func TestGroupIsAtomic(t *testing.T) {
 	var calls atomic.Int64
 	var epochSizes []int
-	b := NewBuffer(1, 2, 0, func(ops []Op) []bool {
+	b := NewBuffer(1, 2, 0, func(ops []Op) ([]bool, uint64) {
 		calls.Add(1)
 		epochSizes = append(epochSizes, len(ops))
-		return make([]bool, len(ops))
+		return make([]bool, len(ops)), 0
 	})
 	// A 7-op group with maxBatch 2 must still commit as one epoch.
 	ops := make([]Op, 7)
@@ -138,9 +144,9 @@ func TestConcurrentHammer(t *testing.T) {
 	const goroutines = 8
 	const perG = 500
 	var executed atomic.Int64
-	b := NewBuffer(0, 64, 100*time.Microsecond, func(ops []Op) []bool {
+	b := NewBuffer(0, 64, 100*time.Microsecond, func(ops []Op) ([]bool, uint64) {
 		executed.Add(int64(len(ops)))
-		return make([]bool, len(ops))
+		return make([]bool, len(ops)), 0
 	})
 	var wg sync.WaitGroup
 	for g := 0; g < goroutines; g++ {

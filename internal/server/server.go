@@ -28,6 +28,7 @@ import (
 	"time"
 
 	conn "repro"
+	"repro/internal/repl"
 	"repro/internal/wire"
 )
 
@@ -43,6 +44,14 @@ type Options struct {
 	// (zero selects the conn defaults).
 	MaxBatch int
 	MaxDelay time.Duration
+
+	// ReplicaOf, when non-empty, starts the server as a read-only replica
+	// of the primary connserver at that address: every durable namespace on
+	// the primary is followed via its epoch stream (see internal/repl) and
+	// served locally through the read tiers; mutating requests are rejected
+	// with a redirect to the primary. Replica mode is memory-only —
+	// combining it with DataDir is an error.
+	ReplicaOf string
 
 	// Logf, when non-nil, receives one line per server-lifecycle event
 	// (namespace restored, drain progress). Request traffic is not logged.
@@ -62,7 +71,10 @@ type Server struct {
 	draining atomic.Bool
 	connMu   sync.Mutex
 	conns    map[net.Conn]struct{}
-	wg       sync.WaitGroup // live connection handlers
+	subConns map[net.Conn]struct{} // conns owned by a subscription stream
+	wg       sync.WaitGroup        // live connection handlers
+
+	replMgr *replicaManager // non-nil iff Options.ReplicaOf is set
 }
 
 // namespace is one named graph: a Batcher over its own Graph, plus the
@@ -73,10 +85,36 @@ type namespace struct {
 	name    string
 	durable bool
 
+	// readonly marks a replica-mode namespace: its state comes from the
+	// primary's epoch stream, and mutating requests are redirected. The
+	// follower's apply loop may swap g and b wholesale (snapshot catch-up),
+	// which is why requests read them under mu like everything else.
+	readonly bool
+	// applied is the replica-side replication position: the seq of the last
+	// epoch fully applied from the primary's stream.
+	applied atomic.Uint64
+
+	// hub, on a primary-side durable namespace, tees committed epochs to
+	// subscribed followers and serves their catch-up (internal/repl).
+	hub *repl.Hub
+
 	mu     sync.RWMutex
 	closed bool
 	g      *conn.Graph
 	b      *conn.Batcher
+}
+
+// seq returns the namespace's replication position for read responses: the
+// last fully applied epoch — on a primary the Batcher's applied seq (which
+// trails WALSeq by at most the epoch being applied), on a replica the
+// follower's applied seq; zero for a memory-only namespace. Sampled before
+// a read it never exceeds the state the read reflects, the direction the
+// client's staleness fence depends on. Callers hold ns.mu (either mode).
+func (ns *namespace) seq() uint64 {
+	if ns.readonly {
+		return ns.applied.Load()
+	}
+	return ns.b.AppliedSeq()
 }
 
 // New builds a server and, if opts.DataDir is set, restores every durable
@@ -86,6 +124,14 @@ func New(opts Options) (*Server, error) {
 		opts:       opts,
 		namespaces: make(map[string]*namespace),
 		conns:      make(map[net.Conn]struct{}),
+		subConns:   make(map[net.Conn]struct{}),
+	}
+	if opts.ReplicaOf != "" {
+		if opts.DataDir != "" {
+			return nil, errors.New("server: replica mode is memory-only; -replica-of excludes -data")
+		}
+		s.startReplication()
+		return s, nil
 	}
 	if opts.DataDir != "" {
 		if err := os.MkdirAll(opts.DataDir, 0o755); err != nil {
@@ -112,7 +158,9 @@ func New(opts Options) (*Server, error) {
 			if err != nil {
 				return nil, fmt.Errorf("server: namespace %q: %w", name, err)
 			}
-			s.namespaces[name] = &namespace{name: name, durable: true, g: g, b: b}
+			ns := &namespace{name: name, durable: true, g: g, b: b}
+			ns.hub = repl.NewHub(b, dir, g.N())
+			s.namespaces[name] = ns
 			s.logf("restored namespace %q (n=%d, %d edges)", name, g.N(), g.NumEdges())
 		}
 	}
@@ -229,6 +277,30 @@ func (s *Server) Shutdown() {
 		c.SetReadDeadline(time.Now())
 	}
 	s.connMu.Unlock()
+	// Replication winds down before the connection wait: follower loops
+	// (replica mode) must finish their in-flight apply before Batchers
+	// close, and stopping the hubs terminates subscription streams, whose
+	// pump goroutines the connection handlers are waiting on.
+	if s.replMgr != nil {
+		s.replMgr.stopAll()
+	}
+	s.mu.RLock()
+	for _, ns := range s.namespaces {
+		if ns.hub != nil {
+			ns.hub.Stop()
+		}
+	}
+	s.mu.RUnlock()
+	// Sever subscription connections outright: their pumps are the one
+	// place a handler can sit in a blocking TCP write to a peer that
+	// stopped reading, and the read deadline above cannot wake those.
+	// Ordinary in-flight responses are unaffected — only stream conns are
+	// registered here.
+	s.connMu.Lock()
+	for c := range s.subConns {
+		c.Close()
+	}
+	s.connMu.Unlock()
 	s.wg.Wait()
 	s.logf("connections drained")
 
@@ -280,18 +352,19 @@ func (s *Server) handleConn(c net.Conn) {
 		wmu   sync.Mutex
 		reqWG sync.WaitGroup
 	)
-	write := func(resp *wire.Response) {
+	write := func(resp *wire.Response) error {
 		payload, err := wire.EncodeResponse(resp)
 		if err != nil {
-			return // response of our own making failed to encode: drop it
+			return nil // response of our own making failed to encode: drop it
 		}
 		wmu.Lock()
 		defer wmu.Unlock()
 		// Serialized writes, flushed per response: a pipelined client is
 		// already decoupled from per-response latency.
-		if wire.WriteFrame(r.bw, payload) == nil {
-			r.bw.Flush()
+		if err := wire.WriteFrame(r.bw, payload); err != nil {
+			return err
 		}
+		return r.bw.Flush()
 	}
 	for {
 		payload, err := wire.ReadFrame(r.br)
@@ -307,6 +380,28 @@ func (s *Server) handleConn(c net.Conn) {
 				Msg: "server is draining"})
 			continue
 		}
+		if req.Cmd == wire.CmdSubscribe {
+			// A subscription owns the connection's write side for its
+			// lifetime (frames from other pipelined requests still
+			// interleave safely, but the stream ends by closing the
+			// connection) — followers dial a dedicated connection per
+			// subscription. The conn is registered so Shutdown can sever a
+			// pump blocked in a TCP write to a stalled follower; the drain
+			// must never wait on a peer that stopped reading.
+			s.connMu.Lock()
+			s.subConns[c] = struct{}{}
+			s.connMu.Unlock()
+			reqWG.Add(1)
+			go func() {
+				defer reqWG.Done()
+				s.subscribe(req, write)
+				s.connMu.Lock()
+				delete(s.subConns, c)
+				s.connMu.Unlock()
+				c.Close()
+			}()
+			continue
+		}
 		reqWG.Add(1)
 		go func() {
 			defer reqWG.Done()
@@ -319,6 +414,49 @@ func (s *Server) handleConn(c net.Conn) {
 	wmu.Unlock()
 }
 
+// subscribe serves one epoch-stream subscription: resolve the namespace's
+// hub and pump its stream through the connection until the stream ends
+// (follower gone, hub stopped, follower lagging). It runs on the request's
+// goroutine; the caller closes the connection when it returns.
+func (s *Server) subscribe(req *wire.Request, write func(*wire.Response) error) {
+	fail := func(st wire.Status, format string, args ...any) *wire.Response {
+		return &wire.Response{ID: req.ID, Status: st, Msg: fmt.Sprintf(format, args...)}
+	}
+	if s.opts.ReplicaOf != "" {
+		write(fail(wire.StatusReadOnly, "%s", s.opts.ReplicaOf))
+		return
+	}
+	ns, resp := s.lookup(req, fail)
+	if resp != nil {
+		write(resp)
+		return
+	}
+	ns.mu.RLock()
+	hub := ns.hub
+	closed := ns.closed
+	ns.mu.RUnlock()
+	if closed || hub == nil {
+		if closed {
+			write(fail(wire.StatusNotFound, "namespace %q: dropped", req.NS))
+		} else {
+			write(fail(wire.StatusBadRequest,
+				"namespace %q is not durable; only durable namespaces replicate", req.NS))
+		}
+		return
+	}
+	// The stream deliberately runs outside the namespace read-lock: Drop
+	// and Shutdown stop the hub first, which terminates this pump before
+	// the Batcher closes.
+	err := hub.Stream(req.FromSeq, func(f repl.Frame) error {
+		return write(&wire.Response{ID: req.ID, Snapshot: f.Snapshot, Epoch: f.Epoch})
+	})
+	if err != nil {
+		// Best effort: tell a still-connected follower why the stream ended
+		// (a lagging follower reconnects into catch-up).
+		write(fail(wire.StatusInternal, "subscription ended: %v", err))
+	}
+}
+
 // handle executes one request. It runs on a per-request goroutine and may
 // block for an epoch; returning the response is the acknowledgement.
 func (s *Server) handle(req *wire.Request) *wire.Response {
@@ -329,8 +467,14 @@ func (s *Server) handle(req *wire.Request) *wire.Response {
 	case wire.CmdPing:
 		return &wire.Response{ID: req.ID}
 	case wire.CmdCreate:
+		if s.opts.ReplicaOf != "" {
+			return fail(wire.StatusReadOnly, "%s", s.opts.ReplicaOf)
+		}
 		return s.create(req, fail)
 	case wire.CmdDrop:
+		if s.opts.ReplicaOf != "" {
+			return fail(wire.StatusReadOnly, "%s", s.opts.ReplicaOf)
+		}
 		return s.drop(req, fail)
 	case wire.CmdList:
 		return s.list(req)
@@ -351,17 +495,34 @@ func (s *Server) handle(req *wire.Request) *wire.Response {
 	switch req.Cmd {
 	case wire.CmdBatch:
 		ops := make([]conn.Op, len(req.Ops))
+		mutates := false
 		for i, op := range req.Ops {
 			ops[i] = conn.Op{Kind: conn.OpKind(op.Kind), U: op.U, V: op.V}
+			mutates = mutates || op.Kind != wire.KindQuery
 		}
-		bits, err := ns.b.Do(ops)
+		if mutates && ns.readonly {
+			// Typed redirect: the message IS the primary's address, which the
+			// client package lifts into a RedirectError.
+			return fail(wire.StatusReadOnly, "%s", s.opts.ReplicaOf)
+		}
+		// A replica's batcher has no WAL, so its position is the applied
+		// seq — sampled BEFORE executing: a reported seq must never exceed
+		// the state the answer reflects, or it would defeat the client's
+		// read-your-writes fence.
+		seqBefore := ns.seq()
+		bits, epochSeq, err := ns.b.DoSeq(ops)
 		if err != nil {
 			return fail(wire.StatusBadRequest, "%v", err)
 		}
 		if bits == nil {
 			bits = []bool{}
 		}
-		return &wire.Response{ID: req.ID, Bits: bits}
+		if !ns.readonly {
+			// On a primary DoSeq is exact (the committed epoch's own seq),
+			// which keeps a writer's fence free of later writers' epochs.
+			seqBefore = epochSeq
+		}
+		return &wire.Response{ID: req.ID, Bits: bits, Seq: seqBefore}
 	case wire.CmdReadNow, wire.CmdReadRecent:
 		n := int32(ns.g.N())
 		qs := make([]conn.Edge, len(req.Pairs))
@@ -372,6 +533,10 @@ func (s *Server) handle(req *wire.Request) *wire.Response {
 			}
 			qs[i] = conn.Edge{U: p.U, V: p.V}
 		}
+		// Position sampled BEFORE the read: the answer may reflect a newer
+		// state than it claims (harmlessly conservative), never an older
+		// one — the direction the client's staleness fence depends on.
+		seq := ns.seq()
 		var bits []bool
 		if req.Cmd == wire.CmdReadNow {
 			bits = ns.b.ReadNowBatch(qs)
@@ -381,10 +546,10 @@ func (s *Server) handle(req *wire.Request) *wire.Response {
 		if bits == nil {
 			bits = []bool{}
 		}
-		return &wire.Response{ID: req.ID, Bits: bits}
+		return &wire.Response{ID: req.ID, Bits: bits, Seq: seq}
 	case wire.CmdStats:
 		st := ns.b.Stats()
-		return &wire.Response{ID: req.ID, Stats: wire.Stats{
+		ws := wire.Stats{
 			Epochs:            uint64(st.Epochs),
 			Ops:               uint64(st.Ops),
 			MaxEpoch:          uint64(st.MaxEpoch),
@@ -394,8 +559,19 @@ func (s *Server) handle(req *wire.Request) *wire.Response {
 			WALBytes:          uint64(st.WALBytes),
 			WALAppendNanos:    uint64(st.WALAppendTime.Nanoseconds()),
 			Checkpoints:       uint64(st.Checkpoints),
-		}}
+			AppliedSeq:        ns.applied.Load(),
+		}
+		if ns.hub != nil {
+			subs, shipped, lag := ns.hub.Stats()
+			ws.Subscribers = uint64(subs)
+			ws.LastShippedSeq = shipped
+			ws.MaxFollowerLag = lag
+		}
+		return &wire.Response{ID: req.ID, Stats: ws}
 	case wire.CmdCheckpoint:
+		if ns.readonly {
+			return fail(wire.StatusReadOnly, "%s", s.opts.ReplicaOf)
+		}
 		if !ns.durable {
 			return fail(wire.StatusBadRequest, "namespace %q is not durable", req.NS)
 		}
@@ -458,7 +634,11 @@ func (s *Server) create(req *wire.Request, fail failFunc) *wire.Response {
 	if err != nil {
 		return fail(wire.StatusInternal, "create %q: %v", req.NS, err)
 	}
-	s.namespaces[req.NS] = &namespace{name: req.NS, durable: req.Durable, g: g, b: b}
+	ns := &namespace{name: req.NS, durable: req.Durable, g: g, b: b}
+	if req.Durable {
+		ns.hub = repl.NewHub(b, dir, g.N())
+	}
+	s.namespaces[req.NS] = ns
 	return &wire.Response{ID: req.ID}
 }
 
@@ -488,6 +668,11 @@ func (s *Server) drop(req *wire.Request, fail failFunc) *wire.Response {
 		return fail(wire.StatusNotFound, "namespace %q does not exist", req.NS)
 	}
 	delete(s.namespaces, req.NS)
+	// Terminate subscription streams first: their pumps run outside the
+	// namespace lock and must not outlive the Batcher.
+	if ns.hub != nil {
+		ns.hub.Stop()
+	}
 	// The write lock waits out every in-flight request on this namespace;
 	// new lookups already miss the map.
 	ns.mu.Lock()
@@ -506,7 +691,12 @@ func (s *Server) list(req *wire.Request) *wire.Response {
 	s.mu.RLock()
 	infos := make([]wire.NSInfo, 0, len(s.namespaces))
 	for _, ns := range s.namespaces {
-		infos = append(infos, wire.NSInfo{Name: ns.name, N: ns.g.N(), Durable: ns.durable})
+		// ns.g is read under the namespace lock: on a replica the follower's
+		// snapshot catch-up swaps the graph wholesale (ApplySnapshot).
+		ns.mu.RLock()
+		n := ns.g.N()
+		ns.mu.RUnlock()
+		infos = append(infos, wire.NSInfo{Name: ns.name, N: n, Durable: ns.durable})
 	}
 	s.mu.RUnlock()
 	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })

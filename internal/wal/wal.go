@@ -21,6 +21,11 @@
 // crash mid-write), fails its CRC, or decodes inconsistently — everything
 // from that offset on is discarded and reported via ScanResult.Torn. Open
 // truncates a torn tail so the next append starts at a record boundary.
+//
+// The log is also the replication transport (internal/repl): Tail is a
+// read-only cursor that follows a live log from a given seq — replication
+// catch-up streams a follower the records it missed while the dispatcher
+// keeps appending.
 package wal
 
 import (
@@ -32,6 +37,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 
 	"repro/internal/graph"
 )
@@ -219,13 +225,16 @@ func Scan(r io.Reader, fn func(Record) error) (ScanResult, error) {
 	}
 }
 
-// Log is an append-only WAL handle owned by a single goroutine (the
-// Batcher's dispatcher). Construct with Open.
+// Log is an append-only WAL handle. Appends, resets and Close are owned by a
+// single goroutine (the Batcher's dispatcher); LastSeq and BaseSeq are atomic
+// and may be read from any goroutine — replication stats and catch-up
+// decisions read them concurrently with appends. Construct with Open.
 type Log struct {
 	path    string
 	f       *os.File
 	n       int
-	lastSeq uint64
+	lastSeq atomic.Uint64
+	baseSeq atomic.Uint64
 	closed  bool
 }
 
@@ -288,7 +297,8 @@ func Open(path string, n int) (*Log, error) {
 		f.Close()
 		return nil, err
 	}
-	l.lastSeq = res.LastSeq
+	l.lastSeq.Store(res.LastSeq)
+	l.baseSeq.Store(res.BaseSeq)
 	return l, nil
 }
 
@@ -301,13 +311,21 @@ func (l *Log) writeFresh(baseSeq uint64) error {
 	if err := l.f.Sync(); err != nil {
 		return err
 	}
-	l.lastSeq = baseSeq
+	l.lastSeq.Store(baseSeq)
+	l.baseSeq.Store(baseSeq)
 	return SyncDir(filepath.Dir(l.path))
 }
 
 // LastSeq returns the sequence number of the last durable record (or the
-// checkpoint floor if the log holds none).
-func (l *Log) LastSeq() uint64 { return l.lastSeq }
+// checkpoint floor if the log holds none). Safe from any goroutine.
+func (l *Log) LastSeq() uint64 { return l.lastSeq.Load() }
+
+// BaseSeq returns the log's checkpoint floor: the sequence number already
+// captured by a checkpoint when the log was last reset (zero for a log that
+// has never been reset). Every record in the file has seq > BaseSeq. Safe
+// from any goroutine — callers no longer need to re-read the file header to
+// learn the floor.
+func (l *Log) BaseSeq() uint64 { return l.baseSeq.Load() }
 
 // Append writes one record and fsyncs — the group-commit point. r.Seq must
 // be exactly LastSeq()+1. When Append returns a nil error the record is
@@ -317,8 +335,8 @@ func (l *Log) Append(r Record) (int, error) {
 	if l.closed {
 		return 0, errors.New("wal: append to closed log")
 	}
-	if r.Seq != l.lastSeq+1 {
-		return 0, fmt.Errorf("wal: append seq %d, want %d", r.Seq, l.lastSeq+1)
+	if r.Seq != l.lastSeq.Load()+1 {
+		return 0, fmt.Errorf("wal: append seq %d, want %d", r.Seq, l.lastSeq.Load()+1)
 	}
 	enc := EncodeRecord(r)
 	if _, err := l.f.Write(enc); err != nil {
@@ -327,7 +345,7 @@ func (l *Log) Append(r Record) (int, error) {
 	if err := l.f.Sync(); err != nil {
 		return 0, err
 	}
-	l.lastSeq = r.Seq
+	l.lastSeq.Store(r.Seq)
 	return len(enc), nil
 }
 
@@ -340,8 +358,8 @@ func (l *Log) Reset(baseSeq uint64) error {
 	if l.closed {
 		return errors.New("wal: reset of closed log")
 	}
-	if baseSeq < l.lastSeq {
-		return fmt.Errorf("wal: reset to seq %d below last appended %d", baseSeq, l.lastSeq)
+	if baseSeq < l.lastSeq.Load() {
+		return fmt.Errorf("wal: reset to seq %d below last appended %d", baseSeq, l.lastSeq.Load())
 	}
 	tmp := l.path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
@@ -366,7 +384,8 @@ func (l *Log) Reset(baseSeq uint64) error {
 	}
 	old := l.f
 	l.f = f
-	l.lastSeq = baseSeq
+	l.lastSeq.Store(baseSeq)
+	l.baseSeq.Store(baseSeq)
 	return old.Close()
 }
 
@@ -387,6 +406,121 @@ func (l *Log) Close() error {
 	l.closed = true
 	return l.f.Close()
 }
+
+// ErrSeqGone is returned by OpenTail when the requested resume point
+// precedes the log's checkpoint floor: the records needed to bridge the gap
+// were truncated away behind a checkpoint, so the caller must start from a
+// snapshot instead of a tail replay.
+var ErrSeqGone = errors.New("wal: requested sequence precedes the checkpoint floor")
+
+// Tail is a read-only cursor over a WAL file that can follow a live log:
+// Next returns records in order and reports ok=false when it reaches the
+// current end of valid data — including a frame that is only partially
+// written by a concurrent Append — after which a later Next retries from the
+// same offset and succeeds once the frame completes. Replication catch-up
+// uses it to stream the tail of a log that the dispatcher is still writing.
+//
+// A Tail holds its own file descriptor and never buffers past a record
+// boundary, so it is unaffected by the writer's position; if the log is
+// atomically replaced under it (Reset after a checkpoint), the Tail simply
+// reaches the old file's end and reports ok=false forever — the records past
+// that point are the live stream's to deliver.
+type Tail struct {
+	f       *os.File
+	n       int
+	base    uint64
+	fromSeq uint64
+	scanSeq uint64 // seq of the last record decoded at off (base if none)
+	off     int64
+	payload []byte
+}
+
+// OpenTail opens a tail cursor that yields records with seq > fromSeq. The
+// file's checkpoint floor must not exceed fromSeq (ErrSeqGone otherwise:
+// the gap's records no longer exist in this file); records at or below
+// fromSeq that are still present are skipped, not returned.
+func OpenTail(path string, fromSeq uint64) (*Tail, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, headerLen)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		f.Close()
+		return nil, ErrBadHeader
+	}
+	n, base, err := decodeHeader(hdr)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if fromSeq < base {
+		f.Close()
+		return nil, fmt.Errorf("%w: want records after seq %d, floor is %d", ErrSeqGone, fromSeq, base)
+	}
+	return &Tail{f: f, n: n, base: base, fromSeq: fromSeq, scanSeq: base, off: headerLen}, nil
+}
+
+// BaseSeq returns the checkpoint floor recorded in the tailed file's header.
+func (t *Tail) BaseSeq() uint64 { return t.base }
+
+// LastSeq returns the seq of the last record Next decoded (the floor if
+// none yet) — the cursor's current position in the epoch sequence.
+func (t *Tail) LastSeq() uint64 {
+	if t.scanSeq > t.fromSeq {
+		return t.scanSeq
+	}
+	return t.fromSeq
+}
+
+// Next returns the next record with seq > fromSeq. ok=false means the cursor
+// is at the current end of valid data (end of file, or a frame still being
+// appended); call Next again later to resume. A non-nil error is an I/O
+// failure reading the file — incomplete or checksum-dirty data is never an
+// error, only "not yet".
+func (t *Tail) Next() (Record, bool, error) {
+	for {
+		var frame [frameLen]byte
+		if _, err := t.f.ReadAt(frame[:], t.off); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return Record{}, false, nil
+			}
+			return Record{}, false, err
+		}
+		plen := int(binary.LittleEndian.Uint32(frame[:4]))
+		if plen < recMinLen || plen > maxPayload {
+			// Garbage where a length prefix should be: either a torn tail the
+			// writer will truncate on its next open, or mid-file corruption.
+			// Both read as "no further valid records here".
+			return Record{}, false, nil
+		}
+		if cap(t.payload) < plen {
+			t.payload = make([]byte, plen)
+		}
+		t.payload = t.payload[:plen]
+		if _, err := t.f.ReadAt(t.payload, t.off+frameLen); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return Record{}, false, nil // frame still being appended
+			}
+			return Record{}, false, err
+		}
+		if crc32.Checksum(t.payload, castagnoli) != binary.LittleEndian.Uint32(frame[4:]) {
+			return Record{}, false, nil
+		}
+		rec, err := decodePayload(t.payload, t.n, t.scanSeq)
+		if err != nil {
+			return Record{}, false, nil
+		}
+		t.scanSeq = rec.Seq
+		t.off += int64(frameLen + plen)
+		if rec.Seq > t.fromSeq {
+			return rec, true, nil
+		}
+	}
+}
+
+// Close releases the cursor's file descriptor.
+func (t *Tail) Close() error { return t.f.Close() }
 
 // SyncDir fsyncs a directory so a freshly created or renamed entry is
 // durable. Errors from platforms that refuse to fsync directories are

@@ -20,21 +20,43 @@
 // little-endian into ceil(k/8) bitmap bytes):
 //
 //	CmdBatch      : ns | nOps uint32 | (kind uint8 | u uint32 | v uint32)*
-//	                → nOps uint32 | bitmap           (one bit per op, in order)
+//	                → seq uint64 | nOps uint32 | bitmap  (one bit per op)
 //	CmdReadNow    : ns | nPairs uint32 | (u uint32 | v uint32)*
-//	                → nPairs uint32 | bitmap
+//	                → seq uint64 | nPairs uint32 | bitmap
 //	CmdReadRecent : like CmdReadNow
 //	CmdCreate     : ns | n uint32 | flags uint8      (FlagDurable)
 //	                → empty
 //	CmdDrop       : ns                               → empty
 //	CmdList       : empty                            → count uint32 |
 //	                (ns | n uint32 | flags uint8)*
-//	CmdStats      : ns                               → 9 uint64 counters
+//	CmdStats      : ns                               → 13 uint64 counters
 //	CmdCheckpoint : ns                               → path string
 //	CmdPing       : empty                            → empty
+//	CmdSubscribe  : ns | fromSeq uint64              → epoch stream (below)
+//
+// The seq on batch and read-tier responses is the replication position the
+// answer reflects: on a primary the last durable WAL seq, on a replica the
+// last applied epoch seq (zero for memory-only namespaces). Clients use it
+// for read-your-writes fencing when routing bounded-stale reads to replicas.
+//
+// CmdSubscribe turns the connection into a one-way epoch stream: the server
+// keeps pushing StatusOK responses carrying the subscribe request's id, each
+// with one of two stream bodies, until the subscriber falls too far behind,
+// the namespace goes away, or either side closes the connection:
+//
+//	snapshot : seq uint64 | n uint32 | final uint8 | count uint32 | (u,v)*
+//	epoch    : seq uint64 | nIns uint32 | ins (u,v)* | nDel uint32 | del (u,v)*
+//
+// A snapshot tells the follower to discard its state and rebuild from the
+// transferred edge set (split across consecutive frames sharing seq; the
+// final flag marks the last chunk) — sent when the follower's resume point
+// predates the primary's WAL floor. Epoch frames are the WAL records
+// themselves, strictly sequential from the snapshot's (or resume point's)
+// seq.
 //
 // Error responses (Status != StatusOK) carry a message string instead of
-// the command body.
+// the command body. A StatusReadOnly error's message is the address of the
+// primary the replica follows — a redirect, not free text.
 package wire
 
 import (
@@ -80,6 +102,7 @@ const (
 	CmdStats
 	CmdCheckpoint
 	CmdPing
+	CmdSubscribe
 )
 
 // Status is a response's result code. Anything but StatusOK is an error and
@@ -99,6 +122,9 @@ const (
 	StatusDraining
 	// StatusInternal: the server failed to execute a valid request.
 	StatusInternal
+	// StatusReadOnly: the request mutates state but was sent to a read-only
+	// replica; the message is the primary's address (a redirect).
+	StatusReadOnly
 )
 
 // FlagDurable marks a namespace as write-ahead-logged under the server's
@@ -134,7 +160,8 @@ type NSInfo struct {
 }
 
 // Stats is the fixed counter block of a CmdStats response — the subset of
-// conn.BatcherStats that is meaningful across the wire.
+// conn.BatcherStats that is meaningful across the wire, plus the
+// replication counters the server layers on top.
 type Stats struct {
 	Epochs            uint64
 	Ops               uint64
@@ -145,9 +172,18 @@ type Stats struct {
 	WALBytes          uint64
 	WALAppendNanos    uint64
 	Checkpoints       uint64
+
+	// Replication. On a primary: connected epoch-stream subscribers, the
+	// last epoch seq teed to them, and the largest per-subscriber lag in
+	// epochs. On a replica, AppliedSeq is the last epoch applied from the
+	// primary's stream (zero on a primary).
+	Subscribers    uint64
+	LastShippedSeq uint64
+	MaxFollowerLag uint64
+	AppliedSeq     uint64
 }
 
-const statsLen = 9 * 8
+const statsLen = 13 * 8
 
 // Request is one decoded client frame. Fields beyond ID/Cmd are populated
 // per command as documented in the package comment.
@@ -159,6 +195,26 @@ type Request struct {
 	Pairs   []Pair // CmdReadNow / CmdReadRecent
 	N       uint32 // CmdCreate
 	Durable bool   // CmdCreate
+	FromSeq uint64 // CmdSubscribe: resume after this epoch seq
+}
+
+// SnapshotBody is one chunk of a full-state transfer on a subscription
+// stream: the follower discards its state and rebuilds from the edges of
+// consecutive chunks sharing Seq; Final marks the last chunk.
+type SnapshotBody struct {
+	Seq   uint64
+	N     uint32
+	Final bool
+	Edges []Pair
+}
+
+// EpochBody is one shipped epoch on a subscription stream — a WAL record:
+// the raw insert and delete batches the primary's dispatcher committed at
+// Seq, in application order (inserts, then deletes).
+type EpochBody struct {
+	Seq uint64
+	Ins []Pair
+	Del []Pair
 }
 
 // Response is one decoded server frame. Msg is set iff Status != StatusOK;
@@ -167,10 +223,13 @@ type Response struct {
 	ID         uint64
 	Status     Status
 	Msg        string
-	Bits       []bool   // CmdBatch / read tiers
-	Namespaces []NSInfo // CmdList
-	Stats      Stats    // CmdStats
-	Path       string   // CmdCheckpoint
+	Bits       []bool        // CmdBatch / read tiers
+	Seq        uint64        // CmdBatch / read tiers: replication position of the answer
+	Namespaces []NSInfo      // CmdList
+	Stats      Stats         // CmdStats
+	Path       string        // CmdCheckpoint
+	Snapshot   *SnapshotBody // CmdSubscribe stream: full-state chunk
+	Epoch      *EpochBody    // CmdSubscribe stream: one shipped epoch
 }
 
 // ---------------------------------------------------------------- framing
@@ -221,6 +280,14 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 func appendString(dst []byte, s string) []byte {
 	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(s)))
 	return append(dst, s...)
+}
+
+func appendPairs(dst []byte, ps []Pair) []byte {
+	for _, p := range ps {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(p.U))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(p.V))
+	}
+	return dst
 }
 
 func appendBitmap(dst []byte, bits []bool) []byte {
@@ -275,6 +342,9 @@ func EncodeRequest(r *Request) ([]byte, error) {
 		buf = append(buf, flags)
 	case CmdDrop, CmdStats, CmdCheckpoint:
 		buf = appendString(buf, r.NS)
+	case CmdSubscribe:
+		buf = appendString(buf, r.NS)
+		buf = binary.LittleEndian.AppendUint64(buf, r.FromSeq)
 	case CmdList, CmdPing:
 		// no body
 	default:
@@ -296,7 +366,28 @@ func EncodeResponse(r *Response) ([]byte, error) {
 	switch {
 	case r.Bits != nil:
 		buf = append(buf, bodyBits)
+		buf = binary.LittleEndian.AppendUint64(buf, r.Seq)
 		buf = appendBitmap(buf, r.Bits)
+	case r.Snapshot != nil:
+		s := r.Snapshot
+		buf = append(buf, bodySnapshot)
+		buf = binary.LittleEndian.AppendUint64(buf, s.Seq)
+		buf = binary.LittleEndian.AppendUint32(buf, s.N)
+		var final uint8
+		if s.Final {
+			final = 1
+		}
+		buf = append(buf, final)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.Edges)))
+		buf = appendPairs(buf, s.Edges)
+	case r.Epoch != nil:
+		e := r.Epoch
+		buf = append(buf, bodyEpoch)
+		buf = binary.LittleEndian.AppendUint64(buf, e.Seq)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(e.Ins)))
+		buf = appendPairs(buf, e.Ins)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(e.Del)))
+		buf = appendPairs(buf, e.Del)
 	case r.Namespaces != nil:
 		buf = append(buf, bodyList)
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Namespaces)))
@@ -334,19 +425,24 @@ const (
 	bodyList
 	bodyPath
 	bodyStats
+	bodySnapshot
+	bodyEpoch
 )
 
-func (s *Stats) fields() [9]uint64 {
-	return [9]uint64{
+func (s *Stats) fields() [13]uint64 {
+	return [13]uint64{
 		s.Epochs, s.Ops, s.MaxEpoch, s.SnapshotPublishes, s.SnapshotRebuilds,
 		s.WALRecords, s.WALBytes, s.WALAppendNanos, s.Checkpoints,
+		s.Subscribers, s.LastShippedSeq, s.MaxFollowerLag, s.AppliedSeq,
 	}
 }
 
-func (s *Stats) setFields(f [9]uint64) {
+func (s *Stats) setFields(f [13]uint64) {
 	s.Epochs, s.Ops, s.MaxEpoch, s.SnapshotPublishes, s.SnapshotRebuilds,
 		s.WALRecords, s.WALBytes, s.WALAppendNanos, s.Checkpoints =
 		f[0], f[1], f[2], f[3], f[4], f[5], f[6], f[7], f[8]
+	s.Subscribers, s.LastShippedSeq, s.MaxFollowerLag, s.AppliedSeq =
+		f[9], f[10], f[11], f[12]
 }
 
 // ---------------------------------------------------------------- decoding
@@ -479,6 +575,9 @@ func DecodeRequest(p []byte) (*Request, error) {
 		r.Durable = d.u8()&FlagDurable != 0
 	case CmdDrop, CmdStats, CmdCheckpoint:
 		r.NS = d.name()
+	case CmdSubscribe:
+		r.NS = d.name()
+		r.FromSeq = d.u64()
 	case CmdList, CmdPing:
 		// no body
 	default:
@@ -490,12 +589,27 @@ func DecodeRequest(p []byte) (*Request, error) {
 	return r, nil
 }
 
+// pairs reads a validated count of vertex pairs.
+func (d *reader) pairs(n int) []Pair {
+	if !d.ok {
+		return nil
+	}
+	ps := make([]Pair, n)
+	for i := range ps {
+		ps[i] = Pair{U: int32(d.u32()), V: int32(d.u32())}
+	}
+	if !d.ok {
+		return nil
+	}
+	return ps
+}
+
 // DecodeResponse parses a response payload. It never panics on arbitrary
 // input; anything malformed returns ErrDecode.
 func DecodeResponse(p []byte) (*Response, error) {
 	d := &reader{p: p, ok: true}
 	r := &Response{ID: d.u64(), Status: Status(d.u8())}
-	if !d.ok || r.Status > StatusInternal {
+	if !d.ok || r.Status > StatusReadOnly {
 		return nil, fmt.Errorf("%w: bad response status", ErrDecode)
 	}
 	if r.Status != StatusOK {
@@ -508,9 +622,33 @@ func DecodeResponse(p []byte) (*Response, error) {
 	switch tag := d.u8(); tag {
 	case bodyEmpty:
 	case bodyBits:
+		r.Seq = d.u64()
 		r.Bits = d.bitmap()
 		if r.Bits == nil && d.ok {
 			r.Bits = []bool{} // distinguish "empty result" from "no body"
+		}
+	case bodySnapshot:
+		s := &SnapshotBody{Seq: d.u64(), N: d.u32(), Final: false}
+		switch d.u8() {
+		case 0:
+		case 1:
+			s.Final = true
+		default:
+			d.ok = false // non-canonical flag byte would not re-encode
+		}
+		s.Edges = d.pairs(d.count(8))
+		if d.ok {
+			r.Snapshot = s
+		}
+	case bodyEpoch:
+		// Each count immediately precedes its pairs, so both lists go
+		// through the same hostile-count validation (d.count) the snapshot
+		// body uses.
+		e := &EpochBody{Seq: d.u64()}
+		e.Ins = d.pairs(d.count(8))
+		e.Del = d.pairs(d.count(8))
+		if d.ok {
+			r.Epoch = e
 		}
 	case bodyList:
 		n := d.count(7)
@@ -526,7 +664,7 @@ func DecodeResponse(p []byte) (*Response, error) {
 	case bodyPath:
 		r.Path = d.str()
 	case bodyStats:
-		var f [9]uint64
+		var f [13]uint64
 		for i := range f {
 			f[i] = d.u64()
 		}
@@ -561,6 +699,8 @@ func statusName(s Status) string {
 		return "server draining"
 	case StatusInternal:
 		return "internal error"
+	case StatusReadOnly:
+		return "read-only replica"
 	}
 	return fmt.Sprintf("status %d", s)
 }

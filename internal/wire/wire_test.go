@@ -47,11 +47,13 @@ func TestRequestRoundTrip(t *testing.T) {
 		{ID: 9, Cmd: CmdBatch, NS: "social", Ops: []Op{}},
 		{ID: 10, Cmd: CmdReadNow, NS: "a", Pairs: []Pair{{1, 2}, {3, 4}}},
 		{ID: 11, Cmd: CmdReadRecent, NS: "b", Pairs: []Pair{{0, 0}}},
+		{ID: 12, Cmd: CmdSubscribe, NS: "social", FromSeq: 1 << 40},
+		{ID: 13, Cmd: CmdSubscribe, NS: "g"},
 	}
 	for _, r := range reqs {
 		got := roundTripRequest(t, r)
 		if got.ID != r.ID || got.Cmd != r.Cmd || got.NS != r.NS ||
-			got.N != r.N || got.Durable != r.Durable ||
+			got.N != r.N || got.Durable != r.Durable || got.FromSeq != r.FromSeq ||
 			len(got.Ops) != len(r.Ops) || len(got.Pairs) != len(r.Pairs) {
 			t.Fatalf("round trip mismatch: sent %+v, got %+v", r, got)
 		}
@@ -80,8 +82,17 @@ func TestResponseRoundTrip(t *testing.T) {
 		{ID: 6, Status: StatusOK, Path: "/data/ns/checkpoint-0000000000000001.ckpt"},
 		{ID: 7, Status: StatusOK, Stats: Stats{Epochs: 3, Ops: 100, MaxEpoch: 64,
 			SnapshotPublishes: 2, SnapshotRebuilds: 1, WALRecords: 3, WALBytes: 4096,
-			WALAppendNanos: 12345, Checkpoints: 1}},
+			WALAppendNanos: 12345, Checkpoints: 1,
+			Subscribers: 2, LastShippedSeq: 99, MaxFollowerLag: 4, AppliedSeq: 95}},
 		{ID: 8, Status: StatusDraining, Msg: "shutting down"},
+		{ID: 9, Status: StatusReadOnly, Msg: "127.0.0.1:7421"},
+		{ID: 10, Status: StatusOK, Bits: []bool{true, false}, Seq: 42},
+		{ID: 11, Status: StatusOK, Snapshot: &SnapshotBody{
+			Seq: 17, N: 1 << 20, Final: true, Edges: []Pair{{1, 2}, {3, 4}}}},
+		{ID: 12, Status: StatusOK, Snapshot: &SnapshotBody{Seq: 17, N: 8, Edges: []Pair{}}},
+		{ID: 13, Status: StatusOK, Epoch: &EpochBody{
+			Seq: 18, Ins: []Pair{{5, 6}}, Del: []Pair{{7, 8}, {9, 10}}}},
+		{ID: 14, Status: StatusOK, Epoch: &EpochBody{Seq: 19, Ins: []Pair{}, Del: []Pair{}}},
 	}
 	for _, r := range resps {
 		p, err := EncodeResponse(r)
@@ -206,6 +217,7 @@ func FuzzWireDecode(f *testing.F) {
 		{ID: 2, Cmd: CmdCreate, NS: "ns", N: 100, Durable: true},
 		{ID: 3, Cmd: CmdBatch, NS: "g", Ops: []Op{{KindInsert, 0, 1}, {KindQuery, 1, 2}}},
 		{ID: 4, Cmd: CmdReadRecent, NS: "g", Pairs: []Pair{{5, 6}}},
+		{ID: 5, Cmd: CmdSubscribe, NS: "g", FromSeq: 12},
 	}
 	for _, r := range seed {
 		p, err := EncodeRequest(r)
@@ -214,11 +226,17 @@ func FuzzWireDecode(f *testing.F) {
 		}
 		f.Add(p)
 	}
-	rp, err := EncodeResponse(&Response{ID: 7, Status: StatusOK, Bits: []bool{true, false, true}})
-	if err != nil {
-		f.Fatal(err)
+	for _, r := range []*Response{
+		{ID: 7, Status: StatusOK, Bits: []bool{true, false, true}, Seq: 9},
+		{ID: 8, Status: StatusOK, Snapshot: &SnapshotBody{Seq: 3, N: 64, Final: true, Edges: []Pair{{1, 2}}}},
+		{ID: 9, Status: StatusOK, Epoch: &EpochBody{Seq: 4, Ins: []Pair{{1, 2}}, Del: []Pair{{3, 4}}}},
+	} {
+		rp, err := EncodeResponse(r)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(rp)
 	}
-	f.Add(rp)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if req, err := DecodeRequest(data); err == nil {
 			re, err := EncodeRequest(req)
