@@ -154,6 +154,10 @@ type EpochRecord struct {
 
 // epochSub is one registered epoch subscriber.
 type epochSub struct {
+	// fn observes a durable epoch; calling it exposes the epoch to the
+	// outside world, so it counts as an acknowledgement.
+	//
+	//conn:ack
 	fn func(EpochRecord)
 }
 
@@ -264,7 +268,7 @@ func NewBatcher(g *Graph, opts ...BatcherOption) *Batcher {
 	// ComponentVertices / ComponentLabels are read-only queries); the store
 	// computes the initial labelling from the graph's current state.
 	b.snap = snapshot.NewStore(g.N(), o.snapThreshold, g)
-	b.buf = coalesce.NewBuffer(o.shards, o.maxBatch, o.maxDelay, b.execEpoch)
+	b.buf = coalesce.NewBuffer(o.shards, o.maxBatch, o.maxDelay, b.execEpoch) //conn:dispatcher-entry — hands execEpoch to the dispatcher goroutine
 	return b
 }
 
@@ -278,6 +282,12 @@ const walFileName = "wal.log"
 // DeleteEdges reproduces the epoch exactly, because those batch operations
 // ignore duplicates, already-present inserts and absent deletes — the same
 // filtering execEpoch's credit pre-scans perform.
+//
+// The epoch-subscriber tee at the end is an acknowledgement path (the Hub
+// ships the record to followers), so it must stay behind the WAL append.
+//
+//conn:dispatcher-only
+//conn:ack-after-fsync
 func (b *Batcher) logEpoch(ops []coalesce.Op) {
 	var ins, del []graph.Edge
 	for _, op := range ops {
@@ -383,6 +393,12 @@ func (b *Batcher) WALFloor() uint64 {
 // graph is stable and every WAL record appended so far has been applied —
 // so a snapshot of the live edge set captures exactly the log's prefix and
 // the log can be truncated behind it.
+//
+// close(req.done) releases the Checkpoint caller, so it must stay behind
+// the checkpoint.Write durability barrier.
+//
+//conn:dispatcher-only
+//conn:ack-after-fsync
 func (b *Batcher) serviceCheckpoint() {
 	req := b.ckptReq.Swap(nil)
 	if req == nil {
@@ -469,6 +485,8 @@ func (b *Batcher) Checkpoint() (string, error) {
 // the snapshot publish are read-only walks and run lock-free alongside
 // ReadNow (read-read is safe under the core contract; no other writer can
 // exist because this is the sole dispatcher).
+//
+//conn:dispatcher-only
 func (b *Batcher) execEpoch(ops []coalesce.Op) ([]bool, uint64) {
 	// Durability barrier: the epoch's updates hit the fsynced WAL before
 	// the first structure mutation and before any future resolves, so a
@@ -816,19 +834,30 @@ func (b *Batcher) Flush() {
 // Close is idempotent. Once Close has begun, update methods, Connected and
 // ReadNow panic; Do and Checkpoint return ErrClosed; Flush is a no-op;
 // ReadRecent keeps answering from the final snapshot.
-func (b *Batcher) Close() {
+//
+// The returned error reports a failure to close the WAL file handle; the
+// durable state itself is unaffected (every acknowledged epoch was fsynced
+// before its future resolved), so callers that only care about data safety
+// may ignore it, but it is no longer silently discarded.
+func (b *Batcher) Close() error {
 	b.closed.Store(true)
 	b.buf.Close()
+	var err error
 	if b.dur != nil {
 		// The dispatcher has exited; every acknowledged epoch is already
-		// fsynced, so closing the log handle loses nothing.
-		b.dur.log.Close()
+		// fsynced, so closing the log handle loses no data — but the
+		// error still surfaces to the caller.
+		if cerr := b.dur.log.Close(); cerr != nil {
+			err = fmt.Errorf("conn: closing WAL: %w", cerr)
+		}
 	}
 	// Empty critical section as a barrier: wait out any ReadNow that
 	// acquired the read lock before the closed flag landed, so the Graph
 	// is truly quiesced when we return.
 	b.mu.Lock()
-	b.mu.Unlock() //nolint:staticcheck
+	//lint:ignore SA2001 the empty critical section IS the barrier
+	b.mu.Unlock()
+	return err
 }
 
 // BatcherStats are dispatcher counters: how much traffic was coalesced and

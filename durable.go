@@ -15,6 +15,8 @@
 // acknowledged may or may not survive (both outcomes are correct: the
 // caller never saw a commit); torn partial records are detected by CRC and
 // discarded.
+//
+//conn:durable-files
 package conn
 
 import (
@@ -55,7 +57,9 @@ func Restore(dir string, opts ...Option) (*Graph, error) {
 	f, err := os.Open(filepath.Join(dir, walFileName))
 	haveWAL := err == nil
 	if haveWAL {
-		defer f.Close()
+		// Read-only handle: a close failure cannot lose data, but the
+		// drop is acknowledged rather than silent.
+		defer func() { _ = f.Close() }()
 		// A file shorter than the header (crash during initial creation)
 		// can hold no record; treat it as absent rather than corrupt.
 		if st, err := f.Stat(); err != nil {

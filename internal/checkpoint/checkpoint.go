@@ -12,6 +12,9 @@
 //
 //	magic "connckp\x01" (8) | payload | crc32c(payload) uint32
 //	payload: seq uint64 | n uint32 | numEdges uint32 | edges (u,v uint32 each)
+
+//conn:decoders
+//conn:durable-files
 package checkpoint
 
 import (
@@ -106,6 +109,8 @@ func fileName(seq uint64) string { return fmt.Sprintf("%s%016x%s", prefix, seq, 
 // Write durably persists a snapshot into dir (write temp, fsync, rename,
 // fsync dir) and returns the final path. After Write returns nil the
 // snapshot survives any crash.
+//
+//conn:fsync-barrier
 func Write(dir string, s Snapshot) (string, error) {
 	final := filepath.Join(dir, fileName(s.Seq))
 	tmp := final + ".tmp"
@@ -114,21 +119,21 @@ func Write(dir string, s Snapshot) (string, error) {
 		return "", err
 	}
 	if _, err := f.Write(Encode(s)); err != nil {
-		f.Close()
-		os.Remove(tmp)
+		_ = f.Close()
+		_ = os.Remove(tmp)
 		return "", err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
+		_ = f.Close()
+		_ = os.Remove(tmp)
 		return "", err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		_ = os.Remove(tmp)
 		return "", err
 	}
 	if err := os.Rename(tmp, final); err != nil {
-		os.Remove(tmp)
+		_ = os.Remove(tmp)
 		return "", err
 	}
 	return final, wal.SyncDir(dir)

@@ -84,14 +84,20 @@ type Stats struct {
 // Buffer is a concurrent staging buffer with a group-commit dispatcher.
 // Construct with NewBuffer; the zero value is not usable.
 type Buffer struct {
-	shards   []shard
-	rr       atomic.Uint32 // round-robin shard selector
-	staged   atomic.Int64  // ops staged but not yet drained
-	force    atomic.Bool   // a Flush barrier wants an immediate drain
-	closed   atomic.Bool
-	kick     chan struct{} // wakes the dispatcher; capacity 1
-	closing  chan struct{}
-	wg       sync.WaitGroup
+	shards  []shard
+	rr      atomic.Uint32 // round-robin shard selector
+	staged  atomic.Int64  // ops staged but not yet drained
+	force   atomic.Bool   // a Flush barrier wants an immediate drain
+	closed  atomic.Bool
+	kick    chan struct{} // wakes the dispatcher; capacity 1
+	closing chan struct{}
+	wg      sync.WaitGroup
+	// exec commits one epoch. Calling it is the commit point the group
+	// futures wait behind (in durable configurations it is the WAL
+	// append+fsync), and only the dispatcher goroutine may invoke it.
+	//
+	//conn:dispatcher-only
+	//conn:fsync-barrier
 	exec     func([]Op) ([]bool, uint64)
 	maxBatch int
 	maxDelay time.Duration
@@ -136,7 +142,7 @@ func NewBuffer(shards, maxBatch int, maxDelay time.Duration, exec func(ops []Op)
 		maxDelay: maxDelay,
 	}
 	b.wg.Add(1)
-	go b.run()
+	go b.run() //conn:dispatcher-entry — this statement creates the dispatcher goroutine
 	return b
 }
 
@@ -236,6 +242,8 @@ func (b *Buffer) isClosing() bool {
 
 // run is the dispatcher loop: sleep until work arrives, hold the coalescing
 // window open, drain, execute, repeat.
+//
+//conn:dispatcher-only
 func (b *Buffer) run() {
 	defer b.wg.Done()
 	timer := time.NewTimer(time.Hour)
@@ -282,7 +290,13 @@ func stopTimer(t *time.Timer) {
 }
 
 // drain collects every staged group, executes them as one epoch, fans the
-// results back, and releases the blocked callers.
+// results back, and releases the blocked callers. The close of each group's
+// done channel is the acknowledgement callers' Wait unblocks on, so it must
+// stay after the exec call — acked means committed (and, with a durable
+// executor, fsynced).
+//
+//conn:dispatcher-only
+//conn:ack-after-fsync
 func (b *Buffer) drain() {
 	var groups []*group
 	total := 0

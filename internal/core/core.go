@@ -72,6 +72,8 @@ type Stats struct {
 // The edge dictionary ED (the paper's parallel dictionary) is a
 // phase-concurrent hash table mapping canonical edge keys to indices in the
 // record arena, so membership filtering of whole batches runs in parallel.
+//
+//conn:readonly-queries
 type Conn struct {
 	n     int
 	top   int32
@@ -113,15 +115,23 @@ func New(n int, opts ...Option) *Conn {
 }
 
 // N returns the vertex count.
+//
+//conn:readonly
 func (c *Conn) N() int { return c.n }
 
 // Top returns the number of levels L.
+//
+//conn:readonly
 func (c *Conn) Top() int { return int(c.top) }
 
 // NumEdges returns the number of edges currently present.
+//
+//conn:readonly
 func (c *Conn) NumEdges() int { return c.edges.Len() }
 
 // recFor returns the live record for a canonical edge key, or nil.
+//
+//conn:readonly
 func (c *Conn) recFor(key uint64) *adjlist.Rec {
 	idx, ok := c.edges.Get(key)
 	if !ok {
@@ -175,9 +185,13 @@ func (c *Conn) liveRecs() []*adjlist.Rec {
 }
 
 // Stats returns accumulated counters.
+//
+//conn:readonly
 func (c *Conn) Stats() Stats { return c.stats }
 
 // HasEdge reports whether (u, v) is present.
+//
+//conn:readonly
 func (c *Conn) HasEdge(u, v graph.Vertex) bool {
 	return c.recFor(graph.Edge{U: u, V: v}.Key()) != nil
 }
@@ -186,6 +200,8 @@ func (c *Conn) HasEdge(u, v graph.Vertex) bool {
 // currently a spanning-forest (tree) edge — one dictionary lookup. Deleting
 // a non-tree edge never changes connectivity; the snapshot publisher uses
 // this to skip epochs that cannot move any component label. Read-only.
+//
+//conn:readonly
 func (c *Conn) EdgeInfo(u, v graph.Vertex) (present, tree bool) {
 	r := c.recFor(graph.Edge{U: u, V: v}.Key())
 	if r == nil {
@@ -195,18 +211,24 @@ func (c *Conn) EdgeInfo(u, v graph.Vertex) (present, tree bool) {
 }
 
 // Connected reports whether u and v are connected (single query).
+//
+//conn:readonly
 func (c *Conn) Connected(u, v graph.Vertex) bool {
 	return c.f[c.top].Connected(u, v)
 }
 
 // BatchConnected answers k connectivity queries in parallel (Algorithm 1):
 // O(k lg(1+n/k)) expected work, O(lg n) depth.
+//
+//conn:readonly
 func (c *Conn) BatchConnected(qs []graph.Edge) []bool {
 	return c.f[c.top].BatchConnected(qs)
 }
 
 // ComponentOf returns an opaque component identifier for u, equal for two
 // vertices iff they are connected. Invalidated by updates.
+//
+//conn:readonly
 func (c *Conn) ComponentOf(u graph.Vertex) any {
 	r := c.f[c.top].Rep(u)
 	if r == nil {
@@ -216,6 +238,8 @@ func (c *Conn) ComponentOf(u graph.Vertex) any {
 }
 
 // Components returns a dense labelling: lbl[u] == lbl[v] iff connected.
+//
+//conn:readonly
 func (c *Conn) Components() []int32 {
 	lbl := make([]int32, c.n)
 	next := int32(0)
@@ -239,6 +263,8 @@ func (c *Conn) Components() []int32 {
 }
 
 // NumComponents returns the number of connected components.
+//
+//conn:readonly
 func (c *Conn) NumComponents() int {
 	lbl := c.Components()
 	max := int32(-1)
@@ -251,6 +277,8 @@ func (c *Conn) NumComponents() int {
 }
 
 // ComponentSize returns the number of vertices in u's connected component.
+//
+//conn:readonly
 func (c *Conn) ComponentSize(u graph.Vertex) int64 {
 	return c.f[c.top].Size(u)
 }
@@ -260,6 +288,8 @@ func (c *Conn) ComponentSize(u graph.Vertex) int64 {
 // update touching the component. Unlike ComponentOf it is a plain uint64
 // (the top-forest representative's node id, or a synthetic id for untouched
 // singletons), so callers can dedup components without pointer handles.
+//
+//conn:readonly
 func (c *Conn) ComponentID(u graph.Vertex) uint64 {
 	return repKey(c.f[c.top], u)
 }
@@ -267,6 +297,8 @@ func (c *Conn) ComponentID(u graph.Vertex) uint64 {
 // ComponentVertices returns the vertices of u's connected component, in tour
 // order (a vertex never linked at the top level is a singleton). O(component
 // size). Read-only.
+//
+//conn:readonly
 func (c *Conn) ComponentVertices(u graph.Vertex) []graph.Vertex {
 	r := c.f[c.top].Rep(u)
 	if r == nil {
@@ -281,6 +313,8 @@ func (c *Conn) ComponentVertices(u graph.Vertex) []graph.Vertex {
 // these labels are canonical — a component keeps its label across updates
 // that do not change its membership — which is what lets the snapshot read
 // path (internal/snapshot) repair a labelling incrementally. Read-only.
+//
+//conn:readonly
 func (c *Conn) ComponentLabels(dst []int32) {
 	if len(dst) != c.n {
 		panic("core: ComponentLabels: dst length != n")
@@ -305,6 +339,8 @@ func (c *Conn) ComponentLabels(dst []int32) {
 
 // SpanningForest returns the edges of the current spanning forest (the tree
 // edges of F_top). The slice is freshly allocated; order is unspecified.
+//
+//conn:readonly
 func (c *Conn) SpanningForest() []graph.Edge {
 	recs := parallel.Filter(c.arena, func(r *adjlist.Rec) bool { return r != nil && r.IsTree })
 	return parallel.Map(recs, func(r *adjlist.Rec) graph.Edge { return r.E })
@@ -314,6 +350,8 @@ func (c *Conn) SpanningForest() []graph.Edge {
 // forest; SpanningForest ∪ NonTreeEdges is the complete live edge set (the
 // feed for durable checkpoints). The slice is freshly allocated; order is
 // unspecified. Read-only.
+//
+//conn:readonly
 func (c *Conn) NonTreeEdges() []graph.Edge {
 	recs := parallel.Filter(c.arena, func(r *adjlist.Rec) bool { return r != nil && !r.IsTree })
 	return parallel.Map(recs, func(r *adjlist.Rec) graph.Edge { return r.E })
@@ -322,6 +360,8 @@ func (c *Conn) NonTreeEdges() []graph.Edge {
 // LevelHistogram returns, for each level 1..Top, the number of live edges
 // currently assigned to it (index 0 unused). Diagnostic for the experiment
 // harness: edges sink as deletions search for replacements.
+//
+//conn:readonly
 func (c *Conn) LevelHistogram() []int64 {
 	h := make([]int64, c.top+1)
 	for _, r := range c.arena {

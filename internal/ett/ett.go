@@ -46,6 +46,8 @@ type arc struct {
 // set and most vertices never participate below the top level, so eager
 // allocation would waste O(n lg n) nodes. A vertex with no element is a
 // singleton whose representative is reported as nil (see Rep).
+//
+//conn:readonly-queries
 type Forest struct {
 	n     int
 	verts []*treap.Node // vertex loop elements; nil until first touch
@@ -111,6 +113,8 @@ func (f *Forest) vert(u graph.Vertex) *treap.Node {
 }
 
 // N returns the number of vertices.
+//
+//conn:readonly
 func (f *Forest) N() int { return f.n }
 
 func arcKey(u, v graph.Vertex) uint64 {
@@ -123,6 +127,8 @@ func arcKey(u, v graph.Vertex) uint64 {
 // at this level is a singleton and reports a nil representative — two nil
 // reps do NOT imply connectivity; use Connected for queries. Read-only:
 // safe for concurrent callers under the package's query contract.
+//
+//conn:readonly
 func (f *Forest) Rep(u graph.Vertex) *treap.Node {
 	nd := f.verts[u]
 	if nd == nil {
@@ -133,6 +139,8 @@ func (f *Forest) Rep(u graph.Vertex) *treap.Node {
 
 // Connected reports whether u and v lie in the same tree. Read-only: safe
 // for concurrent callers under the package's query contract.
+//
+//conn:readonly
 func (f *Forest) Connected(u, v graph.Vertex) bool {
 	if u == v {
 		return true
@@ -145,6 +153,8 @@ func (f *Forest) Connected(u, v graph.Vertex) bool {
 }
 
 // Size returns the number of vertices in u's component.
+//
+//conn:readonly
 func (f *Forest) Size(u graph.Vertex) int64 {
 	nd := f.verts[u]
 	if nd == nil {
@@ -154,14 +164,20 @@ func (f *Forest) Size(u graph.Vertex) int64 {
 }
 
 // RepSize returns the vertex count of the component with representative r.
+//
+//conn:readonly
 func (f *Forest) RepSize(r *treap.Node) int64 { return treap.Agg(r).Size }
 
 // RepNonTree returns the total non-tree-edge endpoint count of the component
 // with representative r.
+//
+//conn:readonly
 func (f *Forest) RepNonTree(r *treap.Node) int64 { return treap.Agg(r).NonTree }
 
 // RepTree returns the total level-i tree-edge endpoint count of the
 // component with representative r.
+//
+//conn:readonly
 func (f *Forest) RepTree(r *treap.Node) int64 { return treap.Agg(r).Tree }
 
 // HasEdge reports whether tree edge (u,v) is present.
@@ -171,6 +187,8 @@ func (f *Forest) HasEdge(u, v graph.Vertex) bool {
 
 // NumEdges returns the number of tree edges in the forest. Not synchronized
 // with in-flight batch mutations.
+//
+//conn:readonly
 func (f *Forest) NumEdges() int { return f.edges }
 
 // reroot rotates u's tour so that u's loop element is first, returning the
@@ -261,6 +279,10 @@ func (f *Forest) SetCounts(u graph.Vertex, tree, nonTree int64) {
 }
 
 // Counts returns u's own (not component) counters.
+// Counts returns u's element counters (level-i tree / non-tree endpoint
+// counts).
+//
+//conn:readonly
 func (f *Forest) Counts(u graph.Vertex) (tree, nonTree int64) {
 	nd := f.verts[u]
 	if nd == nil {
@@ -271,6 +293,8 @@ func (f *Forest) Counts(u graph.Vertex) (tree, nonTree int64) {
 
 // CompNonTree returns the total non-tree-edge endpoint count in u's
 // component (each intra-component edge is counted at both endpoints).
+//
+//conn:readonly
 func (f *Forest) CompNonTree(u graph.Vertex) int64 {
 	nd := f.verts[u]
 	if nd == nil {
@@ -281,6 +305,8 @@ func (f *Forest) CompNonTree(u graph.Vertex) int64 {
 
 // CompTree returns the total level-i tree-edge endpoint count in u's
 // component.
+//
+//conn:readonly
 func (f *Forest) CompTree(u graph.Vertex) int64 {
 	nd := f.verts[u]
 	if nd == nil {
@@ -314,17 +340,23 @@ func collect(rep *treap.Node, limit int64, proj func(treap.Value) int64) []Verte
 // FetchNonTreeSlots returns, in tour order, vertices of the component with
 // representative rep carrying non-tree edges, until at least limit edge
 // endpoints are covered (or the component is exhausted). O(result + lg n).
+//
+//conn:readonly
 func (f *Forest) FetchNonTreeSlots(rep *treap.Node, limit int64) []VertexSlot {
 	return collect(rep, limit, func(v treap.Value) int64 { return v.NonTree })
 }
 
 // FetchTreeSlots is FetchNonTreeSlots for level-i tree-edge counters.
+//
+//conn:readonly
 func (f *Forest) FetchTreeSlots(rep *treap.Node, limit int64) []VertexSlot {
 	return collect(rep, limit, func(v treap.Value) int64 { return v.Tree })
 }
 
 // Vertices returns all vertices of the component with representative rep, in
 // tour order. O(component size).
+//
+//conn:readonly
 func (f *Forest) Vertices(rep *treap.Node) []graph.Vertex {
 	var out []graph.Vertex
 	treap.Walk(rep, func(n *treap.Node) {
@@ -336,6 +368,8 @@ func (f *Forest) Vertices(rep *treap.Node) []graph.Vertex {
 }
 
 // BatchConnected answers k connectivity queries in parallel.
+//
+//conn:readonly
 func (f *Forest) BatchConnected(qs []graph.Edge) []bool {
 	out := make([]bool, len(qs))
 	parallel.For(len(qs), 64, func(i int) {
@@ -346,6 +380,8 @@ func (f *Forest) BatchConnected(qs []graph.Edge) []bool {
 
 // BatchFindRep returns the representative of each queried vertex, in
 // parallel.
+//
+//conn:readonly
 func (f *Forest) BatchFindRep(vs []graph.Vertex) []*treap.Node {
 	out := make([]*treap.Node, len(vs))
 	parallel.For(len(vs), 64, func(i int) {

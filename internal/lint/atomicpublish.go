@@ -1,0 +1,86 @@
+// Analyzer atomicpublish: snapshot publication discipline. Query routing
+// reads the label snapshot through an atomic.Pointer load; correctness
+// depends on every value ever stored there being fully built and immutable
+// (PR 2's copy-on-publish rule). The analyzer narrows who may store:
+//
+// a .Store or .Swap on an atomic.Pointer[T] where T is annotated
+// //conn:published may appear only inside a function annotated
+// //conn:publish-helper. Everything else — the dispatcher, tests' helpers,
+// future subsystems — must go through the designated helper, which is where
+// the immutable-build-then-publish sequencing lives.
+//
+// CompareAndSwap is treated like Store. Loads are unrestricted.
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicPublish is the atomicpublish analyzer.
+var AtomicPublish = &Analyzer{
+	Name: "atomicpublish",
+	Doc:  "atomic.Pointer stores of published snapshot types only via //conn:publish-helper functions",
+	Run:  runAtomicPublish,
+}
+
+var publishStoreMethods = map[string]bool{
+	"Store":          true,
+	"Swap":           true,
+	"CompareAndSwap": true,
+}
+
+func runAtomicPublish(pass *Pass) error {
+	for _, fd := range funcDeclsIn(pass.Files) {
+		if pass.Dirs.Has(DirPublishHelper, FuncID(fd)) {
+			continue
+		}
+		fid := FuncID(fd)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			se, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || !publishStoreMethods[se.Sel.Name] {
+				return true
+			}
+			sel, ok := pass.Info.Selections[se]
+			if !ok || sel.Kind() != types.MethodVal {
+				return true
+			}
+			elemPkg, elemName, ok := atomicPointerElem(sel.Recv())
+			if !ok || !pass.Annotated(elemPkg, elemName, DirPublished) {
+				return true
+			}
+			pass.Reportf(se.Sel.Pos(),
+				"raw %s of //conn:published type %s outside a //conn:publish-helper (in %s); use the designated publish helper",
+				se.Sel.Name, elemName, fid)
+			return true
+		})
+	}
+	return nil
+}
+
+// atomicPointerElem, given a receiver type, reports the package path and
+// name of T if the type is sync/atomic.Pointer[T] (possibly behind a
+// pointer) and T is a named type.
+func atomicPointerElem(recv types.Type) (pkgPath, name string, ok bool) {
+	named := namedOf(recv)
+	if named == nil {
+		return "", "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" || obj.Name() != "Pointer" {
+		return "", "", false
+	}
+	args := named.TypeArgs()
+	if args == nil || args.Len() != 1 {
+		return "", "", false
+	}
+	elem := namedOf(args.At(0))
+	if elem == nil {
+		return "", "", false
+	}
+	return objPkgPath(elem.Obj()), elem.Obj().Name(), true
+}

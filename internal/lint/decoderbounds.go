@@ -1,0 +1,210 @@
+// Analyzer decoderbounds: allocation totality in wire-facing decoders. A
+// decoder that does `make([]T, n)` with n read straight off the wire turns
+// a 5-byte hostile frame into a multi-gigabyte allocation. PR 4 introduced
+// the validated-count idiom (wire's d.count, which bounds the claimed count
+// by the bytes actually remaining); this analyzer makes the idiom
+// mandatory in every package whose package comment carries //conn:decoders.
+//
+// In such packages, each size/capacity argument of a make call must be an
+// expression whose value is visibly bounded:
+//
+//   - a constant (typed or untyped, including named constants);
+//   - len(...) or cap(...) of anything — bounded by memory already held;
+//   - a call to a function/method annotated //conn:validated-len;
+//   - arithmetic over already-acceptable operands (n/9, validated+1, …);
+//   - an identifier assigned from an acceptable expression, or one whose
+//     enclosing function dominates the make with an explicit comparison of
+//     that identifier against an acceptable bound (the hand-rolled
+//     `if n > len(payload) { return err }` guard idiom).
+//
+// Anything else — most importantly a binary.LittleEndian.Uint32 result or
+// a struct field populated by one — is reported.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DecoderBounds is the decoderbounds analyzer.
+var DecoderBounds = &Analyzer{
+	Name: "decoderbounds",
+	Doc:  "decoder make() sizes must come from validated counts, never raw wire integers",
+	Run:  runDecoderBounds,
+}
+
+func runDecoderBounds(pass *Pass) error {
+	if !pass.Dirs.PackageLevel(DirDecoders) {
+		return nil
+	}
+	for _, fd := range funcDeclsIn(pass.Files) {
+		b := &boundsCheck{pass: pass, fn: fd}
+		b.collect()
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fun, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || fun.Name != "make" {
+				return true
+			}
+			if _, isBuiltin := pass.Info.Uses[fun].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			for _, sizeArg := range call.Args[1:] {
+				if !b.bounded(sizeArg, 0) {
+					pass.Reportf(sizeArg.Pos(),
+						"make size in //conn:decoders package is not a validated count; derive it from a //conn:validated-len call, len/cap, a constant, or guard it against one first")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// boundsCheck evaluates make-size expressions within one function.
+type boundsCheck struct {
+	pass *Pass
+	fn   *ast.FuncDecl
+	// assigned maps objects to every expression assigned to them in the
+	// function; an identifier is bounded if all its assignments are.
+	assigned map[types.Object][]ast.Expr
+	// guarded holds objects compared against a bounded expression at some
+	// point lexically before their use (the explicit-guard idiom).
+	guarded map[types.Object]token.Pos
+}
+
+func (b *boundsCheck) collect() {
+	b.assigned = make(map[types.Object][]ast.Expr)
+	b.guarded = make(map[types.Object]token.Pos)
+	ast.Inspect(b.fn.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if len(s.Rhs) != len(s.Lhs) {
+				return true // multi-value: conservatively unbounded
+			}
+			for i, lhs := range s.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if obj := b.pass.Info.ObjectOf(id); obj != nil {
+					b.assigned[obj] = append(b.assigned[obj], s.Rhs[i])
+				}
+			}
+		case *ast.BinaryExpr:
+			// A comparison of an identifier against anything acceptable
+			// marks it guarded from this position on; the surrounding
+			// if-statement is assumed to reject the bad range (the
+			// decoder-guard idiom always returns an error).
+			switch s.Op {
+			case token.LSS, token.LEQ, token.GTR, token.GEQ, token.NEQ, token.EQL:
+				b.markGuard(s.X, s.Y, s.OpPos)
+				b.markGuard(s.Y, s.X, s.OpPos)
+			}
+		}
+		return true
+	})
+}
+
+func (b *boundsCheck) markGuard(idExpr, against ast.Expr, pos token.Pos) {
+	id, ok := ast.Unparen(idExpr).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := b.pass.Info.ObjectOf(id)
+	if obj == nil {
+		return
+	}
+	if cur, ok := b.guarded[obj]; !ok || pos < cur {
+		b.guarded[obj] = pos
+	}
+}
+
+// bounded reports whether e is an acceptable make-size expression.
+func (b *boundsCheck) bounded(e ast.Expr, depth int) bool {
+	if depth > 16 {
+		return false
+	}
+	if tv, ok := b.pass.Info.Types[e]; ok && tv.Value != nil {
+		return true // constant-folded
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.Ident:
+		return b.boundedIdent(e, depth)
+	case *ast.BinaryExpr:
+		return b.bounded(e.X, depth+1) && b.bounded(e.Y, depth+1)
+	case *ast.CallExpr:
+		return b.boundedCall(e, depth)
+	case *ast.SelectorExpr:
+		// Constant selectors were handled above; anything else (a struct
+		// field holding a wire integer) is not visibly validated.
+		return false
+	default:
+		return false
+	}
+}
+
+func (b *boundsCheck) boundedIdent(id *ast.Ident, depth int) bool {
+	obj := b.pass.Info.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	if _, isConst := obj.(*types.Const); isConst {
+		return true
+	}
+	if pos, ok := b.guarded[obj]; ok && pos < id.Pos() {
+		return true
+	}
+	exprs := b.assigned[obj]
+	if len(exprs) == 0 {
+		return false
+	}
+	for _, rhs := range exprs {
+		if !b.bounded(rhs, depth+1) {
+			return false
+		}
+	}
+	return true
+}
+
+func (b *boundsCheck) boundedCall(call *ast.CallExpr, depth int) bool {
+	if fun, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := b.pass.Info.Uses[fun].(*types.Builtin); isBuiltin {
+			switch fun.Name {
+			case "len", "cap", "min", "max":
+				// len/cap are memory-bounded; min/max of bounded operands
+				// would need all args checked — require it.
+				if fun.Name == "min" || fun.Name == "max" {
+					for _, a := range call.Args {
+						if !b.bounded(a, depth+1) {
+							return false
+						}
+					}
+				}
+				return true
+			}
+		}
+	}
+	if b.isIntConversion(call) {
+		return b.bounded(call.Args[0], depth+1)
+	}
+	ref, ok := resolveCallee(b.pass.Info, call)
+	if !ok {
+		return false
+	}
+	return b.pass.Annotated(ref.PkgPath, ref.ID, DirValidatedLen)
+}
+
+func (b *boundsCheck) isIntConversion(call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	tv, ok := b.pass.Info.Types[call.Fun]
+	return ok && tv.IsType()
+}

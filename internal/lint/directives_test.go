@@ -1,0 +1,110 @@
+package lint_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+const directivesSrc = `// Package p is a directive-grammar probe.
+//
+//conn:decoders
+package p
+
+// T carries a type directive and an annotated field.
+//
+//conn:published
+type T struct {
+	// fn is dispatcher state.
+	//
+	//conn:dispatcher-only
+	fn func()
+}
+
+// M is annotated; trailing prose after the name is allowed.
+//
+//conn:readonly the body is a pure read
+func (t *T) M() {}
+
+func spawn() {
+	go run() //conn:dispatcher-entry — trailing form
+	//conn:dispatcher-entry
+	go run()
+}
+
+//conn:dispatcher-only
+func run() {}
+`
+
+func parseDirectives(t *testing.T) (*token.FileSet, *ast.File, *lint.Directives) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", directivesSrc, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f, lint.CollectDirectives(fset, []*ast.File{f})
+}
+
+func TestCollectDirectives(t *testing.T) {
+	_, _, d := parseDirectives(t)
+
+	if !d.PackageLevel(lint.DirDecoders) {
+		t.Error("package-level //conn:decoders not collected")
+	}
+	if !d.Has(lint.DirPublished, "T") {
+		t.Error("type directive //conn:published T not collected")
+	}
+	if !d.Has(lint.DirDispatcherOnly, "T.fn") {
+		t.Error("field directive //conn:dispatcher-only T.fn not collected")
+	}
+	if !d.Has(lint.DirReadonly, "T.M") {
+		t.Error("method directive with trailing prose not collected")
+	}
+	if !d.Has(lint.DirDispatcherOnly, "run") {
+		t.Error("function directive //conn:dispatcher-only run not collected")
+	}
+	if d.Has(lint.DirReadonly, "run") {
+		t.Error("run spuriously marked //conn:readonly")
+	}
+}
+
+func TestLineAnnotated(t *testing.T) {
+	fset, f, d := parseDirectives(t)
+	tf := fset.File(f.Pos())
+
+	// Source lines are stable in the literal above: the trailing-comment
+	// form sits on line 22, the own-line form annotates the go statement on
+	// line 24, and line 21 (the func spawn() opener) carries nothing.
+	for _, line := range []int{22, 24} {
+		if !d.LineAnnotated(fset, tf.LineStart(line), lint.DirDispatcherEntry) {
+			t.Errorf("line %d not recognized as //conn:dispatcher-entry", line)
+		}
+	}
+	if d.LineAnnotated(fset, tf.LineStart(21), lint.DirDispatcherEntry) {
+		t.Error("unannotated line spuriously dispatcher-entry")
+	}
+}
+
+func TestFactsMergeHas(t *testing.T) {
+	a := lint.Facts{"p": {"readonly": {"T.M"}}}
+	b := lint.Facts{"p": {"readonly": {"T.N", "T.M"}}, "q": {"ack": {"f"}}}
+	a.Merge(b)
+	for _, probe := range []struct {
+		pkg, dir, id string
+		want         bool
+	}{
+		{"p", "readonly", "T.M", true},
+		{"p", "readonly", "T.N", true},
+		{"q", "ack", "f", true},
+		{"q", "readonly", "f", false},
+		{"r", "ack", "f", false},
+	} {
+		if got := a.Has(probe.pkg, probe.dir, probe.id); got != probe.want {
+			t.Errorf("Has(%q,%q,%q) = %v, want %v", probe.pkg, probe.dir, probe.id, got, probe.want)
+		}
+	}
+}

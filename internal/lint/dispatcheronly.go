@@ -1,0 +1,160 @@
+// Analyzer dispatcheronly: enforcement of dispatcher-goroutine ownership.
+// Epoch buffers, WAL sequence state, and subscriber callbacks are owned by
+// the single dispatcher goroutine (the coalesce.Buffer run loop); touching
+// them from any other goroutine is a data race. The analyzer makes that
+// ownership a reference rule:
+//
+//   - an object annotated //conn:dispatcher-only (function, method, or
+//     struct field) must not be referenced inside a `go` statement's
+//     subtree — a spawned goroutine is by construction not the dispatcher —
+//     unless the go statement's line is //conn:dispatcher-entry (the
+//     statement that STARTS the dispatcher loop);
+//   - a //conn:dispatcher-only function used as a value (stored into a
+//     field, passed as an argument) escapes the dispatcher call graph, so
+//     every such use must sit on a //conn:dispatcher-entry line, marking it
+//     as the sanctioned hand-off that wires up the dispatcher (NewBuffer
+//     receiving execEpoch, SubscribeEpochs receiving the repl tee);
+//   - a direct call to a //conn:dispatcher-only function is legal only
+//     from a function that is itself //conn:dispatcher-only (the call
+//     graph stays closed) or on a //conn:dispatcher-entry line.
+//
+// Facts carry the annotations across packages, so batcher.go handing
+// b.execEpoch to coalesce.NewBuffer is checked even though the buffer
+// lives in another package.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DispatcherOnly is the dispatcheronly analyzer.
+var DispatcherOnly = &Analyzer{
+	Name: "dispatcheronly",
+	Doc:  "//conn:dispatcher-only state must stay on the dispatcher goroutine",
+	Run:  runDispatcherOnly,
+}
+
+func runDispatcherOnly(pass *Pass) error {
+	for _, fd := range funcDeclsIn(pass.Files) {
+		w := &dispatcherWalk{
+			pass:               pass,
+			callerIsDispatcher: pass.Dirs.Has(DirDispatcherOnly, FuncID(fd)),
+			callees:            make(map[ast.Node]bool),
+			selChildren:        make(map[*ast.Ident]bool),
+		}
+		ast.Inspect(fd.Body, w.visit)
+	}
+	return nil
+}
+
+type dispatcherWalk struct {
+	pass               *Pass
+	callerIsDispatcher bool
+	// callees marks call-expression Fun nodes, so a call site is not also
+	// reported as a value use of the function.
+	callees map[ast.Node]bool
+	// selChildren marks Sel identifiers already handled via their parent
+	// SelectorExpr, so they are not re-resolved as bare identifiers.
+	selChildren map[*ast.Ident]bool
+}
+
+// visit handles the preorder walk; parents are always seen before children,
+// so callees/selChildren are populated before the child nodes arrive.
+func (w *dispatcherWalk) visit(n ast.Node) bool {
+	switch s := n.(type) {
+	case *ast.GoStmt:
+		w.checkGoStmt(s)
+		return false // subtree fully handled
+	case *ast.CallExpr:
+		w.callees[ast.Unparen(s.Fun)] = true
+		w.checkCall(s)
+	case *ast.SelectorExpr:
+		w.selChildren[s.Sel] = true
+		if !w.callees[s] {
+			ref, ok := resolveSel(w.pass, s)
+			w.checkValueUse(s.Sel.Pos(), ref, ok)
+		}
+	case *ast.Ident:
+		if !w.callees[s] && !w.selChildren[s] {
+			ref, ok := resolveIdent(w.pass, s)
+			w.checkValueUse(s.Pos(), ref, ok)
+		}
+	}
+	return true
+}
+
+// checkGoStmt flags any dispatcher-only reference inside a spawned
+// goroutine.
+func (w *dispatcherWalk) checkGoStmt(g *ast.GoStmt) {
+	if w.pass.Dirs.LineAnnotated(w.pass.Fset, g.Go, DirDispatcherEntry) {
+		return
+	}
+	seen := make(map[*ast.Ident]bool)
+	ast.Inspect(g.Call, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.SelectorExpr:
+			seen[e.Sel] = true
+			ref, ok := resolveSel(w.pass, e)
+			w.reportGoRef(e.Sel.Pos(), ref, ok)
+		case *ast.Ident:
+			if !seen[e] {
+				ref, ok := resolveIdent(w.pass, e)
+				w.reportGoRef(e.Pos(), ref, ok)
+			}
+		}
+		return true
+	})
+}
+
+func (w *dispatcherWalk) reportGoRef(pos token.Pos, ref ResolvedRef, ok bool) {
+	if ok && w.pass.Annotated(ref.PkgPath, ref.ID, DirDispatcherOnly) {
+		w.pass.Reportf(pos,
+			"%s is //conn:dispatcher-only but is referenced inside a go statement", ref.ID)
+	}
+}
+
+// checkCall flags a direct call to a dispatcher-only function or func-typed
+// field from outside the dispatcher call graph.
+func (w *dispatcherWalk) checkCall(call *ast.CallExpr) {
+	ref, ok := resolveCallee(w.pass.Info, call)
+	if !ok || !w.pass.Annotated(ref.PkgPath, ref.ID, DirDispatcherOnly) {
+		return
+	}
+	if w.callerIsDispatcher {
+		return
+	}
+	if w.pass.Dirs.LineAnnotated(w.pass.Fset, call.Pos(), DirDispatcherEntry) {
+		return
+	}
+	w.pass.Reportf(call.Pos(),
+		"call to //conn:dispatcher-only %s from a function that is not //conn:dispatcher-only", ref.ID)
+}
+
+// checkValueUse flags a dispatcher-only function (or func-typed field)
+// escaping the dispatcher call graph as a value.
+func (w *dispatcherWalk) checkValueUse(pos token.Pos, ref ResolvedRef, ok bool) {
+	if !ok || !isFuncRef(ref) || !w.pass.Annotated(ref.PkgPath, ref.ID, DirDispatcherOnly) {
+		return
+	}
+	if w.pass.Dirs.LineAnnotated(w.pass.Fset, pos, DirDispatcherEntry) {
+		return
+	}
+	w.pass.Reportf(pos,
+		"//conn:dispatcher-only %s escapes as a value; annotate the hand-off line //conn:dispatcher-entry if it wires up the dispatcher", ref.ID)
+}
+
+// isFuncRef reports whether the resolved object is a function or a
+// func-typed variable — the shapes whose escape hands dispatcher code to a
+// foreign goroutine.
+func isFuncRef(ref ResolvedRef) bool {
+	switch obj := ref.Obj.(type) {
+	case *types.Func:
+		return true
+	case *types.Var:
+		_, isFunc := obj.Type().Underlying().(*types.Signature)
+		return isFunc
+	}
+	return false
+}

@@ -1,0 +1,39 @@
+package lint_test
+
+import (
+	"bytes"
+	"go/format"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSuiteGofmtClean keeps the analyzer suite and its vettool front-end
+// gofmt-clean: the lint job formats nothing, it only verifies, so a drifted
+// file must fail here rather than bitrot silently.
+func TestSuiteGofmtClean(t *testing.T) {
+	for _, dir := range []string{".", filepath.Join("..", "..", "cmd", "connvet")} {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			path := filepath.Join(dir, e.Name())
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			formatted, err := format.Source(src)
+			if err != nil {
+				t.Fatalf("%s: %v", path, err)
+			}
+			if !bytes.Equal(src, formatted) {
+				t.Errorf("%s is not gofmt-clean; run gofmt -w", path)
+			}
+		}
+	}
+}

@@ -1,0 +1,344 @@
+// Analyzer readonlyquery: mechanical enforcement of the read-only query
+// contract (internal/core's package comment, PR 2). A method annotated
+// //conn:readonly must not mutate anything reachable from its receiver:
+// queries run concurrently against the live HDT structure with no lock, so
+// a single stray write is a data race the type system cannot see.
+//
+// Checked, per annotated method body:
+//
+//   - no assignment, ++/--, delete, clear, close, or channel send whose
+//     target is receiver-reachable (the receiver itself, any selector/
+//     index/dereference chain rooted at it, any local holding a reference
+//     type copied from such a chain, and reference-typed results of
+//     receiver method calls);
+//   - every method call on a receiver-reachable value must itself be
+//     //conn:readonly — in this package or, via exported facts, in an
+//     imported one. sync/atomic Load methods are the one blessed builtin.
+//
+// A type annotated //conn:readonly-queries additionally requires that every
+// canonical query method it declares (Connected, ComponentID, EdgeInfo, …)
+// carries //conn:readonly, so the contract's method list from the package
+// docs cannot silently drift from what is checked.
+//
+// Known holes, accepted and documented: package-level functions taking
+// receiver-derived arguments (treap's free functions are root walks proven
+// read-only by their own -race suite), and writes through aliases laundered
+// via such functions. The -race tests remain the semantic backstop; this
+// analyzer pins the structure.
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ReadOnlyQuery is the readonlyquery analyzer.
+var ReadOnlyQuery = &Analyzer{
+	Name: "readonlyquery",
+	Doc:  "methods under the read-only query contract must not mutate receiver-reachable state",
+	Run:  runReadOnlyQuery,
+}
+
+// canonicalQueryMethods are the method names the read-only query contract
+// covers wherever they appear on a //conn:readonly-queries type.
+var canonicalQueryMethods = map[string]bool{
+	"Connected":         true,
+	"BatchConnected":    true,
+	"ConnectedBatch":    true,
+	"ComponentID":       true,
+	"ComponentOf":       true,
+	"ComponentSize":     true,
+	"ComponentVertices": true,
+	"ComponentLabels":   true,
+	"Components":        true,
+	"NumComponents":     true,
+	"EdgeInfo":          true,
+}
+
+func runReadOnlyQuery(pass *Pass) error {
+	for _, fd := range funcDeclsIn(pass.Files) {
+		id := FuncID(fd)
+		recv := recvTypeName(fd)
+		if recv != "" && pass.Dirs.Has(DirReadonlyQueries, recv) &&
+			canonicalQueryMethods[fd.Name.Name] && !pass.Dirs.Has(DirReadonly, id) {
+			pass.Reportf(fd.Name.Pos(),
+				"%s is a canonical query method of //conn:readonly-queries type %s and must be annotated //conn:readonly",
+				id, recv)
+			continue
+		}
+		if !pass.Dirs.Has(DirReadonly, id) {
+			continue
+		}
+		checkReadonlyBody(pass, fd)
+	}
+	return nil
+}
+
+func checkReadonlyBody(pass *Pass, fd *ast.FuncDecl) {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return // plain function or unnamed receiver: nothing receiver-reachable
+	}
+	recvObj := pass.Info.Defs[fd.Recv.List[0].Names[0]]
+	if recvObj == nil {
+		return
+	}
+	t := newTaint(pass, recvObj)
+	t.propagate(fd.Body)
+
+	id := FuncID(fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				t.checkWrite(lhs, id)
+			}
+		case *ast.IncDecStmt:
+			t.checkWrite(s.X, id)
+		case *ast.SendStmt:
+			if t.tainted(s.Chan) {
+				pass.Reportf(s.Arrow, "//conn:readonly method %s sends on a receiver-reachable channel", id)
+			}
+		case *ast.CallExpr:
+			t.checkCall(s, id)
+		}
+		return true
+	})
+}
+
+// taint tracks which objects and expressions reach the receiver.
+type taint struct {
+	pass *Pass
+	set  map[types.Object]bool
+}
+
+func newTaint(pass *Pass, recv types.Object) *taint {
+	return &taint{pass: pass, set: map[types.Object]bool{recv: true}}
+}
+
+func (t *taint) tainted(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return t.set[t.pass.Info.ObjectOf(e)]
+	case *ast.ParenExpr:
+		return t.tainted(e.X)
+	case *ast.SelectorExpr:
+		// Field or method selection through a tainted base; a qualified
+		// identifier (pkg.X) has no selection entry and is never tainted.
+		if _, ok := t.pass.Info.Selections[e]; ok {
+			return t.tainted(e.X)
+		}
+		return false
+	case *ast.IndexExpr:
+		return t.tainted(e.X)
+	case *ast.StarExpr:
+		return t.tainted(e.X)
+	case *ast.SliceExpr:
+		return t.tainted(e.X)
+	case *ast.TypeAssertExpr:
+		return t.tainted(e.X)
+	case *ast.UnaryExpr:
+		return e.Op.String() == "&" && t.tainted(e.X)
+	case *ast.CallExpr:
+		// A conversion of a tainted value stays tainted; a method call on a
+		// tainted receiver yields a tainted result if it returns references
+		// into the structure.
+		if len(e.Args) == 1 && t.isConversion(e) {
+			return t.tainted(e.Args[0])
+		}
+		if se, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+			if _, isMethod := t.pass.Info.Selections[se]; isMethod && t.tainted(se.X) {
+				return t.refTyped(e)
+			}
+		}
+		return false
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if t.tainted(el) {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+func (t *taint) isConversion(e *ast.CallExpr) bool {
+	tv, ok := t.pass.Info.Types[e.Fun]
+	return ok && tv.IsType()
+}
+
+// refTyped reports whether the expression's type can carry references into
+// the structure (pointers, maps, slices, chans, funcs, interfaces, or
+// aggregates containing them).
+func (t *taint) refTyped(e ast.Expr) bool {
+	tv, ok := t.pass.Info.Types[e]
+	if !ok {
+		return true // unknown: stay conservative
+	}
+	return typeCarriesRef(tv.Type, 0)
+}
+
+func typeCarriesRef(typ types.Type, depth int) bool {
+	if depth > 8 {
+		return true
+	}
+	switch tt := typ.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Slice, *types.Chan,
+		*types.Signature, *types.Interface:
+		return true
+	case *types.Struct:
+		for i := 0; i < tt.NumFields(); i++ {
+			if typeCarriesRef(tt.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+		return false
+	case *types.Array:
+		return typeCarriesRef(tt.Elem(), depth+1)
+	case *types.Tuple:
+		for i := 0; i < tt.Len(); i++ {
+			if typeCarriesRef(tt.At(i).Type(), depth+1) {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// propagate folds assignment edges to a fixpoint: a local variable whose
+// initializer (or any later assignment) is a receiver-reachable expression
+// of reference type becomes receiver-reachable itself.
+func (t *taint) propagate(body ast.Node) {
+	type edge struct {
+		dst types.Object
+		src ast.Expr
+	}
+	var edges []edge
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range s.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := t.pass.Info.ObjectOf(id)
+				if obj == nil {
+					continue
+				}
+				var rhs ast.Expr
+				if len(s.Rhs) == len(s.Lhs) {
+					rhs = s.Rhs[i]
+				} else if len(s.Rhs) == 1 {
+					rhs = s.Rhs[0] // multi-value: taint flows from the call as a whole
+				}
+				if rhs != nil {
+					edges = append(edges, edge{obj, rhs})
+				}
+			}
+		case *ast.RangeStmt:
+			// Ranging over a tainted container yields tainted elements.
+			for _, v := range []ast.Expr{s.Key, s.Value} {
+				if id, ok := v.(*ast.Ident); ok && id.Name != "_" {
+					if obj := t.pass.Info.ObjectOf(id); obj != nil {
+						edges = append(edges, edge{obj, s.X})
+					}
+				}
+			}
+		}
+		return true
+	})
+	for changed := true; changed; {
+		changed = false
+		for _, e := range edges {
+			if t.set[e.dst] {
+				continue
+			}
+			// Only reference-typed locals keep the connection; a value copy
+			// (plain struct of scalars, int, bool) severs it.
+			if vt, ok := e.dst.(*types.Var); ok && !typeCarriesRef(vt.Type(), 0) {
+				continue
+			}
+			if t.tainted(e.src) {
+				t.set[e.dst] = true
+				changed = true
+			}
+		}
+	}
+}
+
+// checkWrite flags a write whose target is receiver-reachable. Rebinding a
+// local identifier is not a write into the structure.
+func (t *taint) checkWrite(lhs ast.Expr, methodID string) {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		// Rebinding a (possibly tainted) local: harmless.
+	case *ast.SelectorExpr:
+		if t.tainted(l.X) {
+			t.pass.Reportf(l.Sel.Pos(),
+				"//conn:readonly method %s writes receiver-reachable field %s", methodID, l.Sel.Name)
+		}
+	case *ast.IndexExpr:
+		if t.tainted(l.X) {
+			t.pass.Reportf(l.Lbrack,
+				"//conn:readonly method %s writes into a receiver-reachable map or slice", methodID)
+		}
+	case *ast.StarExpr:
+		if t.tainted(l.X) {
+			t.pass.Reportf(l.Star,
+				"//conn:readonly method %s writes through a receiver-reachable pointer", methodID)
+		}
+	}
+}
+
+// checkCall flags mutating builtins on receiver-reachable values and method
+// calls whose callee is not itself covered by //conn:readonly.
+func (t *taint) checkCall(call *ast.CallExpr, methodID string) {
+	pass := t.pass
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		switch id.Name {
+		case "delete", "clear", "close":
+			if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin &&
+				len(call.Args) > 0 && t.tainted(call.Args[0]) {
+				pass.Reportf(call.Pos(),
+					"//conn:readonly method %s calls %s on a receiver-reachable value", methodID, id.Name)
+			}
+		}
+		return
+	}
+	se, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	sel, isSel := pass.Info.Selections[se]
+	if !isSel || sel.Kind() != types.MethodVal || !t.tainted(se.X) {
+		return
+	}
+	callee, _ := sel.Obj().(*types.Func)
+	if callee == nil {
+		return
+	}
+	pkgPath := objPkgPath(callee)
+	calleeID := funcObjID(callee)
+	if isBlessedStdMethod(pkgPath, callee) {
+		return
+	}
+	if pass.Annotated(pkgPath, calleeID, DirReadonly) {
+		return
+	}
+	pass.Reportf(se.Sel.Pos(),
+		"//conn:readonly method %s calls %s.%s on a receiver-reachable value, but it is not //conn:readonly",
+		methodID, pkgPath, calleeID)
+}
+
+// isBlessedStdMethod allows the standard-library methods a read-only walk
+// may legitimately hit: atomic loads.
+func isBlessedStdMethod(pkgPath string, fn *types.Func) bool {
+	return pkgPath == "sync/atomic" && fn.Name() == "Load"
+}

@@ -1,0 +1,196 @@
+// Type-based resolution from use sites back to the object IDs directives
+// attach to.
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// namedOf unwraps pointers and aliases down to a named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Alias:
+			t = types.Unalias(tt)
+		case *types.Named:
+			return tt
+		default:
+			return nil
+		}
+	}
+}
+
+// objPkgPath returns the declaring package path of obj ("" for builtins
+// and other package-less objects).
+func objPkgPath(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// funcObjID returns the directive object ID for a *types.Func:
+// "Recv.Name" for methods, "Name" for package functions.
+func funcObjID(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		if named := namedOf(sig.Recv().Type()); named != nil {
+			return named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Name()
+}
+
+// ResolvedRef identifies what a call or selector resolved to, in directive
+// ID terms.
+type ResolvedRef struct {
+	PkgPath string
+	ID      string
+	Obj     types.Object
+}
+
+// resolveCallee resolves the callee of a call expression to a directive-
+// addressable object: a package function, a method (on any value), or a
+// func-typed struct field being invoked. Returns ok=false for calls
+// through plain variables, builtins, conversions and other shapes that
+// cannot carry directives.
+func resolveCallee(info *types.Info, call *ast.CallExpr) (ResolvedRef, bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return ResolvedRef{PkgPath: objPkgPath(fn), ID: funcObjID(fn), Obj: fn}, true
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			switch obj := sel.Obj().(type) {
+			case *types.Func: // method call
+				return ResolvedRef{PkgPath: objPkgPath(obj), ID: funcObjID(obj), Obj: obj}, true
+			case *types.Var: // call through a func-typed field
+				if ref, ok := resolveFieldSel(info, fun); ok {
+					return ref, true
+				}
+				return ResolvedRef{PkgPath: objPkgPath(obj), ID: obj.Name(), Obj: obj}, true
+			}
+		}
+		// Qualified package function: pkg.F(...).
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return ResolvedRef{PkgPath: objPkgPath(fn), ID: funcObjID(fn), Obj: fn}, true
+		}
+	}
+	return ResolvedRef{}, false
+}
+
+// resolveIdent resolves a bare identifier use to a directive-addressable
+// object: a function, or a package-level variable. Locals, types, labels
+// and package names do not resolve.
+func resolveIdent(pass *Pass, id *ast.Ident) (ResolvedRef, bool) {
+	switch obj := pass.Info.Uses[id].(type) {
+	case *types.Func:
+		return ResolvedRef{PkgPath: objPkgPath(obj), ID: funcObjID(obj), Obj: obj}, true
+	case *types.Var:
+		if obj.IsField() {
+			return ResolvedRef{}, false // needs selector context for the struct name
+		}
+		if obj.Parent() != nil && obj.Parent().Parent() == types.Universe {
+			return ResolvedRef{PkgPath: objPkgPath(obj), ID: obj.Name(), Obj: obj}, true
+		}
+	}
+	return ResolvedRef{}, false
+}
+
+// resolveSel resolves a selector used as a value (not necessarily called):
+// a method value, a struct field, or a qualified package function/variable.
+func resolveSel(pass *Pass, se *ast.SelectorExpr) (ResolvedRef, bool) {
+	if sel, ok := pass.Info.Selections[se]; ok {
+		switch obj := sel.Obj().(type) {
+		case *types.Func:
+			return ResolvedRef{PkgPath: objPkgPath(obj), ID: funcObjID(obj), Obj: obj}, true
+		case *types.Var:
+			return resolveFieldSel(pass.Info, se)
+		}
+		return ResolvedRef{}, false
+	}
+	switch obj := pass.Info.Uses[se.Sel].(type) {
+	case *types.Func:
+		return ResolvedRef{PkgPath: objPkgPath(obj), ID: funcObjID(obj), Obj: obj}, true
+	case *types.Var:
+		return ResolvedRef{PkgPath: objPkgPath(obj), ID: obj.Name(), Obj: obj}, true
+	}
+	return ResolvedRef{}, false
+}
+
+// resolveFieldSel resolves a selector expression that names a struct field
+// to its "Struct.field" directive ID, using the selection's receiver type
+// for the struct name.
+func resolveFieldSel(info *types.Info, se *ast.SelectorExpr) (ResolvedRef, bool) {
+	sel, ok := info.Selections[se]
+	if !ok || sel.Kind() != types.FieldVal {
+		return ResolvedRef{}, false
+	}
+	obj, ok := sel.Obj().(*types.Var)
+	if !ok || !obj.IsField() {
+		return ResolvedRef{}, false
+	}
+	// The receiver named type gives the struct the field was selected
+	// through; for promoted fields this is the outermost type, which is
+	// where a directive on the embedding would live. Fall back to walking
+	// the selection index for the declaring struct.
+	recv := namedOf(sel.Recv())
+	if recv == nil {
+		return ResolvedRef{}, false
+	}
+	// Walk the index path to the struct that declares the leaf field, so
+	// the ID matches the declaration site's annotation.
+	t := sel.Recv()
+	name := recv.Obj().Name()
+	idx := sel.Index()
+	for i, fi := range idx {
+		st, ok := derefStruct(t)
+		if !ok {
+			return ResolvedRef{}, false
+		}
+		f := st.Field(fi)
+		if i == len(idx)-1 {
+			return ResolvedRef{PkgPath: objPkgPath(obj), ID: name + "." + f.Name(), Obj: obj}, true
+		}
+		t = f.Type()
+		if n := namedOf(t); n != nil {
+			name = n.Obj().Name()
+		}
+	}
+	return ResolvedRef{}, false
+}
+
+func derefStruct(t types.Type) (*types.Struct, bool) {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			t = tt.Underlying()
+		case *types.Alias:
+			t = types.Unalias(tt)
+		case *types.Struct:
+			return tt, true
+		default:
+			return nil, false
+		}
+	}
+}
+
+// funcDeclsIn returns every function declaration with a body across the
+// pass's files, paired with the file holding it.
+func funcDeclsIn(files []*ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+// Analyzer syncerr: error hygiene on durable file paths. On the WAL and
+// checkpoint write paths, a swallowed Close or Sync error is a durability
+// hole — the kernel reports lost writes exactly there, and ignoring the
+// return turns "fsync failed" into "data silently gone". In packages whose
+// package comment carries //conn:durable-files, every call to a method
+// named Close or Sync whose result includes an error must consume that
+// error: a bare expression statement or a bare `defer f.Close()` is
+// reported. Assigning to `_` is accepted as an explicit, reviewable
+// acknowledgement that the error is intentionally dropped (e.g. the
+// already-on-an-error-path cleanup close); the analyzer enforces that the
+// drop is visible, not that it never happens.
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SyncErr is the syncerr analyzer.
+var SyncErr = &Analyzer{
+	Name: "syncerr",
+	Doc:  "Close/Sync errors on durable file paths must be consumed or explicitly discarded",
+	Run:  runSyncErr,
+}
+
+func runSyncErr(pass *Pass) error {
+	if !pass.Dirs.PackageLevel(DirDurableFiles) {
+		return nil
+	}
+	for _, fd := range funcDeclsIn(pass.Files) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					checkDiscardedCloseSync(pass, call, "")
+				}
+			case *ast.DeferStmt:
+				checkDiscardedCloseSync(pass, s.Call, "defer ")
+			case *ast.GoStmt:
+				checkDiscardedCloseSync(pass, s.Call, "go ")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkDiscardedCloseSync(pass *Pass, call *ast.CallExpr, context string) {
+	se, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	name := se.Sel.Name
+	if name != "Close" && name != "Sync" {
+		return
+	}
+	sel, ok := pass.Info.Selections[se]
+	if !ok || sel.Kind() != types.MethodVal {
+		return
+	}
+	fn, ok := sel.Obj().(*types.Func)
+	if !ok {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || !resultsIncludeError(sig.Results()) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"%s%s() error discarded in a //conn:durable-files package; handle it or assign to _ to acknowledge the drop",
+		context, name)
+}
+
+func resultsIncludeError(res *types.Tuple) bool {
+	for i := 0; i < res.Len(); i++ {
+		if named, ok := res.At(i).Type().(*types.Named); ok &&
+			named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+			return true
+		}
+	}
+	return false
+}

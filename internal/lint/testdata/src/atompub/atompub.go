@@ -1,0 +1,45 @@
+// Package atompub exercises the atomicpublish analyzer: a Store, Swap or
+// CompareAndSwap on an atomic.Pointer of a //conn:published type may appear
+// only inside a //conn:publish-helper function.
+package atompub
+
+import "sync/atomic"
+
+// Snapshot is the published immutable value.
+//
+//conn:published
+type Snapshot struct {
+	labels []int
+}
+
+// Store routes readers to the current snapshot.
+type Store struct {
+	cur atomic.Pointer[Snapshot]
+}
+
+// publish is the designated store site.
+//
+//conn:publish-helper
+func (s *Store) publish(v *Snapshot) {
+	s.cur.Store(v)
+}
+
+func (s *Store) rawStore(v *Snapshot) {
+	s.cur.Store(v) // want "raw Store of //conn:published type Snapshot"
+}
+
+func (s *Store) rawSwap(v *Snapshot) *Snapshot {
+	return s.cur.Swap(v) // want "raw Swap of //conn:published type Snapshot"
+}
+
+// load is unrestricted: only stores are publication events.
+func (s *Store) load() *Snapshot {
+	return s.cur.Load()
+}
+
+// scratch is not published, so raw stores of it are fine anywhere.
+type scratch struct{ n int }
+
+func storeScratch(p *atomic.Pointer[scratch], v *scratch) {
+	p.Store(v)
+}

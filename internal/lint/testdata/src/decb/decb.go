@@ -1,0 +1,55 @@
+// Package decb exercises the decoderbounds analyzer: in a //conn:decoders
+// package, every make size must be a constant, len/cap, a //conn:validated-len
+// call result, arithmetic over those, or an identifier guarded by an
+// explicit comparison before use.
+//
+//conn:decoders
+package decb
+
+// header models a decoded frame header carrying a raw wire integer.
+type header struct {
+	n uint32
+}
+
+// validCount re-validates the claimed element count against the bytes
+// actually remaining.
+//
+//conn:validated-len
+func (h *header) validCount(remaining int) int {
+	n := int(h.n)
+	if n < 0 || n > remaining {
+		return 0
+	}
+	return n
+}
+
+func decodeBad(h *header) []uint64 {
+	return make([]uint64, h.n) // want "make size in //conn:decoders package is not a validated count"
+}
+
+func decodeBadLocal(h *header) []uint64 {
+	n := int(h.n)
+	return make([]uint64, n) // want "not a validated count"
+}
+
+// decodeGuarded uses the explicit-guard idiom: the comparison dominates the
+// make, so the allocation is bounded.
+func decodeGuarded(h *header, payload []byte) []uint64 {
+	n := int(h.n)
+	if n < 0 || n > len(payload)/8 {
+		return nil
+	}
+	return make([]uint64, n)
+}
+
+// decodeValidated sizes the allocation from a //conn:validated-len call.
+func decodeValidated(h *header, payload []byte) []uint64 {
+	return make([]uint64, 0, h.validCount(len(payload)/8))
+}
+
+// decodeConst allocates from len of memory already held.
+func decodeConst(payload []byte) []byte {
+	out := make([]byte, len(payload))
+	copy(out, payload)
+	return out
+}

@@ -1,0 +1,38 @@
+// Package dispo exercises the dispatcheronly analyzer: go-statement
+// references, direct calls from outside the dispatcher call graph, value
+// escapes, and the //conn:dispatcher-entry sanctioned hand-off.
+package dispo
+
+// loop is the dispatcher body.
+//
+//conn:dispatcher-only
+func loop(ch chan int) {
+	for range ch {
+		tick()
+	}
+}
+
+// tick may only run on the dispatcher goroutine.
+//
+//conn:dispatcher-only
+func tick() {}
+
+func startBad(ch chan int) {
+	go loop(ch) // want "referenced inside a go statement"
+}
+
+func callBad() {
+	tick() // want "from a function that is not //conn:dispatcher-only"
+}
+
+func escapeBad() func() {
+	return tick // want "escapes as a value"
+}
+
+func startGood(ch chan int) {
+	go loop(ch) //conn:dispatcher-entry — this statement starts the dispatcher
+}
+
+func handoffGood(register func(func())) {
+	register(tick) //conn:dispatcher-entry — wiring the dispatcher callback
+}

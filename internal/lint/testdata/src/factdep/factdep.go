@@ -1,0 +1,17 @@
+// Package factdep exports //conn: annotations for the cross-package fact
+// test: a dependent package may call Index.Len inside a //conn:readonly
+// method only because this package exports the fact.
+package factdep
+
+// Index is queried concurrently by dependents.
+type Index struct {
+	n int
+}
+
+// Len is a safe concurrent read.
+//
+//conn:readonly
+func (ix *Index) Len() int { return ix.n }
+
+// Grow mutates and is deliberately unannotated.
+func (ix *Index) Grow() { ix.n++ }

@@ -1,0 +1,27 @@
+// Package factuse consumes factdep's exported facts: the annotation on
+// factdep.Index.Len crosses the package boundary, while the unannotated
+// Grow is still rejected.
+package factuse
+
+import "factdep"
+
+// View wraps a dependency's index.
+//
+//conn:readonly-queries
+type View struct {
+	ix *factdep.Index
+}
+
+// Connected may call Len because factdep exports it as //conn:readonly.
+//
+//conn:readonly
+func (v *View) Connected(a, b int) bool {
+	return v.ix.Len() >= 0 && a == b
+}
+
+// GrowBad calls a dependency method with no exported readonly fact.
+//
+//conn:readonly
+func (v *View) GrowBad() {
+	v.ix.Grow() // want "calls factdep.Index.Grow on a receiver-reachable value, but it is not //conn:readonly"
+}

@@ -1,0 +1,93 @@
+// Package roq exercises the readonlyquery analyzer: receiver-reachable
+// writes, mutating builtins, unannotated callees, alias laundering, and
+// canonical-method coverage on //conn:readonly-queries types.
+package roq
+
+// Store is the violating query type: it declares a canonical query method
+// without the //conn:readonly annotation.
+//
+//conn:readonly-queries
+type Store struct {
+	m map[int]int
+	n int
+}
+
+// Connected is canonical on a //conn:readonly-queries type but lacks the
+// //conn:readonly annotation.
+func (s *Store) Connected(u, v int) bool { // want "canonical query method of //conn:readonly-queries type Store"
+	return u == v
+}
+
+// Mutates writes a receiver field.
+//
+//conn:readonly
+func (s *Store) Mutates() {
+	s.n = 1 // want "writes receiver-reachable field n"
+}
+
+// MapWrite writes through a receiver-held map.
+//
+//conn:readonly
+func (s *Store) MapWrite(k int) {
+	s.m[k] = 1 // want "writes into a receiver-reachable map or slice"
+}
+
+// DeleteEntry calls a mutating builtin on receiver state.
+//
+//conn:readonly
+func (s *Store) DeleteEntry(k int) {
+	delete(s.m, k) // want "calls delete on a receiver-reachable value"
+}
+
+// CallsDirty calls an unannotated method on the receiver.
+//
+//conn:readonly
+func (s *Store) CallsDirty() {
+	s.dirty() // want "but it is not //conn:readonly"
+}
+
+func (s *Store) dirty() { s.n++ }
+
+// Laundered copies the receiver's map into a local first; the alias is
+// still receiver-reachable.
+//
+//conn:readonly
+func (s *Store) Laundered(k int) {
+	m := s.m
+	m[k] = 2 // want "writes into a receiver-reachable map or slice"
+}
+
+// Good is the compliant twin: canonical methods annotated, bodies clean.
+//
+//conn:readonly-queries
+type Good struct {
+	m map[int]int
+	n int
+}
+
+// Connected walks receiver state without mutating it.
+//
+//conn:readonly
+func (g *Good) Connected(u, v int) bool {
+	c := 0
+	for k := range g.m {
+		_ = k
+		c++
+	}
+	return c >= 0 && u == v
+}
+
+// Reads copies a scalar out of the receiver; the value copy severs
+// reachability, so mutating the local is fine.
+//
+//conn:readonly
+func (g *Good) Reads() int {
+	n := g.n
+	n++
+	return n + g.peek()
+}
+
+// peek is an annotated callee, so Reads may call it.
+//
+//conn:readonly
+func (g *Good) peek() int { return g.n }

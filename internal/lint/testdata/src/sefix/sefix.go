@@ -1,0 +1,36 @@
+// Package sefix exercises the syncerr analyzer: in a //conn:durable-files
+// package, a bare Close or Sync whose error is discarded is reported;
+// handling the error or assigning to _ is accepted.
+//
+//conn:durable-files
+package sefix
+
+// file models a durable handle whose Close and Sync report write-back
+// errors.
+type file struct{}
+
+func (f *file) Close() error { return nil }
+func (f *file) Sync() error  { return nil }
+
+func writeBad(f *file) {
+	f.Sync()  // want "Sync.. error discarded"
+	f.Close() // want "Close.. error discarded"
+}
+
+func deferBad(f *file) {
+	defer f.Close() // want "defer Close.. error discarded"
+}
+
+func goBad(f *file) {
+	go f.Close() // want "go Close.. error discarded"
+}
+
+// writeGood is the compliant twin: the happy-path error is propagated and
+// the error-path drop is an explicit, reviewable assignment to _.
+func writeGood(f *file) error {
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -49,8 +49,11 @@ func New(capacity int) *Dict {
 }
 
 // Len reports the number of live keys.
+//
+//conn:readonly
 func (d *Dict) Len() int { return int(d.size.Load()) }
 
+//conn:readonly
 func (d *Dict) slot(k uint64) uint64 { return parallel.Hash64(k) & d.mask }
 
 // insertOne claims a slot for k, setting its value to v. Returns true if the
@@ -80,6 +83,8 @@ func (d *Dict) insertOne(k, v uint64) bool {
 }
 
 // lookupOne returns the value for k and whether it is present.
+//
+//conn:readonly
 func (d *Dict) lookupOne(k uint64) (uint64, bool) {
 	i := d.slot(k)
 	for {
@@ -170,12 +175,16 @@ func (d *Dict) BatchLookup(keys []uint64) ([]uint64, []bool) {
 }
 
 // Contains reports presence of a single key.
+//
+//conn:readonly
 func (d *Dict) Contains(k uint64) bool {
 	_, ok := d.lookupOne(k)
 	return ok
 }
 
 // Get returns the value for a single key.
+//
+//conn:readonly
 func (d *Dict) Get(k uint64) (uint64, bool) { return d.lookupOne(k) }
 
 // Put inserts a single key/value.
@@ -188,6 +197,8 @@ func (d *Dict) Put(k, v uint64) {
 func (d *Dict) Delete(k uint64) bool { return d.deleteOne(k) }
 
 // Keys returns all live keys in unspecified order.
+//
+//conn:readonly
 func (d *Dict) Keys() []uint64 {
 	flags := make([]bool, len(d.keys))
 	raw := make([]uint64, len(d.keys))

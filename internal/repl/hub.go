@@ -105,13 +105,15 @@ func NewHub(src Source, dir string, n int) *Hub {
 		n:       n,
 		subs:    make(map[*subscriber]struct{}),
 	}
-	h.cancel = src.SubscribeEpochs(h.tee)
+	h.cancel = src.SubscribeEpochs(h.tee) //conn:dispatcher-entry — tee runs on the source's dispatcher goroutine
 	return h
 }
 
 // tee runs on the Batcher's dispatcher goroutine: fan the epoch out to
 // every follower buffer without ever blocking — a follower whose buffer is
 // full is dropped to catch-up instead.
+//
+//conn:dispatcher-only
 func (h *Hub) tee(rec conn.EpochRecord) {
 	h.mu.Lock()
 	h.lastShipped = rec.Seq

@@ -34,6 +34,9 @@ import "sync/atomic"
 
 // Labels is one immutable published labelling. All methods are wait-free
 // reads; a Labels never changes after publication.
+//
+//conn:published
+//conn:readonly-queries
 type Labels struct {
 	lbl   []int32
 	epoch uint64
@@ -41,10 +44,14 @@ type Labels struct {
 
 // Connected reports whether u and v were in the same component as of the
 // publishing epoch: two array loads and a compare.
+//
+//conn:readonly
 func (l *Labels) Connected(u, v int32) bool { return l.lbl[u] == l.lbl[v] }
 
 // Label returns u's component label — the minimum vertex id of u's component
 // as of the publishing epoch.
+//
+//conn:readonly
 func (l *Labels) Label(u int32) int32 { return l.lbl[u] }
 
 // Epoch returns the publish counter: 0 for the initial labelling, +1 per
@@ -104,13 +111,24 @@ func NewStore(n, threshold int, src Source) *Store {
 	s := &Store{n: n, threshold: int64(threshold), src: src}
 	lbl := make([]int32, n)
 	src.ComponentLabels(lbl)
-	s.cur.Store(&Labels{lbl: lbl})
+	s.publish(&Labels{lbl: lbl})
 	return s
 }
 
 // Current returns the most recently published labelling. Wait-free; safe
 // from any goroutine.
+//
+//conn:readonly
 func (s *Store) Current() *Labels { return s.cur.Load() }
+
+// publish is the single designated store site for the labelling pointer —
+// the one place a *Labels may cross from the dispatcher to readers. l and
+// everything reachable from it must already be immutable: the atomic store
+// is the publication fence, so a later write to l.lbl would race with every
+// reader. Enforced by the atomicpublish analyzer.
+//
+//conn:publish-helper
+func (s *Store) publish(l *Labels) { s.cur.Store(l) }
 
 // Stats returns publisher counters.
 func (s *Store) Stats() Stats {
@@ -124,6 +142,8 @@ func (s *Store) Stats() Stats {
 // updates that leave the partition intact (an edge inside a component, a
 // deleted non-bridge) cost the dirty-component walks but allocate nothing
 // and do not advance the epoch counter. Dispatcher-only.
+//
+//conn:dispatcher-only
 func (s *Store) Publish(touched []int32) {
 	if len(touched) == 0 {
 		return
@@ -152,7 +172,7 @@ func (s *Store) Publish(touched []int32) {
 			if lbl[i] != prev.lbl[i] {
 				s.rebuilds.Add(1)
 				s.publishes.Add(1)
-				s.cur.Store(&Labels{lbl: lbl, epoch: prev.epoch + 1})
+				s.publish(&Labels{lbl: lbl, epoch: prev.epoch + 1})
 				return
 			}
 		}
@@ -192,5 +212,5 @@ func (s *Store) Publish(touched []int32) {
 		}
 	}
 	s.publishes.Add(1)
-	s.cur.Store(&Labels{lbl: lbl, epoch: prev.epoch + 1})
+	s.publish(&Labels{lbl: lbl, epoch: prev.epoch + 1})
 }

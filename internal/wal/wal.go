@@ -26,6 +26,9 @@
 // read-only cursor that follows a live log from a given seq — replication
 // catch-up streams a follower the records it missed while the dispatcher
 // keeps appending.
+//
+//conn:decoders
+//conn:durable-files
 package wal
 
 import (
@@ -250,7 +253,7 @@ func Open(path string, n int) (*Log, error) {
 	}
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	l := &Log{path: path, f: f, n: n}
@@ -260,41 +263,41 @@ func Open(path string, n int) (*Log, error) {
 		// re-initializing loses nothing. (A post-checkpoint floor can never
 		// be in this state: Reset replaces the file atomically.)
 		if err := f.Truncate(0); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, err
 		}
 		if _, err := f.Seek(0, io.SeekStart); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, err
 		}
 		if err := l.writeFresh(0); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, err
 		}
 		return l, nil
 	}
 	res, err := Scan(f, nil)
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("wal: open %s: %w", path, err)
 	}
 	if res.N != n {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("wal: open %s: %w: log universe n=%d, graph has n=%d",
 			path, ErrBadHeader, res.N, n)
 	}
 	if res.Torn || res.ValidLen < st.Size() {
 		if err := f.Truncate(res.ValidLen); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, err
 		}
 		if err := f.Sync(); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, err
 		}
 	}
 	if _, err := f.Seek(res.ValidLen, io.SeekStart); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	l.lastSeq.Store(res.LastSeq)
@@ -331,6 +334,8 @@ func (l *Log) BaseSeq() uint64 { return l.baseSeq.Load() }
 // be exactly LastSeq()+1. When Append returns a nil error the record is
 // durable: any later Scan of the file yields it. The int is the framed
 // byte length written.
+//
+//conn:fsync-barrier
 func (l *Log) Append(r Record) (int, error) {
 	if l.closed {
 		return 0, errors.New("wal: append to closed log")
@@ -367,19 +372,19 @@ func (l *Log) Reset(baseSeq uint64) error {
 		return err
 	}
 	if _, err := f.Write(encodeHeader(l.n, baseSeq)); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	if err := os.Rename(tmp, l.path); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	if err := SyncDir(filepath.Dir(l.path)); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	old := l.f
@@ -446,16 +451,16 @@ func OpenTail(path string, fromSeq uint64) (*Tail, error) {
 	}
 	hdr := make([]byte, headerLen)
 	if _, err := f.ReadAt(hdr, 0); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, ErrBadHeader
 	}
 	n, base, err := decodeHeader(hdr)
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	if fromSeq < base {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("%w: want records after seq %d, floor is %d", ErrSeqGone, fromSeq, base)
 	}
 	return &Tail{f: f, n: n, base: base, fromSeq: fromSeq, scanSeq: base, off: headerLen}, nil
@@ -531,9 +536,9 @@ func SyncDir(dir string) error {
 	if err != nil {
 		return err
 	}
-	defer d.Close()
 	if err := d.Sync(); err != nil && !errors.Is(err, os.ErrInvalid) {
+		_ = d.Close()
 		return err
 	}
-	return nil
+	return d.Close()
 }

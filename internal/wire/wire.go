@@ -57,6 +57,8 @@
 // Error responses (Status != StatusOK) carry a message string instead of
 // the command body. A StatusReadOnly error's message is the address of the
 // primary the replica follows — a redirect, not free text.
+//
+//conn:decoders
 package wire
 
 import (
@@ -516,6 +518,8 @@ func (d *reader) name() string {
 // count reads a uint32 element count and validates it against the bytes
 // remaining at perElem bytes each, so a hostile count cannot force a giant
 // allocation.
+//
+//conn:validated-len
 func (d *reader) count(perElem int) int {
 	n := int(d.u32())
 	if !d.ok || n < 0 || (perElem > 0 && n > len(d.p)/perElem) {
@@ -589,9 +593,14 @@ func DecodeRequest(p []byte) (*Request, error) {
 	return r, nil
 }
 
-// pairs reads a validated count of vertex pairs.
+// pairs reads n vertex pairs. Callers hand it a d.count-validated n, but it
+// re-checks against the remaining bytes so the bound is locally evident.
 func (d *reader) pairs(n int) []Pair {
 	if !d.ok {
+		return nil
+	}
+	if n < 0 || n > len(d.p)/8 {
+		d.ok = false
 		return nil
 	}
 	ps := make([]Pair, n)
