@@ -8,6 +8,12 @@
 // DeleteEdges / ConnectedBatch per drained epoch against the single-writer
 // Graph, fanning results back to the blocked callers.
 //
+// The pipeline itself — coalesce drain → WAL append+fsync → epoch execution
+// → snapshot publish → subscriber tee → checkpoint service — lives in
+// internal/engine; a Batcher is a thin facade over exactly one Engine.
+// (internal/shard hosts several engines behind the same operation surface
+// for partitioned writes; the network server exposes both.)
+//
 // Queries need not pay the write pipeline. Connectivity queries are pure
 // root walks (see the read-only query contracts in internal/treap,
 // internal/ett, internal/core), so Batcher serves them at three consistency
@@ -34,29 +40,26 @@ package conn
 import (
 	"errors"
 	"fmt"
-	"os"
-	"path/filepath"
-	"sync"
-	"sync/atomic"
 	"time"
 
-	"repro/internal/checkpoint"
 	"repro/internal/coalesce"
-	"repro/internal/graph"
-	"repro/internal/snapshot"
-	"repro/internal/wal"
+	"repro/internal/engine"
 )
 
 // Default coalescing parameters: commit an epoch once 8192 operations have
 // accumulated, or 500µs after work first arrives, whichever is first.
 const (
-	DefaultMaxBatch = 8192
-	DefaultMaxDelay = 500 * time.Microsecond
+	DefaultMaxBatch = engine.DefaultMaxBatch
+	DefaultMaxDelay = engine.DefaultMaxDelay
 )
 
 // ErrClosed is returned by the Batcher's error-returning methods (Do,
 // Checkpoint) once Close has begun.
 var ErrClosed = errors.New("conn: Batcher is closed")
+
+// walFileName is the WAL's file name inside a durability directory (owned
+// by internal/engine; mirrored here for the crash-recovery tests).
+const walFileName = engine.WALFileName
 
 // OpKind labels one operation of a mixed batch passed to Batcher.Do.
 type OpKind uint8
@@ -96,43 +99,8 @@ type Op struct {
 // While a Batcher is open, its underlying Graph must not be used directly;
 // after Close the Graph is quiesced and may be used again.
 type Batcher struct {
-	g   *Graph
-	buf *coalesce.Buffer
-
-	// mu orders the dispatcher's structure mutations against ReadNow
-	// readers: execEpoch write-holds it around the insert/delete phase,
-	// ReadNow read-holds it around live-structure walks. Queries never
-	// block queries — the read-only contract makes concurrent readers safe
-	// — so the lock only serializes readers against the mutating slice of
-	// each epoch.
-	mu sync.RWMutex
-
-	// snap is the epoch-published component labelling behind ReadRecent.
-	snap *snapshot.Store
-
-	// dur, when non-nil, is the durability pipeline (WithDurability): the
-	// dispatcher appends each mutating epoch to the WAL and fsyncs before
-	// touching the Graph, so an acknowledged write is a durable write.
-	dur *durability
-
-	// ckptReq hands a checkpoint request to the dispatcher, which services
-	// it at the end of an epoch — the one point where the graph is stable
-	// and every appended WAL record has been applied.
-	ckptReq atomic.Pointer[ckptRequest]
-	ckptMu  sync.Mutex // serializes Checkpoint callers
-
-	closed atomic.Bool
-
-	// applied is the durable seq of the last fully applied (and snapshot-
-	// published) epoch — what AppliedSeq reports. It trails WALSeq by the
-	// width of one epoch's apply phase: a record is logged first, applied
-	// after.
-	applied atomic.Uint64
-
-	// subs is the copy-on-write list of epoch subscribers (SubscribeEpochs):
-	// the durable dispatcher path tees each fsynced epoch to every entry.
-	subsMu sync.Mutex
-	subs   atomic.Pointer[[]*epochSub]
+	g *Graph
+	e *engine.Engine
 
 	// testHook, when set before any operation is submitted, observes each
 	// committed epoch (concatenated ops and their results) from the
@@ -146,20 +114,7 @@ type Batcher struct {
 // batch operations reproduces the epoch exactly (duplicates, present
 // inserts and absent deletes are ignored at every layer). The slices are
 // shared across subscribers and must not be mutated.
-type EpochRecord struct {
-	Seq uint64
-	Ins []Edge
-	Del []Edge
-}
-
-// epochSub is one registered epoch subscriber.
-type epochSub struct {
-	// fn observes a durable epoch; calling it exposes the epoch to the
-	// outside world, so it counts as an acknowledgement.
-	//
-	//conn:ack
-	fn func(EpochRecord)
-}
+type EpochRecord = engine.EpochRecord
 
 // BatcherOption configures a Batcher.
 type BatcherOption func(*batcherOptions)
@@ -170,26 +125,6 @@ type batcherOptions struct {
 	shards        int
 	snapThreshold int
 	durDir        string
-}
-
-// durability is the dispatcher-owned durable-write state.
-type durability struct {
-	dir string
-	log *wal.Log
-
-	// Counters are written by the dispatcher only but read by Stats from
-	// any goroutine.
-	records     atomic.Int64
-	bytes       atomic.Int64
-	appendNanos atomic.Int64
-	checkpoints atomic.Int64
-}
-
-// ckptRequest is one pending Checkpoint call.
-type ckptRequest struct {
-	done chan struct{}
-	path string
-	err  error
 }
 
 // WithMaxBatch sets the epoch size target: the dispatcher commits as soon
@@ -246,82 +181,27 @@ func NewBatcher(g *Graph, opts ...BatcherOption) *Batcher {
 	for _, f := range opts {
 		f(&o)
 	}
-	if o.maxBatch <= 0 {
-		o.maxBatch = DefaultMaxBatch
-	}
 	b := &Batcher{g: g}
-	if o.durDir != "" {
-		if err := os.MkdirAll(o.durDir, 0o755); err != nil {
-			panic(fmt.Sprintf("conn: WithDurability(%q): %v", o.durDir, err))
-		}
-		log, err := wal.Open(filepath.Join(o.durDir, walFileName), g.N())
-		if err != nil {
-			panic(fmt.Sprintf("conn: WithDurability(%q): %v", o.durDir, err))
-		}
-		b.dur = &durability{dir: o.durDir, log: log}
-		// The WithDurability contract says g already reflects the durable
-		// state in dir (fresh, or from Restore, which replays the full log),
-		// so the applied position starts at the log's end, not at zero.
-		b.applied.Store(log.LastSeq())
-	}
-	// Graph implements snapshot.Source (ComponentID / ComponentSize /
-	// ComponentVertices / ComponentLabels are read-only queries); the store
-	// computes the initial labelling from the graph's current state.
-	b.snap = snapshot.NewStore(g.N(), o.snapThreshold, g)
-	b.buf = coalesce.NewBuffer(o.shards, o.maxBatch, o.maxDelay, b.execEpoch) //conn:dispatcher-entry — hands execEpoch to the dispatcher goroutine
-	return b
-}
-
-// walFileName is the WAL's file name inside a durability directory.
-const walFileName = "wal.log"
-
-// logEpoch makes an epoch's updates durable before any of them is applied
-// or acknowledged: it collects the raw coalesced insert and delete batches
-// (self-loops dropped — they are no-ops at every layer) and appends them as
-// one fsynced WAL record. Replaying the raw batches through InsertEdges /
-// DeleteEdges reproduces the epoch exactly, because those batch operations
-// ignore duplicates, already-present inserts and absent deletes — the same
-// filtering execEpoch's credit pre-scans perform.
-//
-// The epoch-subscriber tee at the end is an acknowledgement path (the Hub
-// ships the record to followers), so it must stay behind the WAL append.
-//
-//conn:dispatcher-only
-//conn:ack-after-fsync
-func (b *Batcher) logEpoch(ops []coalesce.Op) {
-	var ins, del []graph.Edge
-	for _, op := range ops {
-		if op.U == op.V {
-			continue
-		}
-		switch op.Kind {
-		case coalesce.OpInsert:
-			ins = append(ins, graph.Edge{U: op.U, V: op.V})
-		case coalesce.OpDelete:
-			del = append(del, graph.Edge{U: op.U, V: op.V})
-		}
-	}
-	if len(ins) == 0 && len(del) == 0 {
-		return // query-only epoch: nothing to make durable
-	}
-	rec := wal.Record{Seq: b.dur.log.LastSeq() + 1, Ins: ins, Del: del}
-	t0 := time.Now()
-	nbytes, err := b.dur.log.Append(rec)
+	e, err := engine.New(g.c, engine.Options{
+		MaxBatch:          o.maxBatch,
+		MaxDelay:          o.maxDelay,
+		Shards:            o.shards,
+		SnapshotThreshold: o.snapThreshold,
+		DurDir:            o.durDir,
+		// The hook indirects through the Batcher field so tests can install
+		// it after construction (but before the first submission), exactly
+		// as they always have.
+		Hook: func(ops []coalesce.Op, res []bool) {
+			if b.testHook != nil {
+				b.testHook(ops, res)
+			}
+		},
+	})
 	if err != nil {
-		panic(fmt.Sprintf("conn: durable Batcher cannot append to WAL: %v", err))
+		panic(fmt.Sprintf("conn: WithDurability(%q): %v", o.durDir, err))
 	}
-	b.dur.appendNanos.Add(time.Since(t0).Nanoseconds())
-	b.dur.records.Add(1)
-	b.dur.bytes.Add(int64(nbytes))
-	// Replication tee: the record is durable, so subscribers (the Hub
-	// shipping epochs to followers) may see it now — before the epoch is
-	// applied or acknowledged, exactly the ordering the WAL itself gets.
-	if subs := b.subs.Load(); subs != nil && len(*subs) > 0 {
-		er := EpochRecord{Seq: rec.Seq, Ins: fromInternal(ins), Del: fromInternal(del)}
-		for _, s := range *subs {
-			s.fn(er)
-		}
-	}
+	b.e = e
+	return b
 }
 
 // SubscribeEpochs registers fn as an epoch subscriber: the dispatcher calls
@@ -333,108 +213,26 @@ func (b *Batcher) logEpoch(ops []coalesce.Op) {
 // Batcher the subscription is registered but never fires. The returned
 // cancel function removes the subscription and is idempotent.
 func (b *Batcher) SubscribeEpochs(fn func(EpochRecord)) (cancel func()) {
-	sub := &epochSub{fn: fn}
-	b.subsMu.Lock()
-	var cur []*epochSub
-	if p := b.subs.Load(); p != nil {
-		cur = *p
-	}
-	next := make([]*epochSub, len(cur)+1)
-	copy(next, cur)
-	next[len(cur)] = sub
-	b.subs.Store(&next)
-	b.subsMu.Unlock()
-	return func() {
-		b.subsMu.Lock()
-		defer b.subsMu.Unlock()
-		p := b.subs.Load()
-		if p == nil {
-			return
-		}
-		out := make([]*epochSub, 0, len(*p))
-		for _, s := range *p {
-			if s != sub {
-				out = append(out, s)
-			}
-		}
-		b.subs.Store(&out)
-	}
+	return b.e.SubscribeEpochs(fn)
 }
 
 // WALSeq returns the sequence number of the last durable epoch (zero for a
 // Batcher without WithDurability, or before the first mutating epoch when
 // the log has never been checkpointed). Safe from any goroutine.
-func (b *Batcher) WALSeq() uint64 {
-	if b.dur == nil {
-		return 0
-	}
-	return b.dur.log.LastSeq()
-}
+func (b *Batcher) WALSeq() uint64 { return b.e.WALSeq() }
 
 // AppliedSeq returns the durable seq of the last epoch whose mutations are
 // fully applied and visible to every read tier. It trails WALSeq by at most
 // the in-flight epoch (logged-but-not-yet-applied), which makes it the seq
 // a read response may claim: sampled before a read, it never exceeds the
 // state the read reflects. Safe from any goroutine.
-func (b *Batcher) AppliedSeq() uint64 { return b.applied.Load() }
+func (b *Batcher) AppliedSeq() uint64 { return b.e.AppliedSeq() }
 
 // WALFloor returns the WAL's checkpoint floor: the sequence number already
 // captured by the checkpoint the log was last reset behind (zero if never
 // reset, or without WithDurability). Records in the live log cover exactly
 // (WALFloor, WALSeq]. Safe from any goroutine.
-func (b *Batcher) WALFloor() uint64 {
-	if b.dur == nil {
-		return 0
-	}
-	return b.dur.log.BaseSeq()
-}
-
-// serviceCheckpoint runs on the dispatcher at the end of an epoch, when the
-// graph is stable and every WAL record appended so far has been applied —
-// so a snapshot of the live edge set captures exactly the log's prefix and
-// the log can be truncated behind it.
-//
-// close(req.done) releases the Checkpoint caller, so it must stay behind
-// the checkpoint.Write durability barrier.
-//
-//conn:dispatcher-only
-//conn:ack-after-fsync
-func (b *Batcher) serviceCheckpoint() {
-	req := b.ckptReq.Swap(nil)
-	if req == nil {
-		return
-	}
-	seq := b.dur.log.LastSeq()
-	edges := b.g.SpanningForest()
-	edges = append(edges, b.g.NonTreeEdges()...)
-	snap := checkpoint.Snapshot{Seq: seq, N: b.g.N(), Edges: toGraphEdges(edges)}
-	path, err := checkpoint.Write(b.dur.dir, snap)
-	if err == nil {
-		// Prune prior checkpoints and count the new one only after the WAL
-		// reset succeeds. If Reset fails, the directory must keep a usable
-		// (checkpoint, log) pair: the older snapshots stay as fallbacks and
-		// the log keeps every record, so Restore still recovers the full
-		// acked history whichever checkpoint it manages to read. The new
-		// snapshot file is left in place too — it is valid, just not yet
-		// the log's floor.
-		if err = b.dur.log.Reset(seq); err == nil {
-			checkpoint.Prune(b.dur.dir, seq)
-			b.dur.checkpoints.Add(1)
-		} else {
-			path = ""
-		}
-	}
-	req.path, req.err = path, err
-	close(req.done)
-}
-
-func toGraphEdges(es []Edge) []graph.Edge {
-	out := make([]graph.Edge, len(es))
-	for i, e := range es {
-		out[i] = graph.Edge{U: e.U, V: e.V}
-	}
-	return out
-}
+func (b *Batcher) WALFloor() uint64 { return b.e.WALFloor() }
 
 // Checkpoint durably snapshots the current edge set into the durability
 // directory and truncates the WAL behind it, bounding restart replay time.
@@ -447,175 +245,14 @@ func toGraphEdges(es []Edge) []graph.Edge {
 // including an edgeless one — the request rides a dispatcher nudge, not a
 // vertex operation.
 func (b *Batcher) Checkpoint() (string, error) {
-	if b.dur == nil {
+	if !b.e.Durable() {
 		return "", errors.New("conn: Checkpoint on a Batcher without WithDurability")
 	}
-	b.ckptMu.Lock()
-	defer b.ckptMu.Unlock()
-	req := &ckptRequest{done: make(chan struct{})}
-	b.ckptReq.Store(req)
-	// Dedicated dispatcher nudge: a flush barrier forces a drain, and the
-	// dispatcher services checkpoint requests at the end of every drain —
-	// even an empty one — so the wait below is bounded by one epoch without
-	// smuggling a fake query through the pipeline (which would touch vertex
-	// 0 and panic after Close instead of failing cleanly).
-	if err := b.buf.Flush(); err != nil {
-		// Close raced in. The request was published before the flush
-		// attempt, so the dispatcher's final sweep may still have serviced
-		// it; only if it can be retracted unserviced did the checkpoint
-		// definitely not happen.
-		if b.ckptReq.CompareAndSwap(req, nil) {
-			return "", ErrClosed
-		}
+	path, err := b.e.Checkpoint()
+	if errors.Is(err, engine.ErrClosed) {
+		return "", ErrClosed
 	}
-	<-req.done
-	return req.path, req.err
-}
-
-// execEpoch applies one drained epoch to the underlying graph and returns
-// the results plus the epoch's durable commit position (the WAL seq the
-// epoch's state reflects: its own record's seq for a mutating epoch, the
-// last logged seq for a query-only one, zero without durability). It runs
-// on the dispatcher goroutine only, so the single-writer contract of Graph
-// holds. Insert and delete credit goes to the first staging of each edge in
-// epoch order; queries run against the post-update state.
-//
-// Locking: only the mutating phase write-holds b.mu — ReadNow readers are
-// excluded exactly while the structure changes. The epoch's own queries and
-// the snapshot publish are read-only walks and run lock-free alongside
-// ReadNow (read-read is safe under the core contract; no other writer can
-// exist because this is the sole dispatcher).
-//
-//conn:dispatcher-only
-func (b *Batcher) execEpoch(ops []coalesce.Op) ([]bool, uint64) {
-	// Durability barrier: the epoch's updates hit the fsynced WAL before
-	// the first structure mutation and before any future resolves, so a
-	// caller that observes its commit can never lose the write to a crash.
-	if b.dur != nil {
-		b.logEpoch(ops)
-	}
-	// The epoch's commit position is sampled here, after this epoch's own
-	// append and before any later epoch can log: exactly the seq a caller
-	// needs for read-your-writes fencing, never a later writer's.
-	epochSeq := b.WALSeq()
-
-	res := make([]bool, len(ops))
-	var insIdx, delIdx, qIdx []int
-	for i, op := range ops {
-		switch op.Kind {
-		case coalesce.OpInsert:
-			insIdx = append(insIdx, i)
-		case coalesce.OpDelete:
-			delIdx = append(delIdx, i)
-		default:
-			qIdx = append(qIdx, i)
-		}
-	}
-
-	// touched collects the endpoints of applied updates that can actually
-	// move a component label — the dirty set the snapshot publisher repairs
-	// from. Credited updates that provably preserve the partition are
-	// filtered out here so write-heavy epochs of intra-component inserts
-	// and non-tree deletes skip snapshot work entirely:
-	//   - an insert whose endpoints share a label in the published
-	//     snapshot (which is exact for the pre-epoch graph: every
-	//     label-changing epoch republishes) joins nothing;
-	//   - a non-tree delete leaves the spanning forest intact, and any
-	//     fragment a batch of deletions splits off is bounded by deleted
-	//     TREE edges, whose endpoints it contains.
-	var touched []int32
-
-	// The insert pre-scan (dedup + presence filter) reads only pre-epoch
-	// state, so it runs before the write lock — concurrent ReadNow readers
-	// are not blocked by it.
-	var insBatch []Edge
-	if len(insIdx) > 0 {
-		lbl := b.snap.Current() // pre-epoch labelling
-		seen := make(map[uint64]struct{}, len(insIdx))
-		insBatch = make([]Edge, 0, len(insIdx))
-		for _, i := range insIdx {
-			u, v := ops[i].U, ops[i].V
-			if u == v {
-				continue
-			}
-			k := graph.Edge{U: u, V: v}.Key()
-			if _, dup := seen[k]; dup {
-				continue
-			}
-			seen[k] = struct{}{}
-			if !b.g.HasEdge(u, v) {
-				res[i] = true
-				insBatch = append(insBatch, Edge{U: u, V: v})
-				if !lbl.Connected(u, v) {
-					touched = append(touched, u, v)
-				}
-			}
-		}
-	}
-
-	if len(insBatch) > 0 || len(delIdx) > 0 {
-		// The write lock spans from the first structure mutation to the
-		// last: ReadNow must never observe inserts applied but deletes
-		// pending. The delete pre-scan has to sit inside the window — it
-		// reads post-insert presence so an insert and delete of the same
-		// edge in one epoch compose.
-		b.mu.Lock()
-		b.g.InsertEdges(insBatch)
-		if len(delIdx) > 0 {
-			seen := make(map[uint64]struct{}, len(delIdx))
-			batch := make([]Edge, 0, len(delIdx))
-			for _, i := range delIdx {
-				u, v := ops[i].U, ops[i].V
-				if u == v {
-					continue
-				}
-				k := graph.Edge{U: u, V: v}.Key()
-				if _, dup := seen[k]; dup {
-					continue
-				}
-				seen[k] = struct{}{}
-				// Tree-ness is read post-insert, pre-delete — exactly the
-				// forest BatchDelete will sever.
-				if present, tree := b.g.EdgeInfo(u, v); present {
-					res[i] = true
-					batch = append(batch, Edge{U: u, V: v})
-					if tree {
-						touched = append(touched, u, v)
-					}
-				}
-			}
-			b.g.DeleteEdges(batch)
-		}
-		b.mu.Unlock()
-	}
-
-	if len(qIdx) > 0 {
-		qs := make([]Edge, len(qIdx))
-		for j, i := range qIdx {
-			qs[j] = Edge{U: ops[i].U, V: ops[i].V}
-		}
-		for j, ok := range b.g.ConnectedBatch(qs) {
-			res[qIdx[j]] = ok
-		}
-	}
-
-	// Publish before the dispatcher resolves the epoch's futures (our
-	// caller, coalesce.drain, closes them after we return): once any caller
-	// observes its commit, ReadRecent already reflects the epoch.
-	b.snap.Publish(touched)
-
-	if b.dur != nil {
-		b.serviceCheckpoint()
-	}
-
-	if b.testHook != nil {
-		b.testHook(ops, res)
-	}
-	// The epoch is fully applied and its snapshot published: readers that
-	// sample AppliedSeq from here on may safely claim this position —
-	// a claimed seq never exceeds the state a subsequent read reflects.
-	b.applied.Store(epochSeq)
-	return res, epochSeq
+	return path, err
 }
 
 func (b *Batcher) check(u, v int32) {
@@ -633,7 +270,7 @@ func (b *Batcher) checkRange(u, v int32) error {
 
 func (b *Batcher) one(k coalesce.Kind, u, v int32) bool {
 	b.check(u, v)
-	f, err := b.buf.Submit([]coalesce.Op{{Kind: k, U: u, V: v}})
+	f, err := b.e.Submit([]coalesce.Op{{Kind: k, U: u, V: v}})
 	if err != nil {
 		panic("conn: Batcher used after Close")
 	}
@@ -649,7 +286,7 @@ func (b *Batcher) many(k coalesce.Kind, es []Edge) []bool {
 		b.check(e.U, e.V)
 		ops[i] = coalesce.Op{Kind: k, U: e.U, V: e.V}
 	}
-	f, err := b.buf.Submit(ops)
+	f, err := b.e.Submit(ops)
 	if err != nil {
 		panic("conn: Batcher used after Close")
 	}
@@ -718,16 +355,32 @@ func (b *Batcher) Do(ops []Op) ([]bool, error) {
 // WithDurability). It is exact — never a later writer's seq — which makes
 // it the correct read-your-writes fence for replica-routed reads.
 func (b *Batcher) DoSeq(ops []Op) ([]bool, uint64, error) {
-	if b.closed.Load() {
+	if b.e.Closed() {
 		return nil, 0, ErrClosed
 	}
+	cops, err := coalesceOps(ops, b.checkRange)
+	if err != nil {
+		return nil, 0, err
+	}
+	bits, seq, err := b.e.Apply(cops)
+	if err != nil {
+		return nil, 0, ErrClosed
+	}
+	return bits, seq, nil
+}
+
+// coalesceOps validates and converts a public mixed batch into the staging
+// representation. check validates one vertex pair (nil skips validation).
+func coalesceOps(ops []Op, check func(u, v int32) error) ([]coalesce.Op, error) {
 	if len(ops) == 0 {
-		return nil, b.WALSeq(), nil
+		return nil, nil
 	}
 	cops := make([]coalesce.Op, len(ops))
 	for i, op := range ops {
-		if err := b.checkRange(op.U, op.V); err != nil {
-			return nil, 0, err
+		if check != nil {
+			if err := check(op.U, op.V); err != nil {
+				return nil, err
+			}
 		}
 		switch op.Kind {
 		case OpInsert:
@@ -737,14 +390,10 @@ func (b *Batcher) DoSeq(ops []Op) ([]bool, uint64, error) {
 		case OpQuery:
 			cops[i] = coalesce.Op{Kind: coalesce.OpQuery, U: op.U, V: op.V}
 		default:
-			return nil, 0, fmt.Errorf("conn: Batcher.Do: unknown op kind %d", op.Kind)
+			return nil, fmt.Errorf("conn: Batcher.Do: unknown op kind %d", op.Kind)
 		}
 	}
-	f, err := b.buf.Submit(cops)
-	if err != nil {
-		return nil, 0, ErrClosed
-	}
-	return f.Wait(), f.Seq(), nil
+	return cops, nil
 }
 
 // ReadNow reports whether u and v are currently connected — read-committed.
@@ -756,13 +405,10 @@ func (b *Batcher) DoSeq(ops []Op) ([]bool, uint64, error) {
 // Connected. Panics once Close has begun.
 func (b *Batcher) ReadNow(u, v int32) bool {
 	b.check(u, v)
-	b.mu.RLock()
-	if b.closed.Load() {
-		b.mu.RUnlock()
+	ok, err := b.e.ReadNow(u, v)
+	if err != nil {
 		panic("conn: Batcher used after Close")
 	}
-	ok := b.g.Connected(u, v)
-	b.mu.RUnlock()
 	return ok
 }
 
@@ -775,13 +421,10 @@ func (b *Batcher) ReadNowBatch(qs []Edge) []bool {
 	for _, q := range qs {
 		b.check(q.U, q.V)
 	}
-	b.mu.RLock()
-	if b.closed.Load() {
-		b.mu.RUnlock()
+	out, err := b.e.ReadNowBatch(qs)
+	if err != nil {
 		panic("conn: Batcher used after Close")
 	}
-	out := b.g.ConnectedBatch(qs)
-	b.mu.RUnlock()
 	return out
 }
 
@@ -792,7 +435,7 @@ func (b *Batcher) ReadNowBatch(qs []Edge) []bool {
 // answering from the final snapshot.
 func (b *Batcher) ReadRecent(u, v int32) bool {
 	b.check(u, v)
-	return b.snap.Current().Connected(u, v)
+	return b.e.Recent().Connected(u, v)
 }
 
 // ReadRecentBatch answers k wait-free queries, all against the same
@@ -801,7 +444,7 @@ func (b *Batcher) ReadRecentBatch(qs []Edge) []bool {
 	if len(qs) == 0 {
 		return nil
 	}
-	l := b.snap.Current()
+	l := b.e.Recent()
 	out := make([]bool, len(qs))
 	for i, q := range qs {
 		b.check(q.U, q.V)
@@ -813,21 +456,14 @@ func (b *Batcher) ReadRecentBatch(qs []Edge) []bool {
 // RecentEpoch returns the publish counter of the snapshot ReadRecent is
 // answering from; it increases by one per committed epoch that changed
 // connectivity. Callers can use it to bound observed staleness.
-func (b *Batcher) RecentEpoch() uint64 { return b.snap.Current().Epoch() }
+func (b *Batcher) RecentEpoch() uint64 { return b.e.Recent().Epoch() }
 
 // Flush forces an immediate epoch and blocks until every operation staged
 // before the call has committed. Flush on a closed (or closing) Batcher is
 // graceful — never a panic: Close's final sweep commits everything a racing
 // Flush could have flushed, and Flush waits for that sweep before
 // returning, so the barrier guarantee holds on both sides of the race.
-func (b *Batcher) Flush() {
-	if err := b.buf.Flush(); err != nil {
-		// ErrClosed: Close has begun but its final drain may not have run
-		// yet. Buffer.Close is idempotent and blocks until the dispatcher
-		// (final sweep included) has exited — ride it instead of failing.
-		b.buf.Close()
-	}
-}
+func (b *Batcher) Flush() { b.e.Flush() }
 
 // Close commits everything still staged and stops the dispatcher. After
 // Close returns the underlying Graph is quiesced and may be used directly.
@@ -840,69 +476,17 @@ func (b *Batcher) Flush() {
 // before its future resolved), so callers that only care about data safety
 // may ignore it, but it is no longer silently discarded.
 func (b *Batcher) Close() error {
-	b.closed.Store(true)
-	b.buf.Close()
-	var err error
-	if b.dur != nil {
-		// The dispatcher has exited; every acknowledged epoch is already
-		// fsynced, so closing the log handle loses no data — but the
-		// error still surfaces to the caller.
-		if cerr := b.dur.log.Close(); cerr != nil {
-			err = fmt.Errorf("conn: closing WAL: %w", cerr)
-		}
+	if err := b.e.Close(); err != nil {
+		return fmt.Errorf("conn: closing WAL: %w", err)
 	}
-	// Empty critical section as a barrier: wait out any ReadNow that
-	// acquired the read lock before the closed flag landed, so the Graph
-	// is truly quiesced when we return.
-	b.mu.Lock()
-	//lint:ignore SA2001 the empty critical section IS the barrier
-	b.mu.Unlock()
-	return err
+	return nil
 }
 
 // BatcherStats are dispatcher counters: how much traffic was coalesced and
-// how large the epochs got. AvgEpoch is the realized average batch size —
-// the Δ of Theorem 1 under the observed traffic. SnapshotPublishes and
-// SnapshotRebuilds count ReadRecent labelling publications and how many of
-// them fell back from incremental repair to a full relabelling.
-type BatcherStats struct {
-	Epochs            int64
-	Ops               int64
-	MaxEpoch          int64
-	SnapshotPublishes int64
-	SnapshotRebuilds  int64
-
-	// Durability counters (zero without WithDurability): WAL records are
-	// mutating epochs — each one cost exactly one fsync; WALAppendTime is
-	// the total wall time spent in those appends, the per-epoch durable
-	// overhead e14 measures.
-	WALRecords    int64
-	WALBytes      int64
-	WALAppendTime time.Duration
-	Checkpoints   int64
-}
-
-// AvgEpoch returns the mean operations per committed epoch.
-func (s BatcherStats) AvgEpoch() float64 {
-	if s.Epochs == 0 {
-		return 0
-	}
-	return float64(s.Ops) / float64(s.Epochs)
-}
+// how large the epochs got; see engine.Stats for the field-by-field story.
+// AvgEpoch is the realized average batch size — the Δ of Theorem 1 under
+// the observed traffic.
+type BatcherStats = engine.Stats
 
 // Stats returns coalescing counters accumulated since NewBatcher.
-func (b *Batcher) Stats() BatcherStats {
-	s := b.buf.Stats()
-	sn := b.snap.Stats()
-	out := BatcherStats{
-		Epochs: s.Epochs, Ops: s.Ops, MaxEpoch: s.MaxEpoch,
-		SnapshotPublishes: sn.Publishes, SnapshotRebuilds: sn.Rebuilds,
-	}
-	if b.dur != nil {
-		out.WALRecords = b.dur.records.Load()
-		out.WALBytes = b.dur.bytes.Load()
-		out.WALAppendTime = time.Duration(b.dur.appendNanos.Load())
-		out.Checkpoints = b.dur.checkpoints.Load()
-	}
-	return out
-}
+func (b *Batcher) Stats() BatcherStats { return b.e.Stats() }

@@ -23,13 +23,13 @@ func TestBatcherSequentialSemantics(t *testing.T) {
 	if b.Insert(2, 2) {
 		t.Fatal("Insert(2,2) = true for a self-loop")
 	}
-	if got := b.InsertEdges([]Edge{{1, 2}, {2, 3}, {1, 2}}); got != 2 {
+	if got := b.InsertEdges([]Edge{{U: 1, V: 2}, {U: 2, V: 3}, {U: 1, V: 2}}); got != 2 {
 		t.Fatalf("InsertEdges = %d, want 2 (duplicate in batch)", got)
 	}
 	if !b.Connected(0, 3) || b.Connected(0, 4) {
 		t.Fatal("Connected wrong")
 	}
-	ans := b.ConnectedBatch([]Edge{{0, 2}, {4, 5}})
+	ans := b.ConnectedBatch([]Edge{{U: 0, V: 2}, {U: 4, V: 5}})
 	if !ans[0] || ans[1] {
 		t.Fatalf("ConnectedBatch = %v", ans)
 	}
@@ -39,7 +39,7 @@ func TestBatcherSequentialSemantics(t *testing.T) {
 	if b.Delete(1, 2) {
 		t.Fatal("Delete(1,2) = true for an absent edge")
 	}
-	if got := b.DeleteEdges([]Edge{{0, 1}, {6, 7}}); got != 1 {
+	if got := b.DeleteEdges([]Edge{{U: 0, V: 1}, {U: 6, V: 7}}); got != 1 {
 		t.Fatalf("DeleteEdges = %d, want 1", got)
 	}
 	b.Flush()
@@ -269,7 +269,7 @@ func TestBatcherFlushCommitsStagedOps(t *testing.T) {
 	}
 }
 
-func (b *Batcher) bufPending() int64 { return b.buf.Pending() }
+func (b *Batcher) bufPending() int64 { return b.e.Pending() }
 
 // TestBatcherFlushCloseRace pins the repaired Flush/Close interaction: a
 // Flush racing Close must be a graceful no-op, not a panic — Close's final

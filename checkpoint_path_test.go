@@ -150,7 +150,7 @@ func TestCheckpointResetFailureKeepsFallback(t *testing.T) {
 		}
 	}
 
-	ins(Edge{0, 1}, Edge{1, 2}, Edge{2, 3})
+	ins(Edge{U: 0, V: 1}, Edge{U: 1, V: 2}, Edge{U: 2, V: 3})
 	if _, err := b.Checkpoint(); err != nil {
 		t.Fatalf("first Checkpoint: %v", err)
 	}
@@ -159,7 +159,7 @@ func TestCheckpointResetFailureKeepsFallback(t *testing.T) {
 		t.Fatalf("after first checkpoint: files %v, want exactly one", first)
 	}
 
-	ins(Edge{10, 11}, Edge{11, 12}, Edge{3, 10})
+	ins(Edge{U: 10, V: 11}, Edge{U: 11, V: 12}, Edge{U: 3, V: 10})
 
 	// Injection: wal.Reset writes wal.log.tmp then renames it over the log;
 	// a directory at that path makes the reset fail after the new snapshot
@@ -191,7 +191,7 @@ func TestCheckpointResetFailureKeepsFallback(t *testing.T) {
 
 	// The batcher stays usable: the WAL was never truncated, so appends
 	// continue and later state is still acked-durable.
-	ins(Edge{20, 21})
+	ins(Edge{U: 20, V: 21})
 	b.Close()
 
 	check := func(g *Graph) {

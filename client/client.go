@@ -51,8 +51,14 @@ import (
 
 	conn "repro"
 	"repro/internal/backoff"
+	"repro/internal/shard"
 	"repro/internal/wire"
 )
+
+// Partition returns the shard owning vertex u in a namespace created with
+// the given shard count — the same hash the server routes by, so callers
+// can pre-partition their traffic (see Namespace.DoSharded).
+func Partition(u int32, shards int) int { return shard.Partition(u, shards) }
 
 // Errors mapped from wire status codes.
 var (
@@ -541,6 +547,16 @@ func (c *Client) Create(ns string, n int, durable bool) error {
 	return err
 }
 
+// CreateSharded makes a namespace hash-partitioned across shards engines:
+// the server routes each operation to its partition's epoch pipeline, so
+// writes to different partitions commit — and fsync — in parallel. A shard
+// count of 0 or 1 creates an ordinary unsharded namespace.
+func (c *Client) CreateSharded(ns string, n int, durable bool, shards int) error {
+	_, err := c.do(&wire.Request{Cmd: wire.CmdCreate, NS: ns, N: uint32(n),
+		Durable: durable, Shards: uint32(shards)})
+	return err
+}
+
 // Drop quiesces and removes a namespace; a durable namespace's on-disk
 // state is deleted.
 func (c *Client) Drop(ns string) error {
@@ -548,11 +564,13 @@ func (c *Client) Drop(ns string) error {
 	return err
 }
 
-// NamespaceInfo describes one served namespace.
+// NamespaceInfo describes one served namespace. Shards is the hash
+// partition count for sharded namespaces (0 = unsharded).
 type NamespaceInfo struct {
 	Name    string
 	N       int
 	Durable bool
+	Shards  int
 }
 
 // List returns the served namespaces, sorted by name.
@@ -563,7 +581,7 @@ func (c *Client) List() ([]NamespaceInfo, error) {
 	}
 	out := make([]NamespaceInfo, len(resp.Namespaces))
 	for i, ns := range resp.Namespaces {
-		out[i] = NamespaceInfo{Name: ns.Name, N: ns.N, Durable: ns.Durable}
+		out[i] = NamespaceInfo{Name: ns.Name, N: ns.N, Durable: ns.Durable, Shards: ns.Shards}
 	}
 	return out, nil
 }
@@ -599,6 +617,77 @@ func (ns *Namespace) Do(ops []conn.Op) ([]bool, error) {
 		return nil, err
 	}
 	return resp.Bits, nil
+}
+
+// DoSharded routes a batch by partition against a namespace created with
+// the given shard count: intra-shard mutations are grouped into one frame
+// per shard and the frames fly concurrently, each landing directly in its
+// partition's epoch pipeline — k coalescing windows and k fsync streams run
+// in parallel. Cross-shard mutations and all queries form a final frame sent
+// after every shard frame commits, so queries still observe this call's own
+// mutations. Results are index-aligned with ops; atomicity is per frame, not
+// whole-batch. With shards < 2 it is exactly Do.
+func (ns *Namespace) DoSharded(shards int, ops []conn.Op) ([]bool, error) {
+	if shards < 2 {
+		return ns.Do(ops)
+	}
+	groups := make([][]conn.Op, shards)
+	gidx := make([][]int, shards)
+	var rest []conn.Op
+	var restIdx []int
+	for i, op := range ops {
+		if op.Kind != conn.OpQuery {
+			if su, sv := shard.Partition(op.U, shards), shard.Partition(op.V, shards); su == sv {
+				groups[su] = append(groups[su], op)
+				gidx[su] = append(gidx[su], i)
+				continue
+			}
+		}
+		rest = append(rest, op)
+		restIdx = append(restIdx, i)
+	}
+	out := make([]bool, len(ops))
+	var wg sync.WaitGroup
+	errs := make([]error, shards)
+	for s := 0; s < shards; s++ {
+		if len(groups[s]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			bits, err := ns.Do(groups[s])
+			if err == nil && len(bits) != len(groups[s]) {
+				err = fmt.Errorf("client: server returned %d results for %d ops", len(bits), len(groups[s]))
+			}
+			if err != nil {
+				errs[s] = err
+				return
+			}
+			for j, b := range bits {
+				out[gidx[s][j]] = b
+			}
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(rest) > 0 {
+		bits, err := ns.Do(rest)
+		if err != nil {
+			return nil, err
+		}
+		if len(bits) != len(rest) {
+			return nil, fmt.Errorf("client: server returned %d results for %d ops", len(bits), len(rest))
+		}
+		for j, b := range bits {
+			out[restIdx[j]] = b
+		}
+	}
+	return out, nil
 }
 
 func (ns *Namespace) one(kind conn.OpKind, u, v int32) (bool, error) {

@@ -28,6 +28,11 @@
 //	e14 durable epochs: WAL group-commit overhead            [WithDurability]
 //	e15 network front-end: conns × pipeline depth            [cmd/connserver]
 //	e16 replication: read throughput vs replica count        [internal/repl]
+//	e17 sharded writes: throughput vs partition count        [internal/shard]
+//
+// Experiments that sweep a parameter also emit a machine-readable
+// BENCH_<experiment>.json result file (see -out) with one row per measured
+// cell, so plots and regression checks need not scrape the tables.
 package main
 
 import (
@@ -38,20 +43,21 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e1..e16, comma separated, or 'all')")
+	exp := flag.String("exp", "all", "experiment id (e1..e17, comma separated, or 'all')")
 	n := flag.Int("n", 0, "override vertex count (0 = per-experiment default)")
 	quick := flag.Bool("quick", false, "smaller sizes for a fast smoke run")
 	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("out", ".", "directory for BENCH_<experiment>.json result files (empty = don't write)")
 	flag.Parse()
 
-	cfg := config{n: *n, quick: *quick, seed: *seed}
+	cfg := config{n: *n, quick: *quick, seed: *seed, outDir: *out}
 	all := map[string]func(config){
 		"e1": runE1, "e2": runE2, "e3": runE3, "e4": runE4, "e5": runE5,
 		"e6": runE6, "e7": runE7, "e8": runE8, "e9": runE9, "e10": runE10,
 		"e11": runE11, "e12": runE12, "e13": runE13, "e14": runE14, "e15": runE15,
-		"e16": runE16,
+		"e16": runE16, "e17": runE17,
 	}
-	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16"}
+	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17"}
 
 	want := map[string]bool{}
 	if *exp == "all" {
@@ -62,7 +68,7 @@ func main() {
 		for _, id := range strings.Split(*exp, ",") {
 			id = strings.TrimSpace(strings.ToLower(id))
 			if _, ok := all[id]; !ok {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q (want e1..e16)\n", id)
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (want e1..e17)\n", id)
 				os.Exit(2)
 			}
 			want[id] = true
@@ -76,9 +82,10 @@ func main() {
 }
 
 type config struct {
-	n     int
-	quick bool
-	seed  int64
+	n      int
+	quick  bool
+	seed   int64
+	outDir string
 }
 
 // size picks the experiment's n: explicit -n wins, then quick/full defaults.

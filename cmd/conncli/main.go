@@ -34,7 +34,9 @@
 // already exists), updates ride batched CmdBatch frames, '?' is a
 // linearized query, and 'stats' prints the server's counters — including
 // the replication block (connected subscribers, last shipped seq, max
-// follower lag on a primary; applied seq on a replica). 'components' and
+// follower lag on a primary; applied seq on a replica) and, for a sharded
+// namespace, one line per shard engine with its epoch count and WAL
+// seq/floor, boundary engine last. 'components' and
 // 'size' are local-only (the wire protocol serves connectivity, not
 // component enumeration).
 //
@@ -314,6 +316,16 @@ func (s *session) exec(text string) error {
 				st.WALRecords, st.WALBytes, st.Checkpoints)
 			fmt.Fprintf(s.out, "repl: subscribers=%d last_shipped=%d max_lag=%d applied=%d\n",
 				st.Subscribers, st.LastShippedSeq, st.MaxFollowerLag, st.AppliedSeq)
+			// A sharded namespace reports per-engine lines under the
+			// aggregate: shards 0..k-1, then the boundary engine.
+			for i, sh := range st.Shards {
+				label := fmt.Sprintf("shard %d", i)
+				if i == len(st.Shards)-1 {
+					label = "boundary"
+				}
+				fmt.Fprintf(s.out, "%s: epochs=%d ops=%d wal: records=%d seq=%d floor=%d applied=%d\n",
+					label, sh.Epochs, sh.Ops, sh.WALRecords, sh.WALSeq, sh.WALFloor, sh.AppliedSeq)
+			}
 			return nil
 		}
 		st := s.g.Stats()

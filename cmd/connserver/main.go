@@ -9,6 +9,7 @@
 //
 //	connserver -addr :7421                  # memory-only namespaces
 //	connserver -addr :7421 -data /var/lib/conn
+//	connserver -addr :7421 -data /var/lib/conn -shards 4
 //	connserver -addr :7422 -replica-of primary:7421
 //
 // With -data, namespaces created durable live under <data>/<namespace>/
@@ -24,6 +25,13 @@
 // read tiers; mutating requests are answered with a redirect to the
 // primary. Replicas reconnect with exponential backoff and keep serving
 // their last applied state while the primary is down.
+//
+// With -shards k (k >= 2), namespaces created without an explicit shard
+// count are hash-partitioned across k epoch pipelines: intra-shard edges
+// commit — and fsync — in parallel per partition, cross-shard edges ride a
+// boundary engine, and connectivity composes the per-shard labels through
+// the boundary graph (internal/shard). Durable sharded namespaces keep one
+// WAL and checkpoint stream per shard under <data>/<ns>/shard-<i>/.
 package main
 
 import (
@@ -43,6 +51,7 @@ func main() {
 	data := flag.String("data", "", "data directory for durable namespaces (empty = memory only)")
 	maxBatch := flag.Int("max-batch", 0, "epoch size target per namespace (0 = library default)")
 	maxDelay := flag.Duration("max-delay", 0, "epoch coalescing window per namespace (0 = library default)")
+	shards := flag.Int("shards", 0, "default hash partition count for new namespaces (0 or 1 = unsharded)")
 	replicaOf := flag.String("replica-of", "", "primary connserver address to follow as a read-only replica (memory only)")
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -52,11 +61,12 @@ func main() {
 
 	logger := log.New(os.Stderr, "connserver: ", log.LstdFlags)
 	srv, err := server.New(server.Options{
-		DataDir:   *data,
-		MaxBatch:  *maxBatch,
-		MaxDelay:  *maxDelay,
-		ReplicaOf: *replicaOf,
-		Logf:      logger.Printf,
+		DataDir:       *data,
+		MaxBatch:      *maxBatch,
+		MaxDelay:      *maxDelay,
+		DefaultShards: *shards,
+		ReplicaOf:     *replicaOf,
+		Logf:          logger.Printf,
 	})
 	if err != nil {
 		logger.Fatal(err)

@@ -44,10 +44,10 @@ import (
 )
 
 // Edge is an undirected edge between two vertex ids in [0, n). Orientation
-// is irrelevant: {U, V} and {V, U} denote the same edge.
-type Edge struct {
-	U, V int32
-}
+// is irrelevant: {U, V} and {V, U} denote the same edge. It is an alias for
+// the shared internal edge type, so public batches flow through the engine
+// and shard layers without conversion.
+type Edge = graph.Edge
 
 // Algorithm selects the deletion search strategy.
 type Algorithm = core.Algorithm
@@ -92,14 +92,6 @@ func New(n int, opts ...Option) *Graph {
 	return &Graph{c: core.New(n, core.WithAlgorithm(o.alg))}
 }
 
-func toInternal(es []Edge) []graph.Edge {
-	out := make([]graph.Edge, len(es))
-	for i, e := range es {
-		out[i] = graph.Edge{U: e.U, V: e.V}
-	}
-	return out
-}
-
 // N returns the number of vertices.
 func (g *Graph) N() int { return g.c.N() }
 
@@ -118,13 +110,13 @@ func (g *Graph) EdgeInfo(u, v int32) (present, tree bool) { return g.c.EdgeInfo(
 // batch entries and already-present edges are ignored. Returns the number
 // of edges actually added.
 func (g *Graph) InsertEdges(es []Edge) int {
-	return g.c.BatchInsert(toInternal(es))
+	return g.c.BatchInsert(es)
 }
 
 // DeleteEdges removes a batch of edges in parallel; absent edges are
 // ignored. Returns the number of edges actually removed.
 func (g *Graph) DeleteEdges(es []Edge) int {
-	return g.c.BatchDelete(toInternal(es))
+	return g.c.BatchDelete(es)
 }
 
 // Connected reports whether u and v are in the same connected component.
@@ -133,7 +125,7 @@ func (g *Graph) Connected(u, v int32) bool { return g.c.Connected(u, v) }
 // ConnectedBatch answers k connectivity queries in parallel; result i
 // corresponds to query pair i.
 func (g *Graph) ConnectedBatch(qs []Edge) []bool {
-	return g.c.BatchConnected(toInternal(qs))
+	return g.c.BatchConnected(qs)
 }
 
 // Components returns a dense component labelling: lbl[u] == lbl[v] iff u and
@@ -169,26 +161,12 @@ func (g *Graph) ComponentLabels(dst []int32) { g.c.ComponentLabels(dst) }
 // SpanningForest returns the edges of a spanning forest of the current
 // graph (the structure's top-level forest). Useful for exporting a
 // connectivity certificate; order is unspecified.
-func (g *Graph) SpanningForest() []Edge {
-	es := g.c.SpanningForest()
-	out := make([]Edge, len(es))
-	for i, e := range es {
-		out[i] = Edge{U: e.U, V: e.V}
-	}
-	return out
-}
+func (g *Graph) SpanningForest() []Edge { return g.c.SpanningForest() }
 
 // NonTreeEdges returns the edges not in the structure's spanning forest;
 // SpanningForest and NonTreeEdges together enumerate the complete live edge
 // set. Used by durable checkpoints; order is unspecified.
-func (g *Graph) NonTreeEdges() []Edge {
-	es := g.c.NonTreeEdges()
-	out := make([]Edge, len(es))
-	for i, e := range es {
-		out[i] = Edge{U: e.U, V: e.V}
-	}
-	return out
-}
+func (g *Graph) NonTreeEdges() []Edge { return g.c.NonTreeEdges() }
 
 // Stats exposes internal work counters (level decreases, replacement edges,
 // search rounds); useful for experiments and tuning.

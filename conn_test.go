@@ -11,17 +11,17 @@ import (
 
 func TestQuickstartFlow(t *testing.T) {
 	g := New(8)
-	if got := g.InsertEdges([]Edge{{0, 1}, {1, 2}, {3, 4}}); got != 3 {
+	if got := g.InsertEdges([]Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 3, V: 4}}); got != 3 {
 		t.Fatalf("InsertEdges = %d", got)
 	}
 	if !g.Connected(0, 2) || g.Connected(0, 3) {
 		t.Fatal("connectivity wrong")
 	}
-	ans := g.ConnectedBatch([]Edge{{0, 2}, {2, 3}, {3, 4}})
+	ans := g.ConnectedBatch([]Edge{{U: 0, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}})
 	if !ans[0] || ans[1] || !ans[2] {
 		t.Fatalf("ConnectedBatch = %v", ans)
 	}
-	if got := g.DeleteEdges([]Edge{{1, 2}}); got != 1 {
+	if got := g.DeleteEdges([]Edge{{U: 1, V: 2}}); got != 1 {
 		t.Fatalf("DeleteEdges = %d", got)
 	}
 	if g.Connected(0, 2) {
@@ -54,8 +54,8 @@ func TestNewPanicsOnBadN(t *testing.T) {
 func TestBothAlgorithmsExposed(t *testing.T) {
 	for _, alg := range []Algorithm{Interleaved, Simple} {
 		g := New(16, WithAlgorithm(alg))
-		g.InsertEdges([]Edge{{0, 1}, {1, 2}, {0, 2}, {2, 3}})
-		g.DeleteEdges([]Edge{{1, 2}, {2, 3}})
+		g.InsertEdges([]Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}, {U: 2, V: 3}})
+		g.DeleteEdges([]Edge{{U: 1, V: 2}, {U: 2, V: 3}})
 		if !g.Connected(0, 2) || g.Connected(0, 3) {
 			t.Fatalf("alg %v: wrong connectivity", alg)
 		}
@@ -76,21 +76,21 @@ func TestAgreesWithHDTOnWorkload(t *testing.T) {
 			case graphgen.OpInsert:
 				es := make([]Edge, len(op.Edges))
 				for i, e := range op.Edges {
-					es[i] = Edge{e.U, e.V}
+					es[i] = Edge{U: e.U, V: e.V}
 					h.Insert(e.U, e.V)
 				}
 				g.InsertEdges(es)
 			case graphgen.OpDelete:
 				es := make([]Edge, len(op.Edges))
 				for i, e := range op.Edges {
-					es[i] = Edge{e.U, e.V}
+					es[i] = Edge{U: e.U, V: e.V}
 					h.Delete(e.U, e.V)
 				}
 				g.DeleteEdges(es)
 			case graphgen.OpQuery:
 				qs := make([]Edge, len(op.Edges))
 				for i, e := range op.Edges {
-					qs[i] = Edge{e.U, e.V}
+					qs[i] = Edge{U: e.U, V: e.V}
 				}
 				got := g.ConnectedBatch(qs)
 				for i, q := range op.Edges {
@@ -113,7 +113,7 @@ func TestComponentsMatchLabels(t *testing.T) {
 	es := graphgen.RandomGraph(100, 80, 3)
 	batch := make([]Edge, len(es))
 	for i, e := range es {
-		batch[i] = Edge{e.U, e.V}
+		batch[i] = Edge{U: e.U, V: e.V}
 	}
 	g.InsertEdges(batch)
 	lbl := g.Components()
@@ -128,8 +128,8 @@ func TestComponentsMatchLabels(t *testing.T) {
 
 func TestStatsExposed(t *testing.T) {
 	g := New(32)
-	g.InsertEdges([]Edge{{0, 1}, {1, 2}, {0, 2}})
-	g.DeleteEdges([]Edge{{0, 1}})
+	g.InsertEdges([]Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}})
+	g.DeleteEdges([]Edge{{U: 0, V: 1}})
 	s := g.Stats()
 	if s.Inserts != 3 || s.Deletes != 1 {
 		t.Fatalf("stats = %+v", s)
@@ -153,7 +153,7 @@ func TestLargeRandomPublicAPI(t *testing.T) {
 			if u == v {
 				continue
 			}
-			ins = append(ins, Edge{u, v})
+			ins = append(ins, Edge{U: u, V: v})
 		}
 		g.InsertEdges(ins)
 		for _, e := range ins {
@@ -165,7 +165,7 @@ func TestLargeRandomPublicAPI(t *testing.T) {
 		var del []Edge
 		for _, e := range live {
 			if rng.Intn(3) == 0 {
-				del = append(del, Edge{e.U, e.V})
+				del = append(del, Edge{U: e.U, V: e.V})
 			}
 		}
 		g.DeleteEdges(del)

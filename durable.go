@@ -5,8 +5,9 @@
 // fsynced before the epoch touches the Graph and before any caller's future
 // resolves. Checkpoint snapshots the live edge set (spanning forest + non-
 // tree edges) with a write-temp-then-rename protocol and truncates the log
-// behind it. Restore, below, is the read side: newest valid checkpoint plus
-// a replay of the WAL tail.
+// behind it. Restore, below, is the read side — a thin wrapper over
+// internal/engine's Restore, which owns the checkpoint-load + WAL-replay
+// protocol (the shard coordinator reuses it per shard).
 //
 // The recovery invariant, proven by TestDurableCrashRecovery: after a crash
 // at ANY instant, Restore yields exactly the state of some prefix of the
@@ -22,17 +23,15 @@ package conn
 import (
 	"errors"
 	"fmt"
-	"os"
-	"path/filepath"
 
-	"repro/internal/checkpoint"
-	"repro/internal/graph"
-	"repro/internal/wal"
+	"repro/internal/core"
+	"repro/internal/engine"
 )
 
 // ErrNoDurableState is returned by Restore when the directory holds neither
-// a checkpoint nor a write-ahead log.
-var ErrNoDurableState = errors.New("conn: no durable state in directory")
+// a checkpoint nor a write-ahead log. It aliases the engine-level sentinel
+// so both layers' errors match with errors.Is.
+var ErrNoDurableState = engine.ErrNoDurableState
 
 // Restore rebuilds a Graph from a durability directory previously written
 // by a Batcher with WithDurability(dir): it loads the newest checkpoint
@@ -47,87 +46,18 @@ var ErrNoDurableState = errors.New("conn: no durable state in directory")
 // opts configure the rebuilt Graph (e.g. WithAlgorithm); the vertex count
 // always comes from the durable state itself.
 func Restore(dir string, opts ...Option) (*Graph, error) {
-	fail := func(err error) (*Graph, error) {
+	o := options{alg: Interleaved}
+	for _, f := range opts {
+		f(&o)
+	}
+	c, err := engine.Restore(dir, func(n int) *core.Conn {
+		return core.New(n, core.WithAlgorithm(o.alg))
+	})
+	if err != nil {
+		if errors.Is(err, ErrNoDurableState) {
+			return nil, err
+		}
 		return nil, fmt.Errorf("conn: Restore(%q): %w", dir, err)
 	}
-	snap, haveSnap, err := checkpoint.Load(dir)
-	if err != nil {
-		return fail(err)
-	}
-	f, err := os.Open(filepath.Join(dir, walFileName))
-	haveWAL := err == nil
-	if haveWAL {
-		// Read-only handle: a close failure cannot lose data, but the
-		// drop is acknowledged rather than silent.
-		defer func() { _ = f.Close() }()
-		// A file shorter than the header (crash during initial creation)
-		// can hold no record; treat it as absent rather than corrupt.
-		if st, err := f.Stat(); err != nil {
-			return fail(err)
-		} else if st.Size() < wal.HeaderLen {
-			haveWAL = false
-		}
-	} else if !os.IsNotExist(err) {
-		return fail(err)
-	}
-	if !haveSnap && !haveWAL {
-		return nil, fmt.Errorf("%w: %s", ErrNoDurableState, dir)
-	}
-
-	// Cross-check the WAL header against the checkpoint BEFORE building or
-	// replaying anything: the universes must agree, and the log's
-	// checkpoint floor must be covered by the snapshot we managed to load —
-	// a floor above it means the records proving the gap were truncated
-	// away after a checkpoint we can no longer read, i.e. data loss that
-	// must surface as an error, not as a silently shrunken graph.
-	n := snap.N
-	if haveWAL {
-		walN, baseSeq, err := wal.ReadHeader(f)
-		if err != nil {
-			return fail(err)
-		}
-		if haveSnap && walN != snap.N {
-			return fail(fmt.Errorf("checkpoint has n=%d but WAL has n=%d", snap.N, walN))
-		}
-		if !haveSnap && baseSeq > 0 {
-			return fail(fmt.Errorf("WAL was truncated at a checkpoint (seq %d) but no readable checkpoint remains", baseSeq))
-		}
-		if haveSnap && baseSeq > snap.Seq {
-			return fail(fmt.Errorf("WAL floor is seq %d but the newest readable checkpoint is seq %d", baseSeq, snap.Seq))
-		}
-		n = walN
-		if _, err := f.Seek(0, 0); err != nil {
-			return fail(err)
-		}
-	}
-
-	g := New(n, opts...)
-	if haveSnap {
-		g.InsertEdges(fromInternal(snap.Edges))
-	}
-	if haveWAL {
-		replay := func(r wal.Record) error {
-			if haveSnap && r.Seq <= snap.Seq {
-				// Already captured by the checkpoint: the crash happened
-				// after the snapshot was durable but before the log was
-				// truncated.
-				return nil
-			}
-			g.InsertEdges(fromInternal(r.Ins))
-			g.DeleteEdges(fromInternal(r.Del))
-			return nil
-		}
-		if _, err := wal.Scan(f, replay); err != nil {
-			return fail(err)
-		}
-	}
-	return g, nil
-}
-
-func fromInternal(es []graph.Edge) []Edge {
-	out := make([]Edge, len(es))
-	for i, e := range es {
-		out[i] = Edge{U: e.U, V: e.V}
-	}
-	return out
+	return &Graph{c: c}, nil
 }

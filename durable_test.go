@@ -273,7 +273,7 @@ func TestDurableRestartContinuesHistory(t *testing.T) {
 	dir := t.TempDir()
 	g := New(32)
 	b := NewBatcher(g, WithMaxDelay(0), WithDurability(dir))
-	b.InsertEdges([]Edge{{0, 1}, {1, 2}, {3, 4}})
+	b.InsertEdges([]Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 3, V: 4}})
 	b.Delete(3, 4)
 	b.Close()
 

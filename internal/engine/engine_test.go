@@ -1,0 +1,318 @@
+package engine
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/coalesce"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/unionfind"
+)
+
+// oracle mirrors the epoch semantics sequentially: inserts credit first
+// staging, deletes run against the post-insert set, queries answer the
+// epoch's post-update state.
+type oracle struct {
+	n     int
+	edges map[[2]int32]bool
+}
+
+func newOracle(n int) *oracle { return &oracle{n: n, edges: map[[2]int32]bool{}} }
+
+func canon(u, v int32) [2]int32 {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int32{u, v}
+}
+
+func (o *oracle) apply(ops []coalesce.Op) []bool {
+	res := make([]bool, len(ops))
+	for i, op := range ops {
+		if op.Kind != coalesce.OpInsert || op.U == op.V {
+			continue
+		}
+		if k := canon(op.U, op.V); !o.edges[k] {
+			o.edges[k] = true
+			res[i] = true
+		}
+	}
+	for i, op := range ops {
+		if op.Kind != coalesce.OpDelete || op.U == op.V {
+			continue
+		}
+		if k := canon(op.U, op.V); o.edges[k] {
+			delete(o.edges, k)
+			res[i] = true
+		}
+	}
+	var uf *unionfind.UF
+	for i, op := range ops {
+		if op.Kind != coalesce.OpQuery {
+			continue
+		}
+		if uf == nil {
+			uf = o.uf()
+		}
+		res[i] = uf.Connected(op.U, op.V)
+	}
+	return res
+}
+
+func (o *oracle) uf() *unionfind.UF {
+	uf := unionfind.New(o.n)
+	for k := range o.edges {
+		uf.Union(k[0], k[1])
+	}
+	return uf
+}
+
+func randOps(rng *rand.Rand, n, count int) []coalesce.Op {
+	ops := make([]coalesce.Op, count)
+	for i := range ops {
+		kind := coalesce.OpInsert
+		switch r := rng.Intn(100); {
+		case r < 45:
+		case r < 75:
+			kind = coalesce.OpDelete
+		default:
+			kind = coalesce.OpQuery
+		}
+		ops[i] = coalesce.Op{Kind: kind, U: int32(rng.Intn(n)), V: int32(rng.Intn(n))}
+	}
+	return ops
+}
+
+// checkAllPairs compares the engine's read-committed answers for every
+// vertex pair against the oracle.
+func checkAllPairs(t *testing.T, e *Engine, o *oracle) {
+	t.Helper()
+	uf := o.uf()
+	var qs []graph.Edge
+	for u := int32(0); u < int32(o.n); u++ {
+		for v := u + 1; v < int32(o.n); v++ {
+			qs = append(qs, graph.Edge{U: u, V: v})
+		}
+	}
+	bits, err := e.ReadNowBatch(qs)
+	if err != nil {
+		t.Fatalf("ReadNowBatch: %v", err)
+	}
+	for i, q := range qs {
+		if want := uf.Connected(q.U, q.V); bits[i] != want {
+			t.Fatalf("pair {%d,%d}: got %v, oracle says %v", q.U, q.V, bits[i], want)
+		}
+	}
+}
+
+// TestEngineEpochPipeline drives a memory engine through randomized mixed
+// batches against a sequential oracle and checks every read path — Apply
+// results, ReadNow/ReadNowBatch, the Read callback, the wait-free Recent
+// labelling — plus the pipeline counters.
+func TestEngineEpochPipeline(t *testing.T) {
+	const n = 96
+	rounds := 80
+	if testing.Short() {
+		rounds = 25
+	}
+	e, err := New(core.New(n), Options{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer func() { _ = e.Close() }()
+	if e.N() != n || e.Durable() || e.Closed() {
+		t.Fatalf("fresh engine: N=%d durable=%v closed=%v", e.N(), e.Durable(), e.Closed())
+	}
+
+	o := newOracle(n)
+	rng := rand.New(rand.NewSource(7))
+	var total int64
+	for r := 0; r < rounds; r++ {
+		ops := randOps(rng, n, 1+rng.Intn(24))
+		total += int64(len(ops))
+		got, _, err := e.Apply(ops)
+		if err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+		want := o.apply(ops)
+		for i := range ops {
+			if got[i] != want[i] {
+				t.Fatalf("round %d op %d (%+v): got %v, oracle says %v",
+					r, i, ops[i], got[i], want[i])
+			}
+		}
+	}
+
+	checkAllPairs(t, e, o)
+	uf := o.uf()
+	for u := int32(0); u < n; u += 7 {
+		v := (u + 13) % n
+		if ok, err := e.ReadNow(u, v); err != nil || ok != uf.Connected(u, v) {
+			t.Fatalf("ReadNow(%d,%d) = %v, %v; want %v", u, v, ok, err, uf.Connected(u, v))
+		}
+	}
+	if err := e.Read(func(c *core.Conn) {
+		if got := c.Connected(0, 1); got != uf.Connected(0, 1) {
+			t.Errorf("Read callback Connected(0,1) = %v, want %v", got, uf.Connected(0, 1))
+		}
+	}); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+
+	// The published labelling reflects the last connectivity-changing epoch;
+	// the engine is quiescent, so it must agree with the oracle exactly.
+	e.Flush()
+	lbl := e.Recent()
+	if lbl == nil || lbl.Len() != n {
+		t.Fatalf("Recent() = %v", lbl)
+	}
+	for u := int32(0); u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if lbl.Connected(u, v) != uf.Connected(u, v) {
+				t.Fatalf("recent {%d,%d}: got %v want %v", u, v, lbl.Connected(u, v), uf.Connected(u, v))
+			}
+		}
+	}
+
+	st := e.Stats()
+	if st.Epochs == 0 || st.Ops != total || st.MaxEpoch == 0 || st.AvgEpoch() <= 0 {
+		t.Fatalf("stats = %+v after %d ops", st, total)
+	}
+	if st.WALRecords != 0 || st.Checkpoints != 0 {
+		t.Fatalf("memory engine has durability counters: %+v", st)
+	}
+
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, _, err := e.Apply(randOps(rng, n, 4)); err != ErrClosed {
+		t.Fatalf("Apply after Close = %v, want ErrClosed", err)
+	}
+	if _, err := e.ReadNow(0, 1); err != ErrClosed {
+		t.Fatalf("ReadNow after Close = %v, want ErrClosed", err)
+	}
+	// The wait-free tier keeps answering from the final snapshot.
+	if got := e.Recent().Connected(0, 1); got != uf.Connected(0, 1) {
+		t.Fatalf("Recent after Close: got %v want %v", got, uf.Connected(0, 1))
+	}
+}
+
+// TestEngineDurableRestore exercises the durable pipeline end to end: WAL
+// append + epoch subscription tee, a mid-stream checkpoint with WAL
+// truncation, restore (checkpoint + WAL tail) into a fresh engine, and the
+// epoch-record replay contract (replaying Ins then Del reproduces the
+// state).
+func TestEngineDurableRestore(t *testing.T) {
+	const n = 64
+	rounds := 40
+	if testing.Short() {
+		rounds = 12
+	}
+	dir := t.TempDir()
+	e, err := New(core.New(n), Options{DurDir: dir, MaxDelay: 0})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if !e.Durable() {
+		t.Fatal("engine with DurDir is not durable")
+	}
+
+	var mu sync.Mutex
+	var shipped []EpochRecord
+	cancel := e.SubscribeEpochs(func(rec EpochRecord) {
+		mu.Lock()
+		shipped = append(shipped, rec)
+		mu.Unlock()
+	})
+	defer cancel()
+
+	o := newOracle(n)
+	rng := rand.New(rand.NewSource(11))
+	run := func(eng *Engine, count int) {
+		t.Helper()
+		for r := 0; r < count; r++ {
+			ops := randOps(rng, n, 1+rng.Intn(16))
+			got, _, err := eng.Apply(ops)
+			if err != nil {
+				t.Fatalf("apply: %v", err)
+			}
+			want := o.apply(ops)
+			for i := range ops {
+				if got[i] != want[i] {
+					t.Fatalf("op %d (%+v): got %v, oracle says %v", i, ops[i], got[i], want[i])
+				}
+			}
+		}
+	}
+
+	run(e, rounds)
+	if _, err := e.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	// Traffic after the checkpoint so restore replays a WAL tail too.
+	run(e, rounds/2)
+	e.Flush()
+
+	seq, floor, applied := e.WALSeq(), e.WALFloor(), e.AppliedSeq()
+	if applied != seq {
+		t.Fatalf("quiescent engine: applied seq %d != WAL seq %d", applied, seq)
+	}
+	if floor == 0 || floor > seq+1 {
+		t.Fatalf("WAL floor %d not raised by checkpoint (seq %d)", floor, seq)
+	}
+	st := e.Stats()
+	if st.WALRecords == 0 || st.WALBytes == 0 || st.Checkpoints != 1 {
+		t.Fatalf("durability stats = %+v", st)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// The subscription saw every mutating epoch since it was registered:
+	// replaying each record's Ins then Del must reproduce the final state.
+	mu.Lock()
+	records := append([]EpochRecord(nil), shipped...)
+	mu.Unlock()
+	if len(records) == 0 {
+		t.Fatal("no epoch records shipped")
+	}
+	replayed := core.New(n)
+	last := uint64(0)
+	for _, rec := range records {
+		if rec.Seq <= last {
+			t.Fatalf("epoch seqs not strictly increasing: %d after %d", rec.Seq, last)
+		}
+		last = rec.Seq
+		replayed.BatchInsert(rec.Ins)
+		replayed.BatchDelete(rec.Del)
+	}
+	uf := o.uf()
+	for u := int32(0); u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if replayed.Connected(u, v) != uf.Connected(u, v) {
+				t.Fatalf("replay {%d,%d}: got %v want %v", u, v, replayed.Connected(u, v), uf.Connected(u, v))
+			}
+		}
+	}
+
+	// Restore = newest checkpoint + WAL tail; every acked write is back.
+	c, err := Restore(dir, func(n int) *core.Conn { return core.New(n) })
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	e2, err := New(c, Options{DurDir: dir, MaxDelay: 0})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer func() { _ = e2.Close() }()
+	if got := e2.WALSeq(); got != seq {
+		t.Fatalf("restored WAL seq = %d, want %d", got, seq)
+	}
+	checkAllPairs(t, e2, o)
+
+	// The restored engine keeps accepting (and logging) traffic.
+	run(e2, 5)
+	checkAllPairs(t, e2, o)
+}

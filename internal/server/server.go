@@ -28,9 +28,16 @@ import (
 	"time"
 
 	conn "repro"
+	"repro/internal/coalesce"
+	"repro/internal/engine"
 	"repro/internal/repl"
+	"repro/internal/shard"
 	"repro/internal/wire"
 )
+
+// maxShards bounds a namespace's partition count: beyond this, per-shard
+// dispatcher goroutines and fsync streams stop buying anything.
+const maxShards = 256
 
 // Options configures a Server. The zero value is a memory-only server with
 // the Batcher's default coalescing parameters.
@@ -44,6 +51,12 @@ type Options struct {
 	// (zero selects the conn defaults).
 	MaxBatch int
 	MaxDelay time.Duration
+
+	// DefaultShards, when >= 2, hash-partitions every namespace created
+	// without an explicit shard count across that many engines (the -shards
+	// flag on connserver). A CmdCreate carrying its own shard count always
+	// wins; 0 or 1 means unsharded.
+	DefaultShards int
 
 	// ReplicaOf, when non-empty, starts the server as a read-only replica
 	// of the primary connserver at that address: every durable namespace on
@@ -98,10 +111,23 @@ type namespace struct {
 	// subscribed followers and serves their catch-up (internal/repl).
 	hub *repl.Hub
 
+	// shardHubs, on a sharded durable namespace, holds one hub per shard
+	// engine plus a final one for the boundary engine — each shard's epoch
+	// stream is independently subscribable (CmdSubscribe's shard selector);
+	// hub is nil.
+	shardHubs []*repl.Hub
+
 	mu     sync.RWMutex
 	closed bool
 	g      *conn.Graph
 	b      *conn.Batcher
+
+	// sh replaces g/b on a sharded namespace: writes scatter across its
+	// engines and reads compose through the boundary graph (internal/shard).
+	// Sharded namespaces have no single replication position, so batch and
+	// read responses carry Seq 0 (clients cannot fence replica reads on
+	// them; the replica manager skips sharded namespaces entirely).
+	sh *shard.Coordinator
 }
 
 // seq returns the namespace's replication position for read responses: the
@@ -113,6 +139,9 @@ type namespace struct {
 func (ns *namespace) seq() uint64 {
 	if ns.readonly {
 		return ns.applied.Load()
+	}
+	if ns.sh != nil {
+		return 0 // no single-number position across k WAL streams
 	}
 	return ns.b.AppliedSeq()
 }
@@ -147,6 +176,21 @@ func New(opts Options) (*Server, error) {
 			}
 			name := e.Name()
 			dir := filepath.Join(opts.DataDir, name)
+			// A shard meta file marks a sharded namespace: restore every
+			// shard engine (checkpoint + WAL tail each) under one coordinator.
+			if k, n, found, err := shard.ReadMeta(dir); err != nil {
+				return nil, fmt.Errorf("server: restore namespace %q: %w", name, err)
+			} else if found {
+				coord, err := shard.New(n, k, s.shardOpts(dir))
+				if err != nil {
+					return nil, fmt.Errorf("server: restore namespace %q: %w", name, err)
+				}
+				ns := &namespace{name: name, durable: true, sh: coord}
+				ns.shardHubs = newShardHubs(coord, dir)
+				s.namespaces[name] = ns
+				s.logf("restored sharded namespace %q (n=%d, %d shards)", name, n, k)
+				continue
+			}
 			g, err := conn.Restore(dir)
 			if errors.Is(err, conn.ErrNoDurableState) {
 				continue // empty leftover directory; nothing to serve
@@ -179,6 +223,33 @@ func (s *Server) batcherOpts(durDir string) []conn.BatcherOption {
 		o = append(o, conn.WithDurability(durDir))
 	}
 	return o
+}
+
+// shardOpts mirrors batcherOpts for a shard coordinator. The engine treats
+// MaxDelay 0 as "commit immediately", so the conn default is restored here
+// explicitly — a zero server option must mean the same thing on both paths.
+func (s *Server) shardOpts(durDir string) shard.Options {
+	o := shard.Options{
+		MaxBatch: s.opts.MaxBatch,
+		MaxDelay: s.opts.MaxDelay,
+		DurDir:   durDir,
+	}
+	if o.MaxDelay == 0 {
+		o.MaxDelay = engine.DefaultMaxDelay
+	}
+	return o
+}
+
+// newShardHubs builds one replication hub per shard engine (boundary engine
+// last), each rooted in that engine's own durability directory so catch-up
+// reads the right checkpoint and WAL. Only called for durable namespaces.
+func newShardHubs(coord *shard.Coordinator, dir string) []*repl.Hub {
+	engines := coord.Engines()
+	hubs := make([]*repl.Hub, len(engines))
+	for i, e := range engines {
+		hubs[i] = repl.NewHub(e, filepath.Join(dir, shard.DirName(i, coord.Shards())), coord.N())
+	}
+	return hubs
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -289,6 +360,9 @@ func (s *Server) Shutdown() {
 		if ns.hub != nil {
 			ns.hub.Stop()
 		}
+		for _, h := range ns.shardHubs {
+			h.Stop()
+		}
 	}
 	s.mu.RUnlock()
 	// Sever subscription connections outright: their pumps are the one
@@ -310,6 +384,20 @@ func (s *Server) Shutdown() {
 		ns.mu.Lock()
 		ns.closed = true
 		ns.mu.Unlock()
+		if ns.sh != nil {
+			ns.sh.Flush()
+			if ns.durable {
+				if _, err := ns.sh.Checkpoint(); err != nil {
+					s.logf("drain checkpoint of %q failed: %v", name, err)
+				} else {
+					s.logf("namespace %q checkpointed (all shards)", name)
+				}
+			}
+			if err := ns.sh.Close(); err != nil {
+				s.logf("closing sharded namespace %q: %v", name, err)
+			}
+			continue
+		}
 		ns.b.Flush()
 		if ns.durable {
 			if _, err := ns.b.Checkpoint(); err != nil {
@@ -433,6 +521,23 @@ func (s *Server) subscribe(req *wire.Request, write func(*wire.Response) error) 
 	}
 	ns.mu.RLock()
 	hub := ns.hub
+	if ns.sh != nil {
+		// Sharded namespaces stream per engine: the request names which one.
+		if idx := int(req.Shards); idx < len(ns.shardHubs) {
+			hub = ns.shardHubs[idx]
+		} else if ns.shardHubs != nil {
+			ns.mu.RUnlock()
+			write(fail(wire.StatusBadRequest,
+				"namespace %q: shard %d out of range [0, %d]",
+				req.NS, req.Shards, len(ns.shardHubs)-1))
+			return
+		}
+	} else if req.Shards != 0 {
+		ns.mu.RUnlock()
+		write(fail(wire.StatusBadRequest,
+			"namespace %q is not sharded; subscribe with shard 0", req.NS))
+		return
+	}
 	closed := ns.closed
 	ns.mu.RUnlock()
 	if closed || hub == nil {
@@ -494,6 +599,24 @@ func (s *Server) handle(req *wire.Request) *wire.Response {
 	}
 	switch req.Cmd {
 	case wire.CmdBatch:
+		if ns.sh != nil {
+			// Sharded path: the coordinator routes each op to its partition's
+			// engine (cross-shard edges to the boundary engine) and answers
+			// queries after every mutation future resolves. Atomicity is per
+			// engine; Seq is 0 — k WAL streams have no single position.
+			cops := make([]coalesce.Op, len(req.Ops))
+			for i, op := range req.Ops {
+				cops[i] = coalesce.Op{Kind: coalesce.Kind(op.Kind), U: op.U, V: op.V}
+			}
+			bits, err := ns.sh.Apply(cops)
+			if err != nil {
+				return fail(wire.StatusBadRequest, "%v", err)
+			}
+			if bits == nil {
+				bits = []bool{}
+			}
+			return &wire.Response{ID: req.ID, Bits: bits}
+		}
 		ops := make([]conn.Op, len(req.Ops))
 		mutates := false
 		for i, op := range req.Ops {
@@ -524,7 +647,13 @@ func (s *Server) handle(req *wire.Request) *wire.Response {
 		}
 		return &wire.Response{ID: req.ID, Bits: bits, Seq: seqBefore}
 	case wire.CmdReadNow, wire.CmdReadRecent:
-		n := int32(ns.g.N())
+		nv := 0
+		if ns.sh != nil {
+			nv = ns.sh.N()
+		} else {
+			nv = ns.g.N()
+		}
+		n := int32(nv)
 		qs := make([]conn.Edge, len(req.Pairs))
 		for i, p := range req.Pairs {
 			if p.U < 0 || p.U >= n || p.V < 0 || p.V >= n {
@@ -532,6 +661,19 @@ func (s *Server) handle(req *wire.Request) *wire.Response {
 					"vertex pair {%d, %d} out of range [0, %d)", p.U, p.V, n)
 			}
 			qs[i] = conn.Edge{U: p.U, V: p.V}
+		}
+		if ns.sh != nil {
+			// Both read tiers are served read-committed on a sharded
+			// namespace: the scatter-gather composition is the same, and the
+			// boundary index is already the "recent" structure.
+			bits, err := ns.sh.ConnectedBatch(qs)
+			if err != nil {
+				return fail(wire.StatusInternal, "%v", err)
+			}
+			if bits == nil {
+				bits = []bool{}
+			}
+			return &wire.Response{ID: req.ID, Bits: bits}
 		}
 		// Position sampled BEFORE the read: the answer may reflect a newer
 		// state than it claims (harmlessly conservative), never an older
@@ -548,6 +690,9 @@ func (s *Server) handle(req *wire.Request) *wire.Response {
 		}
 		return &wire.Response{ID: req.ID, Bits: bits, Seq: seq}
 	case wire.CmdStats:
+		if ns.sh != nil {
+			return &wire.Response{ID: req.ID, Stats: shardedStats(ns)}
+		}
 		st := ns.b.Stats()
 		ws := wire.Stats{
 			Epochs:            uint64(st.Epochs),
@@ -575,6 +720,15 @@ func (s *Server) handle(req *wire.Request) *wire.Response {
 		if !ns.durable {
 			return fail(wire.StatusBadRequest, "namespace %q is not durable", req.NS)
 		}
+		if ns.sh != nil {
+			// Every shard engine checkpoints; the response names the
+			// namespace's directory, which now holds one fresh checkpoint
+			// per shard.
+			if _, err := ns.sh.Checkpoint(); err != nil {
+				return fail(wire.StatusInternal, "checkpoint: %v", err)
+			}
+			return &wire.Response{ID: req.ID, Path: filepath.Join(s.opts.DataDir, ns.name)}
+		}
 		path, err := ns.b.Checkpoint()
 		if err != nil {
 			return fail(wire.StatusInternal, "checkpoint: %v", err)
@@ -596,6 +750,46 @@ func (s *Server) lookup(req *wire.Request, fail failFunc) (*namespace, *wire.Res
 
 type failFunc func(st wire.Status, format string, args ...any) *wire.Response
 
+// shardedStats aggregates a sharded namespace's counters across its engines
+// and attaches the per-engine breakdown (shards 0..k-1, then the boundary
+// engine). Caller holds ns.mu.
+func shardedStats(ns *namespace) wire.Stats {
+	var ws wire.Stats
+	for _, es := range ns.sh.ShardStats() {
+		st := es.Stats
+		ws.Epochs += uint64(st.Epochs)
+		ws.Ops += uint64(st.Ops)
+		if m := uint64(st.MaxEpoch); m > ws.MaxEpoch {
+			ws.MaxEpoch = m
+		}
+		ws.SnapshotPublishes += uint64(st.SnapshotPublishes)
+		ws.SnapshotRebuilds += uint64(st.SnapshotRebuilds)
+		ws.WALRecords += uint64(st.WALRecords)
+		ws.WALBytes += uint64(st.WALBytes)
+		ws.WALAppendNanos += uint64(st.WALAppendTime.Nanoseconds())
+		ws.Checkpoints += uint64(st.Checkpoints)
+		ws.Shards = append(ws.Shards, wire.ShardStats{
+			Epochs:     uint64(st.Epochs),
+			Ops:        uint64(st.Ops),
+			WALRecords: uint64(st.WALRecords),
+			WALSeq:     es.WALSeq,
+			WALFloor:   es.WALFloor,
+			AppliedSeq: es.AppliedSeq,
+		})
+	}
+	for _, h := range ns.shardHubs {
+		subs, shipped, lag := h.Stats()
+		ws.Subscribers += uint64(subs)
+		if shipped > ws.LastShippedSeq {
+			ws.LastShippedSeq = shipped
+		}
+		if lag > ws.MaxFollowerLag {
+			ws.MaxFollowerLag = lag
+		}
+	}
+	return ws
+}
+
 func (s *Server) create(req *wire.Request, fail failFunc) *wire.Response {
 	if !validName(req.NS) {
 		return fail(wire.StatusBadRequest, "invalid namespace name %q", req.NS)
@@ -605,6 +799,13 @@ func (s *Server) create(req *wire.Request, fail failFunc) *wire.Response {
 	}
 	if req.Durable && s.opts.DataDir == "" {
 		return fail(wire.StatusBadRequest, "durable namespaces need a server data directory")
+	}
+	shards := int(req.Shards)
+	if shards == 0 {
+		shards = s.opts.DefaultShards
+	}
+	if shards > maxShards {
+		return fail(wire.StatusBadRequest, "shard count %d out of range [0, %d]", shards, maxShards)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -628,6 +829,18 @@ func (s *Server) create(req *wire.Request, fail failFunc) *wire.Response {
 			return fail(wire.StatusExists,
 				"namespace %q has leftover durable state; restart the server to restore it or drop it", req.NS)
 		}
+	}
+	if shards >= 2 {
+		coord, err := shard.New(int(req.N), shards, s.shardOpts(dir))
+		if err != nil {
+			return fail(wire.StatusInternal, "create %q: %v", req.NS, err)
+		}
+		ns := &namespace{name: req.NS, durable: req.Durable, sh: coord}
+		if req.Durable {
+			ns.shardHubs = newShardHubs(coord, dir)
+		}
+		s.namespaces[req.NS] = ns
+		return &wire.Response{ID: req.ID}
 	}
 	g := conn.New(int(req.N))
 	b, err := newBatcher(g, s.batcherOpts(dir))
@@ -673,12 +886,21 @@ func (s *Server) drop(req *wire.Request, fail failFunc) *wire.Response {
 	if ns.hub != nil {
 		ns.hub.Stop()
 	}
+	for _, h := range ns.shardHubs {
+		h.Stop()
+	}
 	// The write lock waits out every in-flight request on this namespace;
 	// new lookups already miss the map.
 	ns.mu.Lock()
 	ns.closed = true
 	ns.mu.Unlock()
-	ns.b.Close()
+	if ns.sh != nil {
+		if err := ns.sh.Close(); err != nil {
+			s.logf("drop %q: closing coordinator: %v", req.NS, err)
+		}
+	} else {
+		ns.b.Close()
+	}
 	if ns.durable {
 		if err := os.RemoveAll(filepath.Join(s.opts.DataDir, ns.name)); err != nil {
 			return fail(wire.StatusInternal, "drop %q: %v", req.NS, err)
@@ -694,9 +916,14 @@ func (s *Server) list(req *wire.Request) *wire.Response {
 		// ns.g is read under the namespace lock: on a replica the follower's
 		// snapshot catch-up swaps the graph wholesale (ApplySnapshot).
 		ns.mu.RLock()
-		n := ns.g.N()
+		var n, shards int
+		if ns.sh != nil {
+			n, shards = ns.sh.N(), ns.sh.Shards()
+		} else {
+			n = ns.g.N()
+		}
 		ns.mu.RUnlock()
-		infos = append(infos, wire.NSInfo{Name: ns.name, N: n, Durable: ns.durable})
+		infos = append(infos, wire.NSInfo{Name: ns.name, N: n, Durable: ns.durable, Shards: shards})
 	}
 	s.mu.RUnlock()
 	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })

@@ -24,15 +24,21 @@
 //	CmdReadNow    : ns | nPairs uint32 | (u uint32 | v uint32)*
 //	                → seq uint64 | nPairs uint32 | bitmap
 //	CmdReadRecent : like CmdReadNow
-//	CmdCreate     : ns | n uint32 | flags uint8      (FlagDurable)
+//	CmdCreate     : ns | n uint32 | flags uint8 | shards uint32  (FlagDurable;
+//	                shards 0 or 1 = unsharded, k >= 2 = hash-partitioned)
 //	                → empty
 //	CmdDrop       : ns                               → empty
 //	CmdList       : empty                            → count uint32 |
-//	                (ns | n uint32 | flags uint8)*
-//	CmdStats      : ns                               → 13 uint64 counters
+//	                (ns | n uint32 | flags uint8 | shards uint32)*
+//	CmdStats      : ns                               → 13 uint64 counters |
+//	                nShards uint32 | (6 uint64 per shard)*
 //	CmdCheckpoint : ns                               → path string
 //	CmdPing       : empty                            → empty
-//	CmdSubscribe  : ns | fromSeq uint64              → epoch stream (below)
+//	CmdSubscribe  : ns | fromSeq uint64 | shard uint32 → epoch stream (below)
+//
+// A subscription against a sharded namespace names the shard engine to
+// stream (0..k-1, or k for the boundary engine); against an unsharded
+// namespace the shard field must be zero.
 //
 // The seq on batch and read-tier responses is the replication position the
 // answer reflects: on a primary the last durable WAL seq, on a replica the
@@ -154,11 +160,13 @@ type Pair struct {
 	U, V int32
 }
 
-// NSInfo describes one namespace in a CmdList response.
+// NSInfo describes one namespace in a CmdList response. Shards is the hash
+// partition count for sharded namespaces; 0 means unsharded.
 type NSInfo struct {
 	Name    string
 	N       int
 	Durable bool
+	Shards  int
 }
 
 // Stats is the fixed counter block of a CmdStats response — the subset of
@@ -183,9 +191,31 @@ type Stats struct {
 	LastShippedSeq uint64
 	MaxFollowerLag uint64
 	AppliedSeq     uint64
+
+	// Shards is the per-engine breakdown of a sharded namespace, one entry
+	// per shard engine plus a final entry for the boundary engine. Empty for
+	// unsharded namespaces.
+	Shards []ShardStats
+}
+
+// ShardStats is one engine's slice of a sharded namespace's counters.
+type ShardStats struct {
+	Epochs     uint64
+	Ops        uint64
+	WALRecords uint64
+	WALSeq     uint64
+	WALFloor   uint64
+	AppliedSeq uint64
+}
+
+// isZero reports whether the stats block is empty, in which case a response
+// carries no stats body at all.
+func (s *Stats) isZero() bool {
+	return len(s.Shards) == 0 && s.fields() == [13]uint64{}
 }
 
 const statsLen = 13 * 8
+const shardStatsLen = 6 * 8
 
 // Request is one decoded client frame. Fields beyond ID/Cmd are populated
 // per command as documented in the package comment.
@@ -197,6 +227,7 @@ type Request struct {
 	Pairs   []Pair // CmdReadNow / CmdReadRecent
 	N       uint32 // CmdCreate
 	Durable bool   // CmdCreate
+	Shards  uint32 // CmdCreate: 0 or 1 = unsharded, k >= 2 = hash-partitioned; CmdSubscribe: shard engine selector
 	FromSeq uint64 // CmdSubscribe: resume after this epoch seq
 }
 
@@ -342,11 +373,13 @@ func EncodeRequest(r *Request) ([]byte, error) {
 			flags |= FlagDurable
 		}
 		buf = append(buf, flags)
+		buf = binary.LittleEndian.AppendUint32(buf, r.Shards)
 	case CmdDrop, CmdStats, CmdCheckpoint:
 		buf = appendString(buf, r.NS)
 	case CmdSubscribe:
 		buf = appendString(buf, r.NS)
 		buf = binary.LittleEndian.AppendUint64(buf, r.FromSeq)
+		buf = binary.LittleEndian.AppendUint32(buf, r.Shards)
 	case CmdList, CmdPing:
 		// no body
 	default:
@@ -404,14 +437,22 @@ func EncodeResponse(r *Response) ([]byte, error) {
 				flags |= FlagDurable
 			}
 			buf = append(buf, flags)
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(ns.Shards))
 		}
 	case r.Path != "":
 		buf = append(buf, bodyPath)
 		buf = appendString(buf, r.Path)
-	case r.Stats != (Stats{}):
+	case !r.Stats.isZero():
 		buf = append(buf, bodyStats)
 		for _, v := range r.Stats.fields() {
 			buf = binary.LittleEndian.AppendUint64(buf, v)
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Stats.Shards)))
+		for _, sh := range r.Stats.Shards {
+			for _, v := range [6]uint64{sh.Epochs, sh.Ops, sh.WALRecords,
+				sh.WALSeq, sh.WALFloor, sh.AppliedSeq} {
+				buf = binary.LittleEndian.AppendUint64(buf, v)
+			}
 		}
 	default:
 		buf = append(buf, bodyEmpty)
@@ -577,11 +618,13 @@ func DecodeRequest(p []byte) (*Request, error) {
 		r.NS = d.name()
 		r.N = d.u32()
 		r.Durable = d.u8()&FlagDurable != 0
+		r.Shards = d.u32()
 	case CmdDrop, CmdStats, CmdCheckpoint:
 		r.NS = d.name()
 	case CmdSubscribe:
 		r.NS = d.name()
 		r.FromSeq = d.u64()
+		r.Shards = d.u32()
 	case CmdList, CmdPing:
 		// no body
 	default:
@@ -660,14 +703,16 @@ func DecodeResponse(p []byte) (*Response, error) {
 			r.Epoch = e
 		}
 	case bodyList:
-		n := d.count(7)
+		n := d.count(11)
 		if d.ok {
 			r.Namespaces = make([]NSInfo, n)
 			for i := range r.Namespaces {
 				name := d.name()
 				nn := d.u32()
 				flags := d.u8()
-				r.Namespaces[i] = NSInfo{Name: name, N: int(nn), Durable: flags&FlagDurable != 0}
+				shards := d.u32()
+				r.Namespaces[i] = NSInfo{Name: name, N: int(nn),
+					Durable: flags&FlagDurable != 0, Shards: int(shards)}
 			}
 		}
 	case bodyPath:
@@ -678,6 +723,15 @@ func DecodeResponse(p []byte) (*Response, error) {
 			f[i] = d.u64()
 		}
 		r.Stats.setFields(f)
+		if n := d.count(shardStatsLen); d.ok && n > 0 {
+			r.Stats.Shards = make([]ShardStats, n)
+			for i := range r.Stats.Shards {
+				r.Stats.Shards[i] = ShardStats{
+					Epochs: d.u64(), Ops: d.u64(), WALRecords: d.u64(),
+					WALSeq: d.u64(), WALFloor: d.u64(), AppliedSeq: d.u64(),
+				}
+			}
+		}
 	default:
 		return nil, fmt.Errorf("%w: unknown response body tag %d", ErrDecode, tag)
 	}

@@ -36,6 +36,7 @@ func TestRequestRoundTrip(t *testing.T) {
 		{ID: 2, Cmd: CmdList},
 		{ID: 3, Cmd: CmdCreate, NS: "social", N: 1 << 20, Durable: true},
 		{ID: 4, Cmd: CmdCreate, NS: "scratch", N: 16},
+		{ID: 14, Cmd: CmdCreate, NS: "wide", N: 1 << 16, Durable: true, Shards: 4},
 		{ID: 5, Cmd: CmdDrop, NS: "scratch"},
 		{ID: 6, Cmd: CmdStats, NS: "social"},
 		{ID: 7, Cmd: CmdCheckpoint, NS: "social"},
@@ -49,11 +50,13 @@ func TestRequestRoundTrip(t *testing.T) {
 		{ID: 11, Cmd: CmdReadRecent, NS: "b", Pairs: []Pair{{0, 0}}},
 		{ID: 12, Cmd: CmdSubscribe, NS: "social", FromSeq: 1 << 40},
 		{ID: 13, Cmd: CmdSubscribe, NS: "g"},
+		{ID: 17, Cmd: CmdSubscribe, NS: "wide", FromSeq: 7, Shards: 3},
 	}
 	for _, r := range reqs {
 		got := roundTripRequest(t, r)
 		if got.ID != r.ID || got.Cmd != r.Cmd || got.NS != r.NS ||
-			got.N != r.N || got.Durable != r.Durable || got.FromSeq != r.FromSeq ||
+			got.N != r.N || got.Durable != r.Durable || got.Shards != r.Shards ||
+			got.FromSeq != r.FromSeq ||
 			len(got.Ops) != len(r.Ops) || len(got.Pairs) != len(r.Pairs) {
 			t.Fatalf("round trip mismatch: sent %+v, got %+v", r, got)
 		}
@@ -78,12 +81,18 @@ func TestResponseRoundTrip(t *testing.T) {
 		{ID: 4, Status: StatusOK, Bits: []bool{}},
 		{ID: 5, Status: StatusOK, Namespaces: []NSInfo{
 			{Name: "a", N: 10, Durable: true}, {Name: "b", N: 1 << 20},
+			{Name: "c", N: 1 << 16, Durable: true, Shards: 8},
 		}},
 		{ID: 6, Status: StatusOK, Path: "/data/ns/checkpoint-0000000000000001.ckpt"},
 		{ID: 7, Status: StatusOK, Stats: Stats{Epochs: 3, Ops: 100, MaxEpoch: 64,
 			SnapshotPublishes: 2, SnapshotRebuilds: 1, WALRecords: 3, WALBytes: 4096,
 			WALAppendNanos: 12345, Checkpoints: 1,
 			Subscribers: 2, LastShippedSeq: 99, MaxFollowerLag: 4, AppliedSeq: 95}},
+		{ID: 15, Status: StatusOK, Stats: Stats{Epochs: 9, Ops: 40, Shards: []ShardStats{
+			{Epochs: 4, Ops: 22, WALRecords: 4, WALSeq: 4, WALFloor: 1, AppliedSeq: 4},
+			{Epochs: 5, Ops: 18, WALRecords: 5, WALSeq: 5, WALFloor: 0, AppliedSeq: 5},
+		}}},
+		{ID: 16, Status: StatusOK, Stats: Stats{Shards: []ShardStats{{}}}},
 		{ID: 8, Status: StatusDraining, Msg: "shutting down"},
 		{ID: 9, Status: StatusReadOnly, Msg: "127.0.0.1:7421"},
 		{ID: 10, Status: StatusOK, Bits: []bool{true, false}, Seq: 42},
