@@ -205,6 +205,117 @@ func TestReadRoutingFailsOverDeadReplica(t *testing.T) {
 	}
 }
 
+// dyingReplica accepts wire connections, reads exactly one request per
+// connection, then writes a deliberately torn response — a frame header
+// promising more payload bytes than it sends — and slams the connection
+// shut. It models a replica crashing mid-response: the client has already
+// committed the request to that replica and must recover without surfacing
+// a short answer.
+type dyingReplica struct {
+	ln       net.Listener
+	requests atomic.Int64
+}
+
+func newDyingReplica(t *testing.T) *dyingReplica {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &dyingReplica{ln: ln}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				if _, err := wire.ReadFrame(bufio.NewReader(c)); err != nil {
+					return
+				}
+				d.requests.Add(1)
+				// Header claims a 64-byte payload; deliver 3 bytes and die.
+				// The client's frame reader must see ErrUnexpectedEOF, not a
+				// truncated bit vector.
+				hdr := []byte{64, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef}
+				c.Write(append(hdr, 0x01, 0x02, 0x03))
+			}(c)
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return d
+}
+
+// TestReadBatchFailsOverMidResponse: a replica that dies after sending a
+// partial ReadRecentBatch response must not contribute any bits. The client
+// marks it down, keeps fencing the remaining (stale) replica on observed
+// seq, and serves the full batch from the primary — every query answered
+// exactly once, none double-counted from the aborted attempt.
+func TestReadBatchFailsOverMidResponse(t *testing.T) {
+	_, addr := startPrimary(t, server.Options{DataDir: t.TempDir()})
+	dying := newDyingReplica(t)
+	stale := newStubReplica(t)
+	stale.seq.Store(0)    // permanently behind the fence
+	stale.bit.Store(true) // wrong for every disconnected pair
+
+	cl, err := client.Dial(addr,
+		client.WithReplicas(dying.ln.Addr().String(), stale.ln.Addr().String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Create("g", 16, true); err != nil {
+		t.Fatal(err)
+	}
+	ns := cl.Namespace("g")
+	if _, err := ns.Insert(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ns.Insert(3, 4); err != nil {
+		t.Fatal(err)
+	}
+	if cl.ObservedSeq("g") == 0 {
+		t.Fatal("writes did not raise the observed-seq fence")
+	}
+
+	qs := []conn.Edge{{U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}}
+	want := []bool{true, false, true}
+	check := func(round int) {
+		t.Helper()
+		bits, err := ns.ReadRecentBatch(qs)
+		if err != nil {
+			t.Fatalf("round %d: batch read did not fail over: %v", round, err)
+		}
+		if len(bits) != len(qs) {
+			t.Fatalf("round %d: got %d bits for %d queries", round, len(bits), len(qs))
+		}
+		for i := range want {
+			if bits[i] != want[i] {
+				t.Fatalf("round %d: query %d = %v, want %v (answer not from the primary)",
+					round, i, bits[i], want[i])
+			}
+		}
+	}
+
+	check(0)
+	// The dying replica was consulted exactly once within the read: the
+	// mid-response death must fail the attempt over, not retry it against
+	// the same dead endpoint.
+	if n := dying.requests.Load(); n != 1 {
+		t.Fatalf("dying replica saw %d requests during one batch read, want exactly 1", n)
+	}
+
+	// A second read still answers correctly while the dead replica sits in
+	// backoff and the stale one keeps getting fenced.
+	check(1)
+	// The stale replica stayed up — its answers were fenced, not errors —
+	// so both rounds consulted it and both times the fence rejected it.
+	if n := stale.requests.Load(); n < 2 {
+		t.Fatalf("stale replica saw %d requests, want >= 2 (fence path not exercised)", n)
+	}
+}
+
 // TestRedialUnderConcurrentUse hammers one client from many goroutines
 // while the server restarts underneath it: requests may fail with transport
 // errors, but the client must never deadlock, never panic, and must be

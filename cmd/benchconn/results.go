@@ -45,13 +45,19 @@ func (r *recorder) row(params, metrics map[string]any) {
 }
 
 // flush writes BENCH_<experiment>.json (pretty-printed, trailing newline)
-// into the configured output directory. Failures are reported, not fatal —
-// the stdout tables already carry the numbers.
+// into the configured output directory. A -quick run writes
+// BENCH_<experiment>.quick.json instead, so a smoke run can never
+// overwrite — or be mistaken for — a full measurement. Failures are
+// reported, not fatal — the stdout tables already carry the numbers.
 func (r *recorder) flush() {
 	if r.dir == "" || len(r.Rows) == 0 {
 		return
 	}
-	path := filepath.Join(r.dir, fmt.Sprintf("BENCH_%s.json", r.Experiment))
+	name := fmt.Sprintf("BENCH_%s.json", r.Experiment)
+	if r.Quick {
+		name = fmt.Sprintf("BENCH_%s.quick.json", r.Experiment)
+	}
+	path := filepath.Join(r.dir, name)
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchconn: encoding %s: %v\n", path, err)

@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/checkpoint"
 	"repro/internal/coalesce"
 	"repro/internal/core"
@@ -373,7 +374,7 @@ func (e *Engine) serviceCheckpoint() {
 		// acked history whichever checkpoint it manages to read. The new
 		// snapshot file is left in place too — it is valid, just not yet
 		// the log's floor.
-		if err = e.dur.log.Reset(seq); err == nil {
+		if err = e.resetLog(seq); err == nil {
 			checkpoint.Prune(e.dur.dir, seq)
 			e.dur.checkpoints.Add(1)
 		} else {
@@ -382,6 +383,18 @@ func (e *Engine) serviceCheckpoint() {
 	}
 	req.path, req.err = path, err
 	close(req.done)
+}
+
+// resetLog truncates the WAL behind the durable checkpoint at seq. The
+// chaos site models the truncation failing (a disk error between the
+// checkpoint write and the log reset): serviceCheckpoint's fallback must
+// keep the older checkpoints and the full log so Restore still recovers the
+// complete acked history.
+func (e *Engine) resetLog(seq uint64) error {
+	if flt := chaos.Inject(chaos.SiteEngineCheckpointReset); flt != nil {
+		return flt.Err()
+	}
+	return e.dur.log.Reset(seq)
 }
 
 // Checkpoint durably snapshots the current edge set into the durability

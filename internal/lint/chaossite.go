@@ -1,0 +1,197 @@
+// Analyzer chaossite: mechanical enforcement of the fault-site registry
+// contract (internal/chaos's package docs, PR 8). Fault injection is only
+// auditable if the set of injection sites is closed: a schedule names sites
+// by string, and a typo'd or unregistered site silently never fires. The
+// contract has two halves:
+//
+//   - Call discipline: every call to a function annotated
+//     //conn:fault-injector (chaos.Inject) must pass, as its site argument,
+//     a named constant declared in the injector's own package whose name
+//     starts with "Site". String literals, locals and computed expressions
+//     are rejected — a site that exists only at one call site is
+//     unregistrable.
+//
+//   - Registration discipline, inside the package declaring an injector:
+//     every exported package-level "Site*" string constant must appear as a
+//     key of the package's site table (a package-level map[string]string
+//     composite literal), and every key of that table must be such a
+//     constant. With both directions pinned, the Sites table IS the
+//     registry, and schedule validation against it is exhaustive.
+//
+// The //conn:fault-injector annotation travels as an exported fact, so the
+// call-discipline half reaches every dependent package (wal, engine, repl,
+// server) without hardcoding the chaos package's import path.
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ChaosSite is the chaossite analyzer.
+var ChaosSite = &Analyzer{
+	Name: "chaossite",
+	Doc:  "fault-injection sites must be named Site constants registered in the injector package's site table",
+	Run:  runChaosSite,
+}
+
+// sitePrefix is the naming convention binding a constant to the registry.
+const sitePrefix = "Site"
+
+func runChaosSite(pass *Pass) error {
+	for _, fd := range funcDeclsIn(pass.Files) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			ref, ok := resolveCallee(pass.Info, call)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			if pass.Annotated(ref.PkgPath, ref.ID, DirFaultInjector) {
+				checkSiteArg(pass, ref, call.Args[0])
+			}
+			return true
+		})
+	}
+	if len(pass.Dirs.IDs(DirFaultInjector)) > 0 {
+		checkSiteRegistry(pass)
+	}
+	return nil
+}
+
+// checkSiteArg requires the injector's site argument to be a Site constant
+// of the injector's own package.
+func checkSiteArg(pass *Pass, ref ResolvedRef, arg ast.Expr) {
+	var obj types.Object
+	switch a := ast.Unparen(arg).(type) {
+	case *ast.Ident:
+		obj = pass.Info.Uses[a]
+	case *ast.SelectorExpr:
+		obj = pass.Info.Uses[a.Sel]
+	}
+	c, ok := obj.(*types.Const)
+	if !ok {
+		pass.Reportf(arg.Pos(),
+			"fault-injection site passed to //conn:fault-injector %s must be a named Site constant from %s, not an expression",
+			ref.ID, ref.PkgPath)
+		return
+	}
+	if objPkgPath(c) != ref.PkgPath || !strings.HasPrefix(c.Name(), sitePrefix) {
+		pass.Reportf(arg.Pos(),
+			"fault-injection site %s is not a Site constant declared in %s", c.Name(), ref.PkgPath)
+	}
+}
+
+// checkSiteRegistry runs in the injector-declaring package: Site constants
+// and site-table keys must agree exactly.
+func checkSiteRegistry(pass *Pass) {
+	// Every exported package-level Site* string constant, by declaration.
+	siteConsts := make(map[string]*ast.Ident)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					c, ok := pass.Info.Defs[name].(*types.Const)
+					if !ok || !strings.HasPrefix(name.Name, sitePrefix) || !name.IsExported() {
+						continue
+					}
+					if b, ok := c.Type().Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						siteConsts[name.Name] = name
+					}
+				}
+			}
+		}
+	}
+
+	// Every key of every package-level map[string]string composite literal —
+	// the site table (there is exactly one in a well-formed package, but the
+	// check tolerates several; agreement is what matters).
+	registered := make(map[string]bool)
+	tables := 0
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, val := range vs.Values {
+					lit, ok := val.(*ast.CompositeLit)
+					if !ok || !isStringStringMap(pass, lit) {
+						continue
+					}
+					tables++
+					for _, el := range lit.Elts {
+						kv, ok := el.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						key, ok := ast.Unparen(kv.Key).(*ast.Ident)
+						if !ok {
+							pass.Reportf(kv.Key.Pos(),
+								"site table key is not a named Site constant; register sites through their constants only")
+							continue
+						}
+						c, isConst := pass.Info.Uses[key].(*types.Const)
+						if !isConst || objPkgPath(c) != pass.Pkg.Path() ||
+							!strings.HasPrefix(key.Name, sitePrefix) {
+							pass.Reportf(key.Pos(),
+								"site table key %s is not a Site constant of this package", key.Name)
+							continue
+						}
+						registered[key.Name] = true
+					}
+				}
+			}
+		}
+	}
+
+	if tables == 0 {
+		for _, fd := range funcDeclsIn(pass.Files) {
+			if pass.Dirs.Has(DirFaultInjector, FuncID(fd)) {
+				pass.Reportf(fd.Name.Pos(),
+					"package declares //conn:fault-injector %s but no site table (package-level map[string]string literal)",
+					FuncID(fd))
+			}
+		}
+		return
+	}
+	for name, ident := range siteConsts {
+		if !registered[name] {
+			pass.Reportf(ident.Pos(),
+				"site constant %s is not registered in the package's site table", name)
+		}
+	}
+}
+
+func isStringStringMap(pass *Pass, lit *ast.CompositeLit) bool {
+	tv, ok := pass.Info.Types[lit]
+	if !ok {
+		return false
+	}
+	m, ok := tv.Type.Underlying().(*types.Map)
+	if !ok {
+		return false
+	}
+	kb, ok := m.Key().Underlying().(*types.Basic)
+	if !ok || kb.Info()&types.IsString == 0 {
+		return false
+	}
+	eb, ok := m.Elem().Underlying().(*types.Basic)
+	return ok && eb.Info()&types.IsString != 0
+}

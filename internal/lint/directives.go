@@ -32,6 +32,8 @@
 //	                         hostile-input-validated element count.
 //	//conn:durable-files     package comment — syncerr applies to the whole
 //	                         package.
+//	//conn:fault-injector    func doc — calls must pass a registered Site
+//	                         constant of the declaring package (chaossite).
 //
 // # Object IDs
 //
@@ -67,6 +69,7 @@ const (
 	DirDecoders        = "decoders"
 	DirValidatedLen    = "validated-len"
 	DirDurableFiles    = "durable-files"
+	DirFaultInjector   = "fault-injector"
 )
 
 // Directives is every //conn: annotation found in one package's production

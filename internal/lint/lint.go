@@ -2,11 +2,12 @@
 // of golang.org/x/tools/go/analysis, built on the standard library's go/ast
 // and go/types only (the module has no third-party dependencies, and the
 // build environment does not assume network access). It hosts the connvet
-// analyzer suite: six analyzers that mechanically enforce the concurrency
+// analyzer suite: seven analyzers that mechanically enforce the concurrency
 // and durability contracts the engine otherwise states only in prose —
 // the read-only query contract, dispatcher-goroutine ownership, the
 // acked-implies-durable ordering, snapshot publication discipline, decoder
-// allocation bounds, and durable-file error hygiene.
+// allocation bounds, durable-file error hygiene, and the fault-site
+// registry closed over by the chaos harness.
 //
 // The contracts are declared in the source with //conn: directive comments
 // (see Directives) and verified per package by the analyzers. Annotations
@@ -85,6 +86,7 @@ func All() []*Analyzer {
 		AtomicPublish,
 		DecoderBounds,
 		SyncErr,
+		ChaosSite,
 	}
 }
 

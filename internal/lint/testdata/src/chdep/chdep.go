@@ -1,0 +1,25 @@
+// Package chdep is a clean miniature of internal/chaos: an annotated
+// injector, Site constants, and the site table registering all of them.
+// Dependent fixtures import it to exercise the cross-package half of the
+// chaossite rule through exported facts.
+package chdep
+
+// SiteAlpha is a registered injection site.
+const SiteAlpha = "alpha.pre"
+
+// SiteBeta is a registered injection site.
+const SiteBeta = "beta.post"
+
+// NotASite is a string constant that is deliberately not a Site.
+const NotASite = "gamma.raw"
+
+// Sites is the registry.
+var Sites = map[string]string{
+	SiteAlpha: "before alpha",
+	SiteBeta:  "after beta",
+}
+
+// Inject is the fault point.
+//
+//conn:fault-injector
+func Inject(site string) bool { return Sites[site] == "" }

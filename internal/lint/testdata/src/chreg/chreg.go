@@ -1,0 +1,24 @@
+// Package chreg exercises the registration half of the chaossite analyzer:
+// in a package declaring a //conn:fault-injector, Site constants and the
+// site table must agree in both directions.
+package chreg
+
+// SiteOK is registered — no diagnostic.
+const SiteOK = "ok.site"
+
+const SiteOrphan = "orphan.site" // want "not registered in the package's site table"
+
+// Sites is the registry; one key is a raw literal instead of a constant.
+var Sites = map[string]string{
+	SiteOK:        "fine",
+	"smuggled.in": "raw literal key", // want "site table key is not a named Site constant"
+}
+
+// Inject is the fault point.
+//
+//conn:fault-injector
+func Inject(site string) bool { return Sites[site] == "" }
+
+func use() {
+	_ = Inject(SiteOK)
+}

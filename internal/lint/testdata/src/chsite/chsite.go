@@ -1,0 +1,33 @@
+// Package chsite exercises the call-discipline half of the chaossite
+// analyzer: calls to an imported //conn:fault-injector must name their site
+// with a Site constant from the injector's package.
+package chsite
+
+import "chdep"
+
+// localSite shadows a registered value but is declared here, so passing it
+// would bypass the registry.
+const localSite = "alpha.pre"
+
+func hookGood() {
+	if chdep.Inject(chdep.SiteAlpha) {
+		return
+	}
+	_ = chdep.Inject((chdep.SiteBeta)) // parenthesized constant: still fine
+}
+
+func hookLiteral() {
+	_ = chdep.Inject("alpha.pre") // want "must be a named Site constant"
+}
+
+func hookLocalConst() {
+	_ = chdep.Inject(localSite) // want "not a Site constant declared in chdep"
+}
+
+func hookForeignConst() {
+	_ = chdep.Inject(chdep.NotASite) // want "not a Site constant declared in chdep"
+}
+
+func hookComputed(suffix string) {
+	_ = chdep.Inject("alpha." + suffix) // want "must be a named Site constant"
+}

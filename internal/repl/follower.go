@@ -8,6 +8,7 @@ import (
 
 	conn "repro"
 	"repro/internal/backoff"
+	"repro/internal/chaos"
 	"repro/internal/wire"
 )
 
@@ -129,6 +130,13 @@ func streamOnce(stop <-chan struct{}, addr, ns string, a Applier, opts FollowerO
 		p, err := wire.ReadFrame(br)
 		if err != nil {
 			return progressed, err
+		}
+		if flt := chaos.Inject(chaos.SiteReplFollowerConn); flt != nil {
+			// Dropped subscription connection: the follower falls back to
+			// RunFollower's backoff-and-resubscribe loop, resuming from its
+			// applied seq — mid-snapshot, the partial accumulation is
+			// simply discarded.
+			return progressed, flt.Err()
 		}
 		resp, err := wire.DecodeResponse(p)
 		if err != nil {

@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 
 	conn "repro"
+	"repro/internal/chaos"
 	"repro/internal/checkpoint"
 	"repro/internal/graph"
 	"repro/internal/wal"
@@ -218,6 +219,16 @@ func (h *Hub) Stream(fromSeq uint64, send func(Frame) error) error {
 
 // send forwards one frame and records the follower's progress for Stats.
 func (h *Hub) send(sub *subscriber, send func(Frame) error, f Frame) error {
+	if flt := chaos.Inject(chaos.SiteReplStreamSend); flt != nil {
+		if flt.Action == chaos.ActDelay {
+			// A stalled pump: the dispatcher keeps teeing into the live
+			// buffer meanwhile, so a long enough stall overflows it into
+			// ErrLagging — the slow-follower drop path.
+			flt.Sleep()
+		} else {
+			return flt.Err() // stream severed mid-flight; follower reconnects
+		}
+	}
 	if err := send(f); err != nil {
 		return err
 	}
@@ -320,6 +331,12 @@ func (h *Hub) sendSnapshot(sub *subscriber, send func(Frame) error, snap checkpo
 		}
 		for i, e := range chunk {
 			body.Edges[i] = wire.Pair{U: e.U, V: e.V}
+		}
+		if flt := chaos.Inject(chaos.SiteReplSnapshotSend); flt != nil {
+			// Snapshot stream cut mid-transfer: the follower never sees the
+			// final chunk, discards the partial state and re-enters
+			// catch-up from scratch on its next connection.
+			return flt.Err()
 		}
 		if err := h.send(sub, send, Frame{Snapshot: body}); err != nil {
 			return err

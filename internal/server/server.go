@@ -28,6 +28,7 @@ import (
 	"time"
 
 	conn "repro"
+	"repro/internal/chaos"
 	"repro/internal/coalesce"
 	"repro/internal/engine"
 	"repro/internal/repl"
@@ -310,6 +311,14 @@ func (s *Server) Serve(ln net.Listener) error {
 			}
 			return err
 		}
+		if flt := chaos.Inject(chaos.SiteServerAccept); flt != nil {
+			if flt.Action == chaos.ActDelay {
+				flt.Sleep() // accept latency: queued dials wait it out
+			} else {
+				c.Close() // connection reset before a single frame is read
+				continue
+			}
+		}
 		s.connMu.Lock()
 		// The draining check, registration, and wg.Add share the registry
 		// lock: Shutdown sets draining before sweeping the registry under
@@ -441,6 +450,17 @@ func (s *Server) handleConn(c net.Conn) {
 		reqWG sync.WaitGroup
 	)
 	write := func(resp *wire.Response) error {
+		if flt := chaos.Inject(chaos.SiteServerConnWrite); flt != nil {
+			if flt.Action == chaos.ActDelay {
+				flt.Sleep() // response latency
+			} else {
+				// Reset under the response: the operation committed but the
+				// acknowledgement is lost — the client sees a transport
+				// error and must treat the outcome as unknown.
+				c.Close()
+				return flt.Err()
+			}
+		}
 		payload, err := wire.EncodeResponse(resp)
 		if err != nil {
 			return nil // response of our own making failed to encode: drop it
@@ -462,6 +482,13 @@ func (s *Server) handleConn(c net.Conn) {
 		req, err := wire.DecodeRequest(payload)
 		if err != nil {
 			break // framing is fine but the peer is speaking garbage
+		}
+		if flt := chaos.Inject(chaos.SiteServerConnRead); flt != nil {
+			if flt.Action == chaos.ActDelay {
+				flt.Sleep() // request latency before dispatch
+			} else {
+				break // reset mid-request: in-flight responses still drain
+			}
 		}
 		if s.draining.Load() {
 			write(&wire.Response{ID: req.ID, Status: wire.StatusDraining,

@@ -330,3 +330,172 @@ func TestShardedConcurrentSmoke(t *testing.T) {
 		t.Fatal("0 and 2 not connected after inserting {0,1},{1,2}")
 	}
 }
+
+// TestLastBoundaryEdgeDelete pins the case the chaos harness's shard oracle
+// depends on: two shards joined by exactly one remaining boundary edge.
+// Deleting a redundant cross-shard edge must keep the composed component
+// intact; deleting the LAST one must split it — the boundary index has no
+// shard-local evidence to fall back on.
+func TestLastBoundaryEdgeDelete(t *testing.T) {
+	const n = 64
+	const k = 2
+	c, err := New(n, k, Options{MaxDelay: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Two vertices per shard: a0,a1 on one shard, b0,b1 on the other.
+	var a, b []int32
+	for v := int32(0); v < n && (len(a) < 2 || len(b) < 2); v++ {
+		if Partition(v, k) == 0 && len(a) < 2 {
+			a = append(a, v)
+		} else if Partition(v, k) == 1 && len(b) < 2 {
+			b = append(b, v)
+		}
+	}
+	mustDo := func(kind coalesce.Kind, u, v int32) {
+		if ok, err := c.Apply([]coalesce.Op{{Kind: kind, U: u, V: v}}); err != nil || !ok[0] {
+			t.Fatalf("op %v {%d,%d}: ok=%v err=%v", kind, u, v, ok, err)
+		}
+	}
+	// Intra-shard spines plus two parallel boundary edges between the pair.
+	mustDo(coalesce.OpInsert, a[0], a[1])
+	mustDo(coalesce.OpInsert, b[0], b[1])
+	mustDo(coalesce.OpInsert, a[0], b[0])
+	mustDo(coalesce.OpInsert, a[1], b[1])
+
+	if ok, _ := c.Connected(a[0], b[1]); !ok {
+		t.Fatal("component not assembled across the boundary")
+	}
+	// Drop the redundant boundary edge: still one component via a1-b1.
+	mustDo(coalesce.OpDelete, a[0], b[0])
+	if ok, _ := c.Connected(a[0], b[1]); !ok {
+		t.Fatal("severed after deleting a REDUNDANT boundary edge")
+	}
+	// Drop the last boundary edge: the shard pair must disconnect entirely.
+	mustDo(coalesce.OpDelete, a[1], b[1])
+	for _, q := range []graph.Edge{{U: a[0], V: b[0]}, {U: a[0], V: b[1]}, {U: a[1], V: b[0]}, {U: a[1], V: b[1]}} {
+		if ok, _ := c.Connected(q.U, q.V); ok {
+			t.Fatalf("{%d,%d} still connected after last boundary edge was deleted", q.U, q.V)
+		}
+	}
+	// Each side keeps its intra-shard spine.
+	if ok, _ := c.Connected(a[0], a[1]); !ok {
+		t.Fatal("left shard lost its intra-shard edge")
+	}
+	if ok, _ := c.Connected(b[0], b[1]); !ok {
+		t.Fatal("right shard lost its intra-shard edge")
+	}
+	// And one reinsert reconnects everything.
+	mustDo(coalesce.OpInsert, a[0], b[1])
+	if ok, _ := c.Connected(a[1], b[0]); !ok {
+		t.Fatal("reinsert of a boundary edge did not reconnect the component")
+	}
+}
+
+// TestCrossShardPairChurnOneEpoch stresses re-insert/delete churn of the
+// SAME cross-shard pairs inside single Apply batches: the epoch semantics
+// (inserts staged first, then deletes against the post-insert set) must
+// hold for boundary edges exactly as for shard-local ones, both for the
+// per-op credit and for the surviving edge set. Every batch and the final
+// sweep are checked against the sequential oracle.
+func TestCrossShardPairChurnOneEpoch(t *testing.T) {
+	const n = 64
+	const k = 4
+	c, err := New(n, k, Options{MaxDelay: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	o := newOracle(n)
+
+	// A handful of fixed cross-shard pairs; all churn happens on these.
+	var pairs []graph.Edge
+	for u := int32(0); u < n && len(pairs) < 4; u++ {
+		for v := u + 1; v < n && len(pairs) < 4; v++ {
+			if Partition(u, k) != Partition(v, k) {
+				pairs = append(pairs, graph.Edge{U: u, V: v})
+				break
+			}
+		}
+	}
+
+	check := func(desc string, ops []coalesce.Op) {
+		t.Helper()
+		got, err := c.Apply(ops)
+		if err != nil {
+			t.Fatalf("%s: %v", desc, err)
+		}
+		want := o.apply(ops)
+		for i := range ops {
+			if got[i] != want[i] {
+				t.Fatalf("%s op %d (%+v): got %v, oracle says %v", desc, i, ops[i], got[i], want[i])
+			}
+		}
+	}
+
+	p0, p1 := pairs[0], pairs[1]
+	// Insert and delete of the same boundary edge in one epoch: the insert
+	// is credited, the delete removes it, the post-update query sees the
+	// other pair's edge only.
+	check("ins+del same pair", []coalesce.Op{
+		{Kind: coalesce.OpInsert, U: p0.U, V: p0.V},
+		{Kind: coalesce.OpDelete, U: p0.U, V: p0.V},
+		{Kind: coalesce.OpInsert, U: p1.U, V: p1.V},
+		{Kind: coalesce.OpQuery, U: p0.U, V: p0.V},
+		{Kind: coalesce.OpQuery, U: p1.U, V: p1.V},
+	})
+	// Delete written before insert in program order still applies as
+	// insert-then-delete: the edge must NOT survive the epoch.
+	check("del-before-ins same pair", []coalesce.Op{
+		{Kind: coalesce.OpDelete, U: p0.U, V: p0.V},
+		{Kind: coalesce.OpInsert, U: p0.U, V: p0.V},
+		{Kind: coalesce.OpQuery, U: p0.U, V: p0.V},
+	})
+	// Duplicate staging: only the first insert of an absent edge and the
+	// first delete of a present one get credit.
+	check("duplicate staging", []coalesce.Op{
+		{Kind: coalesce.OpInsert, U: p0.U, V: p0.V},
+		{Kind: coalesce.OpInsert, U: p0.U, V: p0.V},
+		{Kind: coalesce.OpDelete, U: p0.U, V: p0.V},
+		{Kind: coalesce.OpDelete, U: p0.U, V: p0.V},
+	})
+
+	// Randomized churn confined to the fixed cross-shard pairs, so the same
+	// boundary edges flap constantly within and across epochs.
+	rng := rand.New(rand.NewSource(4242))
+	for r := 0; r < 200; r++ {
+		count := 1 + rng.Intn(6)
+		ops := make([]coalesce.Op, count)
+		for i := range ops {
+			p := pairs[rng.Intn(len(pairs))]
+			kind := coalesce.OpInsert
+			switch x := rng.Intn(10); {
+			case x < 4:
+				kind = coalesce.OpDelete
+			case x < 6:
+				kind = coalesce.OpQuery
+			}
+			ops[i] = coalesce.Op{Kind: kind, U: p.U, V: p.V}
+		}
+		check("churn", ops)
+	}
+	// Full pairwise sweep against the oracle's union-find.
+	uf := o.uf()
+	var qs []graph.Edge
+	for u := int32(0); u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			qs = append(qs, graph.Edge{U: u, V: v})
+		}
+	}
+	ans, err := c.ConnectedBatch(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		if want := uf.Connected(q.U, q.V); ans[i] != want {
+			t.Fatalf("final sweep {%d,%d}: got %v, want %v", q.U, q.V, ans[i], want)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package topo
+
+import (
+	"sync"
+
+	conn "repro"
+)
+
+// oracle is the acked-operation log for one namespace: every batch the
+// workload got acknowledged, in acknowledgement order per writer. Writers
+// own disjoint vertex ranges, so their batches commute and one shared
+// append-only log replays to the exact final state regardless of how the
+// writers' acknowledgements interleaved.
+type oracle struct {
+	mu      sync.Mutex
+	batches [][]conn.Op
+}
+
+func (o *oracle) append(ops []conn.Op) {
+	cp := make([]conn.Op, len(ops))
+	copy(cp, ops)
+	o.mu.Lock()
+	o.batches = append(o.batches, cp)
+	o.mu.Unlock()
+}
+
+func (o *oracle) count() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.batches)
+}
+
+// edgeKey packs an undirected edge into one comparable value.
+func edgeKey(u, v int32) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(uint32(u))<<32 | uint64(uint32(v))
+}
+
+// finalEdges replays the acked batches into the surviving edge set. Within
+// a batch the epoch semantics apply: inserts first, then deletes — exactly
+// how the engine commits an atomic group.
+func (o *oracle) finalEdges() map[uint64][2]int32 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	edges := make(map[uint64][2]int32)
+	for _, batch := range o.batches {
+		for _, op := range batch {
+			if op.Kind == conn.OpInsert && op.U != op.V {
+				edges[edgeKey(op.U, op.V)] = [2]int32{op.U, op.V}
+			}
+		}
+		for _, op := range batch {
+			if op.Kind == conn.OpDelete {
+				delete(edges, edgeKey(op.U, op.V))
+			}
+		}
+	}
+	return edges
+}
+
+// labels computes the connectivity labelling of the replayed edge set with
+// a plain union-find — the ground truth every server state is swept
+// against.
+func (o *oracle) labels(n int) []int32 {
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range o.finalEdges() {
+		ru, rv := find(e[0]), find(e[1])
+		if ru != rv {
+			parent[ru] = rv
+		}
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = find(int32(i))
+	}
+	return out
+}
+
+// allPairs enumerates every unordered vertex pair of an n-universe.
+func allPairs(n int) []conn.Edge {
+	out := make([]conn.Edge, 0, n*(n-1)/2)
+	for u := int32(0); u < int32(n); u++ {
+		for v := u + 1; v < int32(n); v++ {
+			out = append(out, conn.Edge{U: u, V: v})
+		}
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+package topo
+
+import (
+	"math/rand"
+	"time"
+
+	conn "repro"
+	"repro/client"
+)
+
+// ackTimeout bounds how long a writer retries one batch before declaring
+// the topology wedged. Generous: it must ride out a primary SIGKILL, the
+// respawn, and a WAL replay.
+const ackTimeout = 30 * time.Second
+
+// ackBatch sends ops until the server acknowledges them, absorbing
+// transport errors (the primary may be dead, restarting, or resetting
+// connections). Consecutive retries of the same batch are idempotent, so an
+// "applied but ack lost" outcome converges to the same final state as a
+// clean ack. Reports false — after recording a violation — only if the
+// batch cannot be acknowledged within ackTimeout.
+func (d *driver) ackBatch(ns *client.Namespace, ops []conn.Op) bool {
+	deadline := time.Now().Add(ackTimeout)
+	for {
+		if _, err := ns.Do(ops); err == nil {
+			return true
+		} else if time.Now().After(deadline) {
+			d.violatef("writer on %q: batch unacknowledged after %v: %v", ns.Name(), ackTimeout, err)
+			return false
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// genBatch builds 1–3 operations confined to [lo, hi), with at most one
+// mutation per edge per batch: the oracle replays a batch as
+// inserts-then-deletes, and keeping edges distinct within a batch makes
+// that replay agree with every server-side application order.
+func genBatch(rng *rand.Rand, lo, hi int32) []conn.Op {
+	nops := 1 + rng.Intn(3)
+	used := make(map[uint64]bool, nops)
+	ops := make([]conn.Op, 0, nops)
+	for len(ops) < nops {
+		u := lo + rng.Int31n(hi-lo)
+		v := lo + rng.Int31n(hi-lo)
+		if u == v {
+			continue
+		}
+		kind := conn.OpInsert
+		switch x := rng.Intn(10); {
+		case x < 3:
+			kind = conn.OpDelete
+		case x < 6:
+			kind = conn.OpQuery
+		}
+		if kind != conn.OpQuery {
+			if k := edgeKey(u, v); used[k] {
+				continue
+			} else {
+				used[k] = true
+			}
+		}
+		ops = append(ops, conn.Op{Kind: kind, U: u, V: v})
+	}
+	return ops
+}
+
+// runWriter drives one namespace with randomized batches over its private
+// vertex range [lo, hi), retrying every batch to acknowledgement and
+// logging acked batches into oc. Writers own disjoint ranges, so replaying
+// each writer's acked batches in any interleaving yields the same final
+// edge set — the oracle the final sweep compares against.
+func (d *driver) runWriter(nsName string, lo, hi int32, rng *rand.Rand, oc *oracle) {
+	defer d.wg.Done()
+	c, err := client.Dial(d.primaryAddr, client.WithDialTimeout(2*time.Second))
+	if err != nil {
+		d.violatef("writer on %q: dial: %v", nsName, err)
+		return
+	}
+	defer c.Close()
+	ns := c.Namespace(nsName)
+	for {
+		select {
+		case <-d.stop:
+			return
+		default:
+		}
+		ops := genBatch(rng, lo, hi)
+		if !d.ackBatch(ns, ops) {
+			return
+		}
+		oc.append(ops)
+	}
+}
+
+// runProbe is the read-your-writes invariant check: a dedicated client with
+// replica routing mutates a reserved edge and requires ReadRecent to
+// observe each acked mutation. The client fences replica answers on its
+// observed seq, so a replica that claimed a seq ahead of the state it
+// serves would feed the probe a stale bit that never corrects — surfacing
+// as a probe timeout.
+func (d *driver) runProbe() {
+	defer d.wg.Done()
+	c, err := client.Dial(d.primaryAddr,
+		client.WithDialTimeout(2*time.Second),
+		client.WithReplicas(d.replicaAddrs...))
+	if err != nil {
+		d.violatef("probe: dial: %v", err)
+		return
+	}
+	defer c.Close()
+	ns := c.Namespace(nsFlat)
+	u, v := int32(d.n-2), int32(d.n-1)
+	for {
+		select {
+		case <-d.stop:
+			return
+		default:
+		}
+		// Each probe mutation is an acked single-op batch, logged into the
+		// flat oracle like any writer batch — the reserved pair is the
+		// probe's private vertex range.
+		ins := []conn.Op{{Kind: conn.OpInsert, U: u, V: v}}
+		if !d.ackBatch(ns, ins) {
+			return
+		}
+		d.flatOracle.append(ins)
+		if !d.awaitRecent(c, ns, u, v, true) {
+			return
+		}
+		del := []conn.Op{{Kind: conn.OpDelete, U: u, V: v}}
+		if !d.ackBatch(ns, del) {
+			return
+		}
+		d.flatOracle.append(del)
+		if !d.awaitRecent(c, ns, u, v, false) {
+			return
+		}
+	}
+}
+
+// awaitRecent polls ReadRecent until the probe edge reads as want. Honest
+// servers converge: a lagging replica is fenced off by the client and the
+// primary republishes its snapshot every epoch. Only a server claiming a
+// seq it has not actually applied can pin the answer stale — that is the
+// timeout this reports as a violation. Aborts silently when the run stops.
+func (d *driver) awaitRecent(c *client.Client, ns *client.Namespace, u, v int32, want bool) bool {
+	deadline := time.Now().Add(ackTimeout)
+	for {
+		select {
+		case <-d.stop:
+			return false
+		default:
+		}
+		got, err := ns.ReadRecent(u, v)
+		if err == nil && got == want {
+			return true
+		}
+		if time.Now().After(deadline) {
+			d.violatef("probe: acked %s of {%d,%d} (fence seq %d) not visible via ReadRecent after %v (last: got=%v err=%v)",
+				map[bool]string{true: "insert", false: "delete"}[want],
+				u, v, c.ObservedSeq(nsFlat), ackTimeout, got, err)
+			return false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// runCheckpointer periodically checkpoints both namespaces, moving the WAL
+// floor so a replica reconnecting after a long outage is forced through the
+// snapshot catch-up path, and exercising the checkpoint-reset fault site.
+// Errors are expected (the primary may be down, or chaos fails the reset)
+// and ignored — checkpointing is an optimization, never a correctness
+// dependency.
+func (d *driver) runCheckpointer(every time.Duration) {
+	defer d.wg.Done()
+	c, err := client.Dial(d.primaryAddr, client.WithDialTimeout(2*time.Second))
+	if err != nil {
+		return
+	}
+	defer c.Close()
+	flat, grid := c.Namespace(nsFlat), c.Namespace(nsGrid)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-t.C:
+			_, _ = flat.Checkpoint()
+			_, _ = grid.Checkpoint()
+		}
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"path/filepath"
 	"sync/atomic"
 
+	"repro/internal/chaos"
 	"repro/internal/graph"
 )
 
@@ -276,6 +277,18 @@ func Open(path string, n int) (*Log, error) {
 		}
 		return l, nil
 	}
+	if flt := chaos.Inject(chaos.SiteWALOpenTornTail); flt != nil {
+		// Simulate the image a torn write leaves: garbage appended past the
+		// last valid record. Scan stops at it and the truncation below
+		// removes it — durable records are never touched, so this exercises
+		// exactly the recovery path without being able to violate
+		// acked ⇒ durable.
+		garbage := []byte{0xff, 0xff, 0xff, 0xff, 0xde, 0xad, 0xbe, 0xef}
+		if _, err := f.WriteAt(garbage, st.Size()); err != nil {
+			_ = f.Close()
+			return nil, err
+		}
+	}
 	res, err := Scan(f, nil)
 	if err != nil {
 		_ = f.Close()
@@ -344,11 +357,27 @@ func (l *Log) Append(r Record) (int, error) {
 		return 0, fmt.Errorf("wal: append seq %d, want %d", r.Seq, l.lastSeq.Load()+1)
 	}
 	enc := EncodeRecord(r)
+	if flt := chaos.Inject(chaos.SiteWALAppendPreFsync); flt != nil {
+		// Torn: a prefix of the frame reaches the file without an fsync —
+		// the tail a crash mid-append leaves. The record was never acked,
+		// so the truncation on the next Open loses nothing durable.
+		if flt.Action == chaos.ActTorn {
+			_, _ = l.f.Write(enc[:len(enc)/2])
+		}
+		return 0, flt.Err()
+	}
 	if _, err := l.f.Write(enc); err != nil {
 		return 0, err
 	}
 	if err := l.f.Sync(); err != nil {
 		return 0, err
+	}
+	if flt := chaos.Inject(chaos.SiteWALAppendPostFsync); flt != nil {
+		// The fsync completed: the record IS durable, but the caller sees
+		// failure — a crash between fsync and acknowledgement. A restart
+		// replays a superset of the acked history, which the replay
+		// idempotence contract absorbs.
+		return 0, flt.Err()
 	}
 	l.lastSeq.Store(r.Seq)
 	return len(enc), nil
