@@ -44,6 +44,7 @@ import (
 
 	"repro/internal/coalesce"
 	"repro/internal/engine"
+	"repro/internal/wal"
 )
 
 // Default coalescing parameters: commit an epoch once 8192 operations have
@@ -125,6 +126,10 @@ type batcherOptions struct {
 	shards        int
 	snapThreshold int
 	durDir        string
+	walCodec      wal.Codec
+	groupSyncK    int
+	groupSyncWait time.Duration
+	ckptEvery     int
 }
 
 // WithMaxBatch sets the epoch size target: the dispatcher commits as soon
@@ -165,6 +170,47 @@ func WithDurability(dir string) BatcherOption {
 	return func(o *batcherOptions) { o.durDir = dir }
 }
 
+// WithWALCodec selects the write-ahead log's record encoding by codec name
+// ("v1" fixed-width, "v2" delta+varint — several times smaller on sorted or
+// clustered edge batches). The codec takes effect when the log file is
+// created or next reset by a checkpoint; an existing file keeps its header's
+// codec until then, so old logs stay readable and replicas keep receiving
+// whatever encoding the log actually holds. Unknown names panic (a
+// configuration error, caught at construction). No-op without
+// WithDurability.
+func WithWALCodec(name string) BatcherOption {
+	c, ok := wal.CodecByName(name)
+	if !ok {
+		panic(fmt.Sprintf("conn: WithWALCodec(%q): unknown codec", name))
+	}
+	return func(o *batcherOptions) { o.walCodec = c }
+}
+
+// WithGroupSync enables group-commit fsync scheduling on a durable Batcher:
+// up to k mutating epochs share one fsync, and their callers stay blocked
+// until the shared sync point — acknowledged still means fsynced, the
+// scheduler only batches the barrier. maxWait bounds the added
+// acknowledgement latency: the sync fires at most that long after the first
+// unsynced epoch even if the group never fills (<= 0 selects the engine
+// default). k <= 1 keeps the classic fsync-per-epoch pipeline. No-op
+// without WithDurability.
+func WithGroupSync(k int, maxWait time.Duration) BatcherOption {
+	return func(o *batcherOptions) {
+		o.groupSyncK = k
+		o.groupSyncWait = maxWait
+	}
+}
+
+// WithCheckpointEvery makes every m-th Checkpoint call write a full snapshot
+// and the m-1 between write incremental deltas against the last full — a
+// checkpoint chain. Deltas cost O(changes) instead of O(graph) and never
+// truncate the WAL, so a damaged delta degrades restore to the full
+// snapshot plus a longer replay, never to data loss. m <= 1 keeps every
+// checkpoint full. No-op without WithDurability.
+func WithCheckpointEvery(m int) BatcherOption {
+	return func(o *batcherOptions) { o.ckptEvery = m }
+}
+
 // WithSnapshotThreshold tunes the ReadRecent labelling's incremental-repair
 // budget: an epoch whose dirty components hold more than k vertices in
 // total triggers one full relabelling instead of per-component walks.
@@ -188,6 +234,10 @@ func NewBatcher(g *Graph, opts ...BatcherOption) *Batcher {
 		Shards:            o.shards,
 		SnapshotThreshold: o.snapThreshold,
 		DurDir:            o.durDir,
+		WALCodec:          o.walCodec,
+		GroupSyncK:        o.groupSyncK,
+		GroupSyncMaxWait:  o.groupSyncWait,
+		CheckpointEvery:   o.ckptEvery,
 		// The hook indirects through the Batcher field so tests can install
 		// it after construction (but before the first submission), exactly
 		// as they always have.
@@ -227,6 +277,13 @@ func (b *Batcher) WALSeq() uint64 { return b.e.WALSeq() }
 // a read response may claim: sampled before a read, it never exceeds the
 // state the read reflects. Safe from any goroutine.
 func (b *Batcher) AppliedSeq() uint64 { return b.e.AppliedSeq() }
+
+// SyncedSeq returns the WAL's synced frontier: the highest sequence number
+// covered by a completed fsync. Equal to WALSeq except inside an open
+// group-commit window (WithGroupSync), where appended-but-unsynced records
+// sit above it; zero without durability. An acknowledged epoch's seq is
+// always at or below SyncedSeq — acked means fsynced, grouped or not.
+func (b *Batcher) SyncedSeq() uint64 { return b.e.SyncedSeq() }
 
 // WALFloor returns the WAL's checkpoint floor: the sequence number already
 // captured by the checkpoint the log was last reset behind (zero if never

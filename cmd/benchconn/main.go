@@ -29,6 +29,7 @@
 //	e15 network front-end: conns × pipeline depth            [cmd/connserver]
 //	e16 replication: read throughput vs replica count        [internal/repl]
 //	e17 sharded writes: throughput vs partition count        [internal/shard]
+//	e18 durability pipeline: WAL codec × group-commit fsync  [wal codecs, WithGroupSync]
 //
 // Experiments that sweep a parameter also emit a machine-readable
 // BENCH_<experiment>.json result file (see -out) with one row per measured
@@ -43,7 +44,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e1..e17, comma separated, or 'all')")
+	exp := flag.String("exp", "all", "experiment id (e1..e18, comma separated, or 'all')")
 	n := flag.Int("n", 0, "override vertex count (0 = per-experiment default)")
 	quick := flag.Bool("quick", false, "smaller sizes for a fast smoke run")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -55,9 +56,9 @@ func main() {
 		"e1": runE1, "e2": runE2, "e3": runE3, "e4": runE4, "e5": runE5,
 		"e6": runE6, "e7": runE7, "e8": runE8, "e9": runE9, "e10": runE10,
 		"e11": runE11, "e12": runE12, "e13": runE13, "e14": runE14, "e15": runE15,
-		"e16": runE16, "e17": runE17,
+		"e16": runE16, "e17": runE17, "e18": runE18,
 	}
-	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17"}
+	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18"}
 
 	want := map[string]bool{}
 	if *exp == "all" {
@@ -68,7 +69,7 @@ func main() {
 		for _, id := range strings.Split(*exp, ",") {
 			id = strings.TrimSpace(strings.ToLower(id))
 			if _, ok := all[id]; !ok {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q (want e1..e17)\n", id)
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (want e1..e18)\n", id)
 				os.Exit(2)
 			}
 			want[id] = true

@@ -312,8 +312,10 @@ func (s *session) exec(text string) error {
 			}
 			fmt.Fprintf(s.out, "epochs=%d ops=%d maxepoch=%d publishes=%d rebuilds=%d\n",
 				st.Epochs, st.Ops, st.MaxEpoch, st.SnapshotPublishes, st.SnapshotRebuilds)
-			fmt.Fprintf(s.out, "wal: records=%d bytes=%d checkpoints=%d\n",
-				st.WALRecords, st.WALBytes, st.Checkpoints)
+			fmt.Fprintf(s.out, "wal: records=%d bytes=%d raw_bytes=%d fsyncs=%d fsyncs_saved=%d\n",
+				st.WALRecords, st.WALBytes, st.WALRawBytes, st.WALFsyncs, st.WALFsyncsSaved)
+			fmt.Fprintf(s.out, "checkpoints: full=%d delta=%d\n",
+				st.Checkpoints, st.CheckpointsDelta)
 			fmt.Fprintf(s.out, "repl: subscribers=%d last_shipped=%d max_lag=%d applied=%d\n",
 				st.Subscribers, st.LastShippedSeq, st.MaxFollowerLag, st.AppliedSeq)
 			// A sharded namespace reports per-engine lines under the
@@ -333,8 +335,11 @@ func (s *session) exec(text string) error {
 			s.g.NumEdges(), st.Inserts, st.Deletes, st.Replaced, st.Pushdowns+st.TreePushes)
 		if s.b != nil {
 			bs := s.b.Stats()
-			fmt.Fprintf(s.out, "wal: records=%d bytes=%d checkpoints=%d floor=%d last=%d\n",
-				bs.WALRecords, bs.WALBytes, bs.Checkpoints, s.b.WALFloor(), s.b.WALSeq())
+			fmt.Fprintf(s.out, "wal: records=%d bytes=%d raw_bytes=%d fsyncs=%d fsyncs_saved=%d floor=%d last=%d\n",
+				bs.WALRecords, bs.WALBytes, bs.WALRawBytes, bs.WALFsyncs, bs.WALFsyncsSaved,
+				s.b.WALFloor(), s.b.WALSeq())
+			fmt.Fprintf(s.out, "checkpoints: full=%d delta=%d\n",
+				bs.Checkpoints, bs.CheckpointsDelta)
 		}
 	case "checkpoint":
 		if err := s.flush(); err != nil {

@@ -28,10 +28,13 @@ type ackedEpoch struct {
 // collectDurableStream runs a concurrent mixed workload through a durable
 // Batcher rooted at dir, optionally checkpointing between two waves, and
 // returns the acked epoch stream in commit order.
-func collectDurableStream(t *testing.T, dir string, n int, withCkpt bool) []ackedEpoch {
+func collectDurableStream(t *testing.T, dir string, n int, withCkpt bool, extra ...BatcherOption) []ackedEpoch {
 	t.Helper()
 	g := New(n)
-	b := NewBatcher(g, WithMaxBatch(48), WithMaxDelay(100*time.Microsecond), WithDurability(dir))
+	opts := append([]BatcherOption{
+		WithMaxBatch(48), WithMaxDelay(100 * time.Microsecond), WithDurability(dir),
+	}, extra...)
+	b := NewBatcher(g, opts...)
 	var epochs []ackedEpoch
 	var seq uint64
 	b.testHook = func(ops []coalesce.Op, res []bool) {
@@ -193,10 +196,22 @@ func TestDurableCrashRecovery(t *testing.T) {
 	for _, tc := range []struct {
 		name     string
 		withCkpt bool
-	}{{"wal-only", false}, {"checkpoint-plus-tail", true}} {
+		opts     []BatcherOption
+	}{
+		{"wal-only", false, nil},
+		{"checkpoint-plus-tail", true, nil},
+		// Group-commit fsync scheduling plus the v2 delta codec: crashes now
+		// land mid-group (several epochs appended, the fsync shared), and the
+		// WAL records are compressed. The differential contract is identical:
+		// restore must equal the oracle replay of exactly the record prefix
+		// that survived the cut.
+		{"group-sync-codec-v2", true, []BatcherOption{
+			WithGroupSync(4, 300*time.Microsecond), WithWALCodec("v2"),
+		}},
+	} {
 		t.Run(tc.name, func(t *testing.T) {
 			dir := t.TempDir()
-			epochs := collectDurableStream(t, dir, n, tc.withCkpt)
+			epochs := collectDurableStream(t, dir, n, tc.withCkpt, tc.opts...)
 			walBytes, err := os.ReadFile(filepath.Join(dir, "wal.log"))
 			if err != nil {
 				t.Fatal(err)

@@ -1,0 +1,197 @@
+package conn
+
+import (
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestGroupSyncAckImpliesFsynced is the group-commit ack contract: whenever
+// a mutating call returns, the fsynced frontier already covers the epoch it
+// committed in — grouping batches the fsync, never weakens it.
+func TestGroupSyncAckImpliesFsynced(t *testing.T) {
+	dir := t.TempDir()
+	g := New(64)
+	b := NewBatcher(g, WithMaxDelay(0), WithDurability(dir),
+		WithGroupSync(8, time.Millisecond), WithWALCodec("v2"))
+	defer b.Close()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				u := int32((w*50 + i) % 63)
+				_, seq, err := b.DoSeq([]Op{{Kind: OpInsert, U: u, V: u + 1}})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if synced := b.SyncedSeq(); synced < seq {
+					t.Errorf("acked epoch %d but synced frontier is %d", seq, synced)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	s := b.Stats()
+	if s.WALFsyncs >= s.WALRecords {
+		t.Fatalf("group sync never grouped: %d fsyncs for %d records", s.WALFsyncs, s.WALRecords)
+	}
+	if s.WALFsyncsSaved != s.WALRecords-s.WALFsyncs {
+		t.Fatalf("WALFsyncsSaved = %d, want records-fsyncs = %d", s.WALFsyncsSaved, s.WALRecords-s.WALFsyncs)
+	}
+	if s.WALRawBytes <= s.WALBytes {
+		t.Fatalf("v2 codec did not compress: %d encoded vs %d raw", s.WALBytes, s.WALRawBytes)
+	}
+}
+
+// TestGroupSyncMaxWaitBoundsLatency: a lone epoch that never fills the group
+// must still be acknowledged within (roughly) the configured window.
+func TestGroupSyncMaxWaitBoundsLatency(t *testing.T) {
+	dir := t.TempDir()
+	g := New(16)
+	b := NewBatcher(g, WithMaxDelay(0), WithDurability(dir),
+		WithGroupSync(64, 2*time.Millisecond))
+	defer b.Close()
+
+	t0 := time.Now()
+	b.Insert(1, 2)
+	if d := time.Since(t0); d > time.Second {
+		t.Fatalf("single insert under K=64 grouping took %v — maxWait timer never fired", d)
+	}
+	if b.SyncedSeq() != 1 {
+		t.Fatalf("synced frontier = %d after ack, want 1", b.SyncedSeq())
+	}
+}
+
+// TestCheckpointChainIncremental drives the full-every-M policy end to end:
+// full, delta, delta, full again — and proves the fallback: corrupting a
+// delta file costs nothing, because deltas never truncate the WAL.
+func TestCheckpointChainIncremental(t *testing.T) {
+	dir := t.TempDir()
+	g := New(64)
+	b := NewBatcher(g, WithMaxDelay(0), WithDurability(dir), WithCheckpointEvery(3))
+
+	b.InsertEdges([]Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}})
+	p1, err := b.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(p1, ".ckpt") {
+		t.Fatalf("first checkpoint should be full, got %s", p1)
+	}
+
+	b.Insert(10, 11)
+	b.Delete(2, 3)
+	p2, err := b.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(p2, ".dckpt") {
+		t.Fatalf("second checkpoint should be a delta, got %s", p2)
+	}
+	if floor := b.WALFloor(); floor != 1 {
+		t.Fatalf("delta checkpoint moved the WAL floor to %d — deltas must not truncate", floor)
+	}
+
+	b.Insert(11, 12)
+	p3, err := b.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(p3, ".dckpt") {
+		t.Fatalf("third checkpoint should be a delta, got %s", p3)
+	}
+	b.Insert(12, 13)
+	p4, err := b.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(p4, ".ckpt") {
+		t.Fatalf("fourth checkpoint should roll over to full, got %s", p4)
+	}
+	s := b.Stats()
+	if s.Checkpoints != 2 || s.CheckpointsDelta != 2 {
+		t.Fatalf("checkpoint counters: full=%d delta=%d, want 2/2", s.Checkpoints, s.CheckpointsDelta)
+	}
+	// The full at p4 subsumed the deltas: they should be pruned.
+	for _, p := range []string{p2, p3} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Fatalf("delta %s survived the next full checkpoint", p)
+		}
+	}
+	b.Insert(13, 14)
+	b.Close()
+
+	check := func(g2 *Graph, tag string) {
+		t.Helper()
+		if g2.NumEdges() != 6 || !g2.Connected(10, 14) || g2.Connected(2, 3) || !g2.Connected(0, 2) {
+			t.Fatalf("%s: restored wrong state: edges=%d", tag, g2.NumEdges())
+		}
+	}
+	g2, err := Restore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(g2, "clean")
+}
+
+// TestCheckpointChainCorruptDeltaFallsBack: with a delta as the newest
+// checkpoint, damaging it must degrade restore to the previous full snapshot
+// plus WAL replay — same final state, nothing acked lost.
+func TestCheckpointChainCorruptDeltaFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	g := New(64)
+	b := NewBatcher(g, WithMaxDelay(0), WithDurability(dir), WithCheckpointEvery(4))
+	b.InsertEdges([]Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	if _, err := b.Checkpoint(); err != nil { // full
+		t.Fatal(err)
+	}
+	b.Insert(5, 6)
+	b.Delete(1, 2)
+	dpath, err := b.Checkpoint() // delta
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(dpath, ".dckpt") {
+		t.Fatalf("expected a delta checkpoint, got %s", dpath)
+	}
+	b.Insert(6, 7)
+	b.Close()
+
+	verify := func(tag string) {
+		t.Helper()
+		g2, err := Restore(dir)
+		if err != nil {
+			t.Fatalf("%s: %v", tag, err)
+		}
+		if g2.NumEdges() != 3 || !g2.Connected(5, 7) || g2.Connected(1, 2) || !g2.Connected(0, 1) {
+			t.Fatalf("%s: wrong state: edges=%d", tag, g2.NumEdges())
+		}
+	}
+	verify("intact chain")
+
+	// Flip a byte in the delta: the chain validation must reject it and the
+	// fallback (full + complete WAL) must reproduce the identical state.
+	data, err := os.ReadFile(dpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(dpath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	verify("corrupt delta")
+
+	// Even deleting it entirely changes nothing.
+	if err := os.Remove(dpath); err != nil {
+		t.Fatal(err)
+	}
+	verify("missing delta")
+}

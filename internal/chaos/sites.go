@@ -23,6 +23,18 @@ const (
 	// touching any durable record.
 	SiteWALOpenTornTail = "wal.open.torn-tail"
 
+	// SiteEngineGroupSync fires at the group-commit sync point, before the
+	// shared fsync that makes a whole group of epochs durable: Fail is a
+	// crash at the worst instant — several epochs appended, none synced,
+	// every caller still blocked; Delay stretches the grouping window.
+	SiteEngineGroupSync = "engine.group.sync"
+
+	// SiteEngineDeltaCheckpoint fires in the engine's checkpoint service
+	// before an incremental (delta) checkpoint is written: Fail makes the
+	// delta write fail, which the engine reports without touching the WAL —
+	// the chain simply stays at its previous link.
+	SiteEngineDeltaCheckpoint = "engine.checkpoint.delta"
+
 	// SiteEngineCheckpointReset fires in the engine's checkpoint service
 	// where the WAL is truncated behind a fresh checkpoint: the reset
 	// fails, forcing the fallback that keeps the old checkpoints and the
@@ -64,6 +76,8 @@ var Sites = map[string]string{
 	SiteWALAppendPreFsync:     "WAL append fails (or tears a partial frame) before the fsync",
 	SiteWALAppendPostFsync:    "WAL append fails after the fsync: durable but unacknowledged",
 	SiteWALOpenTornTail:       "WAL reopen finds a torn tail appended past the last valid record",
+	SiteEngineGroupSync:       "group-commit fsync point fails (crash) or stalls",
+	SiteEngineDeltaCheckpoint: "incremental checkpoint write fails; chain keeps previous link",
 	SiteEngineCheckpointReset: "checkpoint's WAL truncation fails; fallback keeps old state",
 	SiteReplStreamSend:        "replication pump to a follower stalls or drops",
 	SiteReplSnapshotSend:      "snapshot catch-up stream is cut mid-transfer",

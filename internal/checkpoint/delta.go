@@ -1,0 +1,260 @@
+// Delta checkpoints: the incremental half of the checkpoint chain.
+//
+// A delta file records the edge-set difference between the live graph and
+// the last FULL snapshot — the spanning-forest diff followed by the
+// non-tree diff, which for the paper's batch-dynamic structure is tiny
+// compared to the whole edge set — so a checkpoint between full snapshots
+// costs O(changes), not O(graph). Deltas always diff against a full
+// snapshot (never against another delta), so a restore chain is at most
+// two files: the newest valid full snapshot plus the newest valid delta
+// based on it. A corrupt or mismatched delta simply drops out of the
+// chain: LoadChain falls back to the full snapshot alone, and the WAL —
+// which is only truncated at full checkpoints — still holds every record
+// since the full, so nothing acked is ever lost.
+//
+// File format (little-endian):
+//
+//	magic "conndlt\x01" (8) | payload | crc32c(payload) uint32
+//	payload: seq uint64 | base uint64 | n uint32 | nAdd uint32 | nDel uint32 |
+//	         add edges (u,v uint32 each) | del edges (u,v uint32 each)
+//
+// base names the full snapshot's seq; a delta only composes with the full
+// snapshot whose seq it records.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/wal"
+)
+
+const (
+	deltaPrefix  = "delta-"
+	deltaSuffix  = ".dckpt"
+	deltaHdrOff  = 8
+	deltaEdgeOff = 8 + 28 // magic + (seq, base, n, nAdd, nDel)
+	deltaMinLen  = deltaEdgeOff + 4
+)
+
+var deltaMagic = [8]byte{'c', 'o', 'n', 'n', 'd', 'l', 't', 1}
+
+// Delta is one incremental checkpoint: the live edge set as of Seq equals
+// the Base full snapshot's edges minus Del plus Add. Add is emitted
+// spanning-forest diff first, then non-tree diff, preserving the
+// structure's decomposition order (restore does not depend on it).
+type Delta struct {
+	Seq  uint64
+	Base uint64
+	N    int
+	Add  []graph.Edge
+	Del  []graph.Edge
+}
+
+// EncodeDelta serializes a delta checkpoint.
+func EncodeDelta(d Delta) []byte {
+	buf := make([]byte, deltaEdgeOff+8*(len(d.Add)+len(d.Del))+4)
+	copy(buf, deltaMagic[:])
+	binary.LittleEndian.PutUint64(buf[deltaHdrOff:], d.Seq)
+	binary.LittleEndian.PutUint64(buf[deltaHdrOff+8:], d.Base)
+	binary.LittleEndian.PutUint32(buf[deltaHdrOff+16:], uint32(d.N))
+	binary.LittleEndian.PutUint32(buf[deltaHdrOff+20:], uint32(len(d.Add)))
+	binary.LittleEndian.PutUint32(buf[deltaHdrOff+24:], uint32(len(d.Del)))
+	o := deltaEdgeOff
+	for _, es := range [2][]graph.Edge{d.Add, d.Del} {
+		for _, e := range es {
+			binary.LittleEndian.PutUint32(buf[o:], uint32(e.U))
+			binary.LittleEndian.PutUint32(buf[o+4:], uint32(e.V))
+			o += 8
+		}
+	}
+	binary.LittleEndian.PutUint32(buf[len(buf)-4:],
+		crc32.Checksum(buf[deltaHdrOff:len(buf)-4], castagnoli))
+	return buf
+}
+
+// DecodeDelta parses and validates a delta file's bytes. It never panics
+// on arbitrary input; anything short, checksum-corrupt, inconsistent, or
+// holding out-of-universe edges returns ErrCorrupt.
+func DecodeDelta(data []byte) (Delta, error) {
+	if len(data) < deltaMinLen || [8]byte(data[:8]) != deltaMagic {
+		return Delta{}, ErrCorrupt
+	}
+	payload := data[deltaHdrOff : len(data)-4]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(data[len(data)-4:]) {
+		return Delta{}, fmt.Errorf("%w: delta checksum mismatch", ErrCorrupt)
+	}
+	d := Delta{
+		Seq:  binary.LittleEndian.Uint64(payload),
+		Base: binary.LittleEndian.Uint64(payload[8:]),
+		N:    int(binary.LittleEndian.Uint32(payload[16:])),
+	}
+	nAdd := int(binary.LittleEndian.Uint32(payload[20:]))
+	nDel := int(binary.LittleEndian.Uint32(payload[24:]))
+	if d.N <= 0 || d.N > maxN || nAdd < 0 || nDel < 0 || d.Seq <= d.Base ||
+		28+8*(nAdd+nDel) != len(payload) {
+		return Delta{}, fmt.Errorf("%w: inconsistent delta lengths", ErrCorrupt)
+	}
+	es := make([]graph.Edge, nAdd+nDel)
+	for i := range es {
+		u := int32(binary.LittleEndian.Uint32(payload[28+8*i:]))
+		v := int32(binary.LittleEndian.Uint32(payload[28+8*i+4:]))
+		if u < 0 || v < 0 || int(u) >= d.N || int(v) >= d.N {
+			return Delta{}, fmt.Errorf("%w: edge {%d,%d} outside universe [0,%d)", ErrCorrupt, u, v, d.N)
+		}
+		es[i] = graph.Edge{U: u, V: v}
+	}
+	d.Add, d.Del = es[:nAdd:nAdd], es[nAdd:]
+	return d, nil
+}
+
+// deltaFileName returns the delta file name for a sequence number.
+func deltaFileName(seq uint64) string {
+	return fmt.Sprintf("%s%016x%s", deltaPrefix, seq, deltaSuffix)
+}
+
+// WriteDelta durably persists a delta checkpoint into dir (write temp,
+// fsync, rename, fsync dir) and returns the final path.
+//
+//conn:fsync-barrier
+func WriteDelta(dir string, d Delta) (string, error) {
+	final := filepath.Join(dir, deltaFileName(d.Seq))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return "", err
+	}
+	if _, err := f.Write(EncodeDelta(d)); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return "", err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return "", err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		_ = os.Remove(tmp)
+		return "", err
+	}
+	return final, wal.SyncDir(dir)
+}
+
+// listDeltas returns delta file names in dir, newest (highest seq) first.
+func listDeltas(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		name := e.Name()
+		if !e.IsDir() && strings.HasPrefix(name, deltaPrefix) && strings.HasSuffix(name, deltaSuffix) {
+			names = append(names, name)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(names))) // zero-padded hex: lexicographic == numeric
+	return names, nil
+}
+
+// Chain returns the newest usable checkpoint chain in dir: the newest full
+// snapshot that decodes cleanly, plus the newest delta that decodes
+// cleanly AND chains to it (delta.Base == full.Seq, same universe). delta
+// is nil when no delta qualifies — the chain-validated fallback: a corrupt
+// or mismatched delta never poisons a restore, it just shortens the chain
+// to the full snapshot.
+func Chain(dir string) (full Snapshot, delta *Delta, ok bool, err error) {
+	full, ok, err = Load(dir)
+	if err != nil || !ok {
+		return Snapshot{}, nil, ok, err
+	}
+	names, err := listDeltas(dir)
+	if err != nil && !os.IsNotExist(err) {
+		return Snapshot{}, nil, false, err
+	}
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			continue
+		}
+		d, err := DecodeDelta(data)
+		if err != nil || d.Base != full.Seq || d.N != full.N {
+			continue // damaged, or chained to a different full snapshot
+		}
+		return full, &d, true, nil
+	}
+	return full, nil, true, nil
+}
+
+// Compose applies a delta to its base full snapshot, yielding the live
+// edge set at the delta's seq. The delta must chain to s (Chain
+// guarantees it). Order is deterministic: surviving base edges first, in
+// base order, then the delta's additions.
+func Compose(s Snapshot, d *Delta) Snapshot {
+	if d == nil {
+		return s
+	}
+	dead := make(map[graph.Edge]struct{}, len(d.Del))
+	for _, e := range d.Del {
+		dead[normEdge(e)] = struct{}{}
+	}
+	edges := make([]graph.Edge, 0, len(s.Edges)-len(d.Del)+len(d.Add))
+	for _, e := range s.Edges {
+		if _, gone := dead[normEdge(e)]; !gone {
+			edges = append(edges, e)
+		}
+	}
+	edges = append(edges, d.Add...)
+	return Snapshot{Seq: d.Seq, N: s.N, Edges: edges}
+}
+
+// normEdge canonicalizes an undirected edge for set membership.
+func normEdge(e graph.Edge) graph.Edge {
+	if e.U > e.V {
+		return graph.Edge{U: e.V, V: e.U}
+	}
+	return e
+}
+
+// LoadChain returns the newest restorable state in dir: the newest valid
+// full snapshot with its newest valid chained delta applied. ok is false
+// when dir holds no usable full checkpoint (an orphaned delta alone cannot
+// restore anything).
+func LoadChain(dir string) (Snapshot, bool, error) {
+	full, delta, ok, err := Chain(dir)
+	if err != nil || !ok {
+		return Snapshot{}, ok, err
+	}
+	return Compose(full, delta), true, nil
+}
+
+// PruneDeltas removes every delta file at or below keepSeq (plus stray
+// delta temp files) — called after a full checkpoint at keepSeq subsumes
+// them. Removal failures are ignored, as in Prune.
+func PruneDeltas(dir string, keepSeq uint64) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	cut := deltaFileName(keepSeq)
+	for _, e := range ents {
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, ".tmp") && strings.HasPrefix(name, deltaPrefix):
+			os.Remove(filepath.Join(dir, name))
+		case strings.HasPrefix(name, deltaPrefix) && strings.HasSuffix(name, deltaSuffix) && name <= cut:
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+}

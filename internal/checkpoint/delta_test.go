@@ -1,0 +1,172 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func edges(vals ...int32) []graph.Edge {
+	es := make([]graph.Edge, 0, len(vals)/2)
+	for i := 0; i+1 < len(vals); i += 2 {
+		es = append(es, graph.Edge{U: vals[i], V: vals[i+1]})
+	}
+	return es
+}
+
+func TestDeltaRoundTrip(t *testing.T) {
+	for _, d := range []Delta{
+		{Seq: 10, Base: 5, N: 64},
+		{Seq: 10, Base: 5, N: 64, Add: edges(1, 2, 3, 4)},
+		{Seq: 10, Base: 5, N: 64, Del: edges(7, 8)},
+		{Seq: 2, Base: 1, N: 64, Add: edges(0, 63), Del: edges(5, 6, 9, 10, 11, 12)},
+	} {
+		got, err := DecodeDelta(EncodeDelta(d))
+		if err != nil {
+			t.Fatalf("%+v: %v", d, err)
+		}
+		if got.Seq != d.Seq || got.Base != d.Base || got.N != d.N ||
+			len(got.Add) != len(d.Add) || len(got.Del) != len(d.Del) {
+			t.Fatalf("round trip: got %+v, want %+v", got, d)
+		}
+		for i := range d.Add {
+			if got.Add[i] != d.Add[i] {
+				t.Fatalf("Add[%d] = %v, want %v", i, got.Add[i], d.Add[i])
+			}
+		}
+		for i := range d.Del {
+			if got.Del[i] != d.Del[i] {
+				t.Fatalf("Del[%d] = %v, want %v", i, got.Del[i], d.Del[i])
+			}
+		}
+	}
+}
+
+func TestDeltaDecodeRejects(t *testing.T) {
+	enc := EncodeDelta(Delta{Seq: 10, Base: 5, N: 64, Add: edges(1, 2)})
+	cases := map[string][]byte{
+		"truncated": enc[:len(enc)-5],
+		"trailing":  append(enc[:len(enc):len(enc)], 0),
+		"flipped": func() []byte {
+			b := append([]byte(nil), enc...)
+			b[deltaEdgeOff+2] ^= 0xff
+			return b
+		}(),
+		"full-magic": func() []byte {
+			s := Encode(Snapshot{Seq: 10, N: 64, Edges: edges(1, 2)})
+			return s
+		}(),
+	}
+	for name, data := range cases {
+		if _, err := DecodeDelta(data); err == nil {
+			t.Fatalf("%s input accepted", name)
+		}
+	}
+	// seq <= base is inconsistent even when the checksum is right.
+	if _, err := DecodeDelta(EncodeDelta(Delta{Seq: 5, Base: 5, N: 64})); err == nil {
+		t.Fatal("accepted delta with seq == base")
+	}
+}
+
+// TestChainComposeAndFallback is the chain contract end to end: a full
+// snapshot plus deltas loads the newest chained state; corrupting the
+// newest delta falls back to an older valid delta; corrupting all of them
+// falls back to the full snapshot alone.
+func TestChainComposeAndFallback(t *testing.T) {
+	dir := t.TempDir()
+	full := Snapshot{Seq: 100, N: 64, Edges: edges(1, 2, 3, 4, 5, 6)}
+	if _, err := Write(dir, full); err != nil {
+		t.Fatal(err)
+	}
+	d1 := Delta{Seq: 110, Base: 100, N: 64, Add: edges(7, 8), Del: edges(3, 4)}
+	d2 := Delta{Seq: 120, Base: 100, N: 64, Add: edges(7, 8, 9, 10), Del: edges(3, 4, 1, 2)}
+	p1, err := WriteDelta(dir, d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := WriteDelta(dir, d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, ok, err := LoadChain(dir)
+	if err != nil || !ok {
+		t.Fatalf("LoadChain: %v %v", ok, err)
+	}
+	if s.Seq != 120 || len(s.Edges) != 3 {
+		t.Fatalf("composed chain = seq %d, %d edges (%v); want seq 120 with {5-6,7-8,9-10}", s.Seq, len(s.Edges), s.Edges)
+	}
+	want := map[graph.Edge]bool{{U: 5, V: 6}: true, {U: 7, V: 8}: true, {U: 9, V: 10}: true}
+	for _, e := range s.Edges {
+		if !want[e] {
+			t.Fatalf("unexpected edge %v in composed state", e)
+		}
+	}
+
+	// Corrupt the newest delta: chain shortens to the older one.
+	if err := os.WriteFile(p2, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, ok, err = LoadChain(dir)
+	if err != nil || !ok || s.Seq != 110 {
+		t.Fatalf("after corrupting newest delta: seq %d ok=%v err=%v, want fallback to 110", s.Seq, ok, err)
+	}
+
+	// Corrupt the remaining delta: chain shortens to the full snapshot.
+	data, _ := os.ReadFile(p1)
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(p1, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, ok, err = LoadChain(dir)
+	if err != nil || !ok || s.Seq != 100 || len(s.Edges) != 3 {
+		t.Fatalf("after corrupting all deltas: seq %d (%d edges) ok=%v err=%v, want the full snapshot", s.Seq, len(s.Edges), ok, err)
+	}
+}
+
+// TestChainRejectsMismatchedBase: a delta chained to a different (older)
+// full snapshot must not compose with the current one.
+func TestChainRejectsMismatchedBase(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Write(dir, Snapshot{Seq: 50, N: 64, Edges: edges(1, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteDelta(dir, Delta{Seq: 60, Base: 50, N: 64, Add: edges(3, 4)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Write(dir, Snapshot{Seq: 70, N: 64, Edges: edges(1, 2, 3, 4, 5, 6)}); err != nil {
+		t.Fatal(err)
+	}
+	s, ok, err := LoadChain(dir)
+	if err != nil || !ok || s.Seq != 70 || len(s.Edges) != 3 {
+		t.Fatalf("delta with stale base composed: seq %d (%d edges)", s.Seq, len(s.Edges))
+	}
+}
+
+func TestPruneDeltas(t *testing.T) {
+	dir := t.TempDir()
+	for _, seq := range []uint64{10, 20, 30} {
+		if _, err := WriteDelta(dir, Delta{Seq: seq, Base: 5, N: 8}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, deltaFileName(40)+".tmp"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	PruneDeltas(dir, 20)
+	names, err := listDeltas(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != deltaFileName(30) {
+		t.Fatalf("after prune at 20: %v, want only seq 30", names)
+	}
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) == ".tmp" {
+			t.Fatalf("stray tmp %s survived prune", e.Name())
+		}
+	}
+}

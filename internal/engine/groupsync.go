@@ -1,0 +1,191 @@
+// Group-fsync scheduling: the sync point that lets up to K epochs share one
+// fsync without weakening the durability contract.
+//
+// Without grouping, logEpoch appends AND fsyncs every mutating epoch — one
+// fsync per epoch, the latency floor of the durable write path. With
+// WithGroupSync(k, maxWait), logEpoch only appends; the epoch's callers stay
+// blocked (coalesce hands their release function to the scheduler instead of
+// resolving futures) and the epoch's replication tee is held back, until the
+// scheduler's sync point fires: after k epochs accumulate, or maxWait after
+// the first unsynced epoch, whichever is first. The sync point runs exactly
+// one fsync, advances the WAL's synced frontier, tees the now-durable epochs
+// to subscribers in order, and releases every pending acknowledgement.
+//
+// The invariant is unchanged: acked ⇒ fsynced. Only the batching of the
+// fsync moved — callers trade up to maxWait of acknowledgement latency for
+// a 1/k fsync amortization. A crash mid-group loses only epochs whose
+// callers were still blocked, which the recovery contract already allows.
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// pendingAck is one epoch's deferred acknowledgement: the commit position
+// its callers wait on, and the release that unblocks them.
+type pendingAck struct {
+	seq uint64
+	// release resolves the epoch's futures; calling it acknowledges the
+	// epoch to its callers.
+	//
+	//conn:ack
+	release func()
+}
+
+// groupSync is the group-commit fsync scheduler. The dispatcher feeds it
+// appended-but-unsynced epochs (noteEpoch) and deferred acknowledgements
+// (enqueue); the sync point runs on whichever goroutine reaches it first —
+// the dispatcher hitting the K-epoch target or a checkpoint, or the maxWait
+// timer. mu orders the two; everything below it is mu-protected.
+type groupSync struct {
+	e       *Engine
+	k       int
+	maxWait time.Duration
+
+	mu       sync.Mutex
+	recs     []EpochRecord // appended, unsynced: teed to subscribers at the sync point
+	acks     []pendingAck  // deferred acknowledgements, FIFO
+	unsynced int           // epochs appended since the last sync
+	timer    *time.Timer   // fires the sync point maxWait after the first unsynced epoch
+	armed    bool          // timer is counting down
+	closed   bool
+}
+
+func newGroupSync(e *Engine, k int, maxWait time.Duration) *groupSync {
+	if maxWait <= 0 {
+		maxWait = DefaultGroupSyncMaxWait
+	}
+	return &groupSync{e: e, k: k, maxWait: maxWait}
+}
+
+// noteEpoch registers one appended-but-unsynced epoch. Called by the
+// dispatcher from logEpoch, after wal.Log.AppendRecord and instead of the
+// per-epoch Sync. Reaching the K-epoch target fires the sync point inline
+// (on the dispatcher); otherwise the maxWait timer is armed so the epoch's
+// acknowledgement latency stays bounded.
+func (gs *groupSync) noteEpoch(er EpochRecord) {
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	gs.recs = append(gs.recs, er)
+	gs.unsynced++
+	if gs.unsynced >= gs.k {
+		gs.syncLocked()
+		return
+	}
+	if !gs.armed {
+		gs.armed = true
+		if gs.timer == nil {
+			gs.timer = time.AfterFunc(gs.maxWait, gs.onTimer)
+		} else {
+			gs.timer.Reset(gs.maxWait)
+		}
+	}
+}
+
+// enqueue defers one epoch's acknowledgement to the sync point. Called by
+// the dispatcher (via the coalesce ack hook) after the epoch executed. An
+// epoch already below the synced frontier — the timer fired between append
+// and execution, or the epoch was query-only against synced state — is
+// released immediately.
+func (gs *groupSync) enqueue(seq uint64, release func()) {
+	gs.mu.Lock()
+	if gs.closed || seq <= gs.e.dur.log.SyncedSeq() {
+		gs.mu.Unlock()
+		release()
+		return
+	}
+	gs.acks = append(gs.acks, pendingAck{seq: seq, release: release})
+	gs.mu.Unlock()
+}
+
+// onTimer is the maxWait deadline: the group is synced even if it never
+// reached K epochs, bounding every caller's acknowledgement latency.
+func (gs *groupSync) onTimer() {
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	if gs.closed || gs.unsynced == 0 {
+		return
+	}
+	gs.syncLocked()
+}
+
+// syncLocked is THE sync point: one fsync makes every appended epoch
+// durable, then — and only then — the held-back replication tee and the
+// deferred acknowledgements run. Caller holds gs.mu. The tee and the
+// releases must stay behind the Sync call: both expose the epochs to the
+// outside world. As a barrier site that itself resolves acknowledgements,
+// connvet's ackafterfsync implies the ordering check here even without
+// the explicit annotation — both are kept for the reader.
+//
+//conn:fsync-barrier
+//conn:ack-after-fsync
+func (gs *groupSync) syncLocked() {
+	if flt := chaos.Inject(chaos.SiteEngineGroupSync); flt != nil {
+		// Delay stretches the grouping window; Fail is a crash at the worst
+		// instant — a whole group appended, nothing synced, every caller
+		// still blocked. Fail-stop, exactly like an append failure: a
+		// durability guarantee that cannot be honored is never degraded.
+		flt.Sleep()
+		if flt.Action != chaos.ActDelay {
+			panic(fmt.Sprintf("engine: group-sync point failed: %v", flt.Err()))
+		}
+	}
+	if err := gs.e.dur.log.Sync(); err != nil {
+		panic(fmt.Sprintf("engine: durable pipeline cannot sync WAL: %v", err))
+	}
+	gs.armed = false
+	if gs.timer != nil {
+		gs.timer.Stop()
+	}
+	if gs.unsynced > 1 {
+		gs.e.dur.fsyncsSaved.Add(int64(gs.unsynced - 1))
+	}
+	gs.unsynced = 0
+	// Replication tee, in epoch order: the records are durable now, so
+	// subscribers (the Hub shipping to followers) may see them — the same
+	// point the per-epoch path tees at, just batched.
+	if subs := gs.e.subs.Load(); subs != nil && len(*subs) > 0 {
+		for _, er := range gs.recs {
+			for _, s := range *subs {
+				s.fn(er)
+			}
+		}
+	}
+	gs.recs = nil
+	// Deferred acknowledgements, FIFO. Every queued seq is covered: the
+	// frontier just advanced to the last appended record.
+	for _, a := range gs.acks {
+		a.release()
+	}
+	gs.acks = nil
+}
+
+// barrier runs fn with the scheduler quiesced: pending epochs synced, acks
+// released, and gs.mu held across fn so the timer goroutine cannot run a
+// concurrent Sync while fn (a checkpoint's WAL reset) swaps the log file.
+func (gs *groupSync) barrier(fn func()) {
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	if gs.unsynced > 0 {
+		gs.syncLocked()
+	}
+	fn()
+}
+
+// close syncs whatever is still pending — the dispatcher has exited, so no
+// new epochs can arrive — releases every caller, and stops the timer.
+func (gs *groupSync) close() {
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	if gs.unsynced > 0 {
+		gs.syncLocked()
+	}
+	gs.closed = true
+	if gs.timer != nil {
+		gs.timer.Stop()
+	}
+}

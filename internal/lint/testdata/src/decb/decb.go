@@ -53,3 +53,29 @@ func decodeConst(payload []byte) []byte {
 	copy(out, payload)
 	return out
 }
+
+// uvarint models encoding/binary.Uvarint: a length read straight off the
+// wire, exactly what a delta+varint codec's count fields are.
+func uvarint(p []byte) (uint64, int) {
+	if len(p) == 0 {
+		return 0, 0
+	}
+	return uint64(p[0]), 1
+}
+
+// decodeVarintBad sizes an allocation from a raw varint count — a
+// one-byte payload can claim 2^60 elements.
+func decodeVarintBad(payload []byte) []uint64 {
+	n, _ := uvarint(payload)
+	return make([]uint64, n) // want "not a validated count"
+}
+
+// decodeVarintGuarded bounds the varint count against the bytes that
+// could actually hold that many elements before allocating.
+func decodeVarintGuarded(payload []byte) []uint64 {
+	n, k := uvarint(payload)
+	if k <= 0 || n > uint64(len(payload)-k) {
+		return nil
+	}
+	return make([]uint64, n)
+}

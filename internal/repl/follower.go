@@ -9,6 +9,7 @@ import (
 	conn "repro"
 	"repro/internal/backoff"
 	"repro/internal/chaos"
+	"repro/internal/wal"
 	"repro/internal/wire"
 )
 
@@ -18,6 +19,10 @@ type Applier interface {
 	// AppliedSeq returns the seq of the last fully applied epoch (zero
 	// before any), the resume point sent on (re)subscribe.
 	AppliedSeq() uint64
+	// Universe returns the vertex count of the current state — the bound
+	// raw codec records are validated against when decoding epochraw
+	// frames (a fresh snapshot replaces it).
+	Universe() int
 	// ApplySnapshot discards all current state and rebuilds from the
 	// transferred edge set: the primary decided the follower's state is
 	// unusable (behind the WAL floor, or diverged).
@@ -177,6 +182,51 @@ func streamOnce(stop <-chan struct{}, addr, ns string, a Applier, opts FollowerO
 				return progressed, fmt.Errorf("repl: epoch gap: applied through %d, stream sent %d", applied, e.Seq)
 			}
 			if err := a.ApplyEpoch(e.Seq, pairsToEdges(e.Ins), pairsToEdges(e.Del)); err != nil {
+				return progressed, err
+			}
+			progressed = true
+		case resp.EpochRaw != nil:
+			// An epoch still in the primary log's codec encoding: decode
+			// through the registry against the follower's universe, with
+			// prevSeq = seq-1 (epoch seqs are dense, so the record's own
+			// predecessor is always the previous stream position).
+			er := resp.EpochRaw
+			applied := a.AppliedSeq()
+			if er.Seq <= applied {
+				continue
+			}
+			if er.Seq != applied+1 {
+				return progressed, fmt.Errorf("repl: epoch gap: applied through %d, stream sent %d", applied, er.Seq)
+			}
+			c, ok := wal.CodecByVersion(er.Codec)
+			if !ok {
+				return progressed, fmt.Errorf("repl: stream shipped unknown WAL codec version %d", er.Codec)
+			}
+			rec, err := c.Decode(er.Enc, a.Universe(), er.Seq-1)
+			if err != nil {
+				return progressed, fmt.Errorf("repl: undecodable raw epoch %d: %w", er.Seq, err)
+			}
+			if err := a.ApplyEpoch(rec.Seq, rec.Ins, rec.Del); err != nil {
+				return progressed, err
+			}
+			progressed = true
+		case resp.Delta != nil:
+			// An incremental checkpoint riding behind the snapshot it chains
+			// to: valid only when the follower sits exactly at its base.
+			dl := resp.Delta
+			applied := a.AppliedSeq()
+			if dl.Seq <= applied {
+				continue
+			}
+			if dl.Base != applied {
+				return progressed, fmt.Errorf(
+					"repl: delta checkpoint chains to seq %d but follower applied through %d", dl.Base, applied)
+			}
+			if int(dl.N) != a.Universe() {
+				return progressed, fmt.Errorf(
+					"repl: delta checkpoint universe n=%d does not match follower n=%d", dl.N, a.Universe())
+			}
+			if err := a.ApplyEpoch(dl.Seq, pairsToEdges(dl.Add), pairsToEdges(dl.Del)); err != nil {
 				return progressed, err
 			}
 			progressed = true

@@ -7,14 +7,20 @@
 //
 // Primary side (Hub, one per durable namespace): a subscriber hook on the
 // Batcher tees every fsynced epoch into per-follower buffers, and Stream
-// serves one follower — catch-up first (the newest on-disk checkpoint, if
-// the follower's resume point predates the WAL floor, then the WAL tail
-// read from disk with a wal.Tail cursor), then the live buffer. Catch-up
-// never blocks writers: it reads checkpoint and log files with independent
-// descriptors while the dispatcher keeps appending. A follower that cannot
-// drain its buffer as fast as the primary commits is dropped (the
-// dispatcher must never block on a slow follower); it reconnects and
-// re-enters catch-up from its last applied seq.
+// serves one follower — catch-up first (the newest on-disk checkpoint
+// chain, if the follower's resume point predates the WAL floor, then the
+// WAL tail read from disk with a wal.Tail cursor), then the live buffer.
+// Catch-up never blocks writers: it reads checkpoint and log files with
+// independent descriptors while the dispatcher keeps appending — and it is
+// bounded by the source's synced frontier (Source.SyncedSeq), so an
+// appended-but-unsynced record under group-commit scheduling never reaches
+// a follower before its fsync. Records logged under a non-raw WAL codec
+// ship in their encoded form (wire epochraw frames) and the follower
+// decodes them through the codec registry: compressed bytes cross the wire
+// unchanged. A follower that cannot drain its buffer as fast as the
+// primary commits is dropped (the dispatcher must never block on a slow
+// follower); it reconnects and re-enters catch-up from its last applied
+// seq.
 //
 // Follower side (RunFollower): dial the primary, subscribe from the last
 // applied seq, apply each frame through an Applier (snapshots replace all
@@ -57,18 +63,21 @@ var ErrStopped = errors.New("repl: hub stopped")
 var ErrLagging = errors.New("repl: follower too slow, dropped from live stream")
 
 // Source is the primary-side surface the Hub needs from a durable
-// conn.Batcher.
+// conn.Batcher: the epoch tee, the fsynced frontier bounding what may be
+// shipped, and the truncation floor bounding what is still on disk.
 type Source interface {
 	SubscribeEpochs(fn func(conn.EpochRecord)) (cancel func())
-	WALSeq() uint64
+	SyncedSeq() uint64
 	WALFloor() uint64
 }
 
-// Frame is one element of a subscription stream: exactly one of Snapshot
-// and Epoch is set.
+// Frame is one element of a subscription stream: exactly one of Snapshot,
+// Delta, Epoch and EpochRaw is set.
 type Frame struct {
 	Snapshot *wire.SnapshotBody
+	Delta    *wire.DeltaBody
 	Epoch    *wire.EpochBody
+	EpochRaw *wire.EpochRawBody
 }
 
 // Hub is the primary-side replication fan-out for one durable namespace.
@@ -206,7 +215,7 @@ func (h *Hub) Stream(fromSeq uint64, send func(Frame) error) error {
 		if rec.Seq != sent+1 {
 			return fmt.Errorf("repl: stream gap: shipped through seq %d, next live epoch is %d", sent, rec.Seq)
 		}
-		if err := h.send(sub, send, Frame{Epoch: epochBody(rec)}); err != nil {
+		if err := h.send(sub, send, liveFrame(rec)); err != nil {
 			return err
 		}
 		sent = rec.Seq
@@ -235,24 +244,33 @@ func (h *Hub) send(sub *subscriber, send func(Frame) error, f Frame) error {
 	switch {
 	case f.Epoch != nil:
 		sub.sent.Store(f.Epoch.Seq)
+	case f.EpochRaw != nil:
+		sub.sent.Store(f.EpochRaw.Seq)
+	case f.Delta != nil:
+		sub.sent.Store(f.Delta.Seq)
 	case f.Snapshot != nil:
 		sub.sent.Store(f.Snapshot.Seq)
 	}
 	return nil
 }
 
-// catchUp brings a follower from fromSeq to the current end of the on-disk
+// catchUp brings a follower from fromSeq to the synced end of the on-disk
 // log, returning the last seq shipped. If fromSeq predates the WAL floor
 // (the bridging records were truncated behind a checkpoint) or lies beyond
-// the primary's history (a diverged follower), the follower's state is
-// unusable and catch-up first ships a full snapshot to rebuild from.
+// the primary's synced history (a diverged follower), the follower's state
+// is unusable and catch-up first ships the checkpoint chain to rebuild
+// from: the full snapshot in bounded chunks, then the newest delta chained
+// to it (when one validates), so the WAL replay that follows starts at the
+// delta's seq instead of the full's. The tail loop is bounded by the
+// source's synced frontier on every step — an appended-but-unsynced
+// record, one a crash could still take back, is never shipped.
 func (h *Hub) catchUp(fromSeq uint64, sub *subscriber, send func(Frame) error) (uint64, error) {
 	const retries = 3
 	for attempt := 0; ; attempt++ {
 		start := fromSeq
-		floor, last := h.src.WALFloor(), h.src.WALSeq()
+		floor, last := h.src.WALFloor(), h.src.SyncedSeq()
 		if fromSeq < floor || fromSeq > last {
-			snap, err := h.loadSnapshot(floor)
+			snap, delta, err := h.loadChain(floor)
 			if err != nil {
 				return 0, err
 			}
@@ -260,6 +278,15 @@ func (h *Hub) catchUp(fromSeq uint64, sub *subscriber, send func(Frame) error) (
 				return 0, err
 			}
 			start = snap.Seq
+			if delta != nil {
+				if err := h.send(sub, send, Frame{Delta: &wire.DeltaBody{
+					Seq: delta.Seq, Base: delta.Base, N: uint32(delta.N),
+					Add: graphToPairs(delta.Add), Del: graphToPairs(delta.Del),
+				}}); err != nil {
+					return 0, err
+				}
+				start = delta.Seq
+			}
 		}
 		t, err := wal.OpenTail(h.walPath, start)
 		if errors.Is(err, wal.ErrSeqGone) && attempt < retries {
@@ -275,16 +302,14 @@ func (h *Hub) catchUp(fromSeq uint64, sub *subscriber, send func(Frame) error) (
 		defer t.Close()
 		sent := start
 		for {
-			rec, ok, err := t.Next()
+			rec, raw, ok, err := t.NextBelow(h.src.SyncedSeq())
 			if err != nil {
 				return 0, err
 			}
 			if !ok {
 				return sent, nil
 			}
-			if err := h.send(sub, send, Frame{Epoch: &wire.EpochBody{
-				Seq: rec.Seq, Ins: graphToPairs(rec.Ins), Del: graphToPairs(rec.Del),
-			}}); err != nil {
+			if err := h.send(sub, send, tailFrame(t.Codec(), rec, raw)); err != nil {
 				return 0, err
 			}
 			sent = rec.Seq
@@ -292,26 +317,28 @@ func (h *Hub) catchUp(fromSeq uint64, sub *subscriber, send func(Frame) error) (
 	}
 }
 
-// loadSnapshot returns the newest on-disk checkpoint, or an empty snapshot
-// at seq zero when the log has never been checkpointed (floor == 0) — the
-// follower rebuilds from nothing and replays the whole log.
-func (h *Hub) loadSnapshot(floor uint64) (checkpoint.Snapshot, error) {
-	snap, ok, err := checkpoint.Load(h.dir)
+// loadChain returns the newest on-disk checkpoint chain — the full
+// snapshot plus the newest delta checkpoint chained to it, nil when none
+// validates — or an empty snapshot at seq zero when the log has never been
+// checkpointed (floor == 0): the follower rebuilds from nothing and
+// replays the whole log.
+func (h *Hub) loadChain(floor uint64) (checkpoint.Snapshot, *checkpoint.Delta, error) {
+	snap, delta, ok, err := checkpoint.Chain(h.dir)
 	if err != nil {
-		return checkpoint.Snapshot{}, err
+		return checkpoint.Snapshot{}, nil, err
 	}
 	if !ok {
 		if floor > 0 {
-			return checkpoint.Snapshot{}, fmt.Errorf(
+			return checkpoint.Snapshot{}, nil, fmt.Errorf(
 				"repl: WAL floor is seq %d but no readable checkpoint covers it", floor)
 		}
-		return checkpoint.Snapshot{Seq: 0, N: h.n}, nil
+		return checkpoint.Snapshot{Seq: 0, N: h.n}, nil, nil
 	}
 	if snap.Seq < floor {
-		return checkpoint.Snapshot{}, fmt.Errorf(
+		return checkpoint.Snapshot{}, nil, fmt.Errorf(
 			"repl: newest readable checkpoint is seq %d, below the WAL floor %d", snap.Seq, floor)
 	}
-	return snap, nil
+	return snap, delta, nil
 }
 
 // sendSnapshot ships a full-state transfer in bounded chunks.
@@ -345,6 +372,29 @@ func (h *Hub) sendSnapshot(sub *subscriber, send func(Frame) error, snap checkpo
 			return nil
 		}
 	}
+}
+
+// liveFrame converts one teed epoch record to its stream frame: a record
+// logged under a non-raw codec ships in its encoded form (the dispatcher
+// hands the tee the exact WAL payload, safe to retain); the raw v1 codec
+// ships as a plain epoch body — byte-for-byte what re-encoding would
+// produce, so old followers keep working against v1 primaries.
+func liveFrame(rec conn.EpochRecord) Frame {
+	if rec.Codec > 1 && rec.Enc != nil {
+		return Frame{EpochRaw: &wire.EpochRawBody{Seq: rec.Seq, Codec: rec.Codec, Enc: rec.Enc}}
+	}
+	return Frame{Epoch: epochBody(rec)}
+}
+
+// tailFrame is liveFrame's disk-side twin for catch-up records read back
+// through a wal.Tail cursor.
+func tailFrame(codecVersion byte, rec wal.Record, raw []byte) Frame {
+	if codecVersion > 1 && raw != nil {
+		return Frame{EpochRaw: &wire.EpochRawBody{Seq: rec.Seq, Codec: codecVersion, Enc: raw}}
+	}
+	return Frame{Epoch: &wire.EpochBody{
+		Seq: rec.Seq, Ins: graphToPairs(rec.Ins), Del: graphToPairs(rec.Del),
+	}}
 }
 
 func epochBody(rec conn.EpochRecord) *wire.EpochBody {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	conn "repro"
+	"repro/internal/wal"
 	"repro/internal/wire"
 )
 
@@ -29,7 +30,14 @@ func (c *collector) send(f Frame) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.frames = append(c.frames, f)
-	if f.Epoch != nil && f.Epoch.Seq >= c.target {
+	var seq uint64
+	switch {
+	case f.Epoch != nil:
+		seq = f.Epoch.Seq
+	case f.EpochRaw != nil:
+		seq = f.EpochRaw.Seq
+	}
+	if seq >= c.target {
 		select {
 		case <-c.reach:
 		default:
@@ -43,6 +51,16 @@ func (c *collector) snapshot() []Frame {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return append([]Frame(nil), c.frames...)
+}
+
+// retarget re-arms the reach signal for a higher seq and returns the new
+// channel (safe while the stream is still delivering).
+func (c *collector) retarget(target uint64) chan struct{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.target = target
+	c.reach = make(chan struct{})
+	return c.reach
 }
 
 // TestHubStreamsLiveEpochs: a subscriber from seq 0 on a never-checkpointed
@@ -229,6 +247,12 @@ type oracleApplier struct {
 }
 
 func (a *oracleApplier) AppliedSeq() uint64 { return a.applied.Load() }
+
+func (a *oracleApplier) Universe() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.g.N()
+}
 
 func (a *oracleApplier) ApplySnapshot(seq uint64, n int, edges []conn.Edge) error {
 	a.mu.Lock()
@@ -441,6 +465,220 @@ func TestFollowerSnapshotReset(t *testing.T) {
 	}
 	if a.g.HasEdge(0, 1) {
 		t.Fatal("pre-snapshot state survived the reset")
+	}
+}
+
+// replayFrames rebuilds follower state from a captured frame sequence the
+// way streamOnce would: snapshots replace, deltas chain to their base, raw
+// epochs decode through the codec registry. It returns the rebuilt graph
+// and the last applied seq.
+func replayFrames(t *testing.T, frames []Frame) (*conn.Graph, uint64) {
+	t.Helper()
+	var fg *conn.Graph
+	var snapEdges []conn.Edge
+	applied := uint64(0)
+	for _, f := range frames {
+		switch {
+		case f.Snapshot != nil:
+			snapEdges = append(snapEdges, pairsToEdges(f.Snapshot.Edges)...)
+			if f.Snapshot.Final {
+				fg = conn.New(int(f.Snapshot.N))
+				fg.InsertEdges(snapEdges)
+				applied, snapEdges = f.Snapshot.Seq, nil
+			}
+		case f.Delta != nil:
+			if f.Delta.Base != applied {
+				t.Fatalf("delta chains to seq %d but follower applied through %d", f.Delta.Base, applied)
+			}
+			fg.InsertEdges(pairsToEdges(f.Delta.Add))
+			fg.DeleteEdges(pairsToEdges(f.Delta.Del))
+			applied = f.Delta.Seq
+		case f.Epoch != nil:
+			if f.Epoch.Seq <= applied {
+				continue
+			}
+			if f.Epoch.Seq != applied+1 {
+				t.Fatalf("epoch gap: applied %d, got %d", applied, f.Epoch.Seq)
+			}
+			fg.InsertEdges(pairsToEdges(f.Epoch.Ins))
+			fg.DeleteEdges(pairsToEdges(f.Epoch.Del))
+			applied = f.Epoch.Seq
+		case f.EpochRaw != nil:
+			er := f.EpochRaw
+			if er.Seq <= applied {
+				continue
+			}
+			if er.Seq != applied+1 {
+				t.Fatalf("raw epoch gap: applied %d, got %d", applied, er.Seq)
+			}
+			c, ok := wal.CodecByVersion(er.Codec)
+			if !ok {
+				t.Fatalf("raw epoch shipped unknown codec version %d", er.Codec)
+			}
+			rec, err := c.Decode(er.Enc, fg.N(), er.Seq-1)
+			if err != nil {
+				t.Fatalf("raw epoch %d undecodable: %v", er.Seq, err)
+			}
+			fg.InsertEdges(rec.Ins)
+			fg.DeleteEdges(rec.Del)
+			applied = er.Seq
+		}
+	}
+	return fg, applied
+}
+
+// TestHubShipsRawCodecAndChain: a v2 + group-sync primary ships compressed
+// records unchanged (epochraw frames, live and catch-up) and below-floor
+// catch-up ships the checkpoint chain — full snapshot, then the newest
+// delta, then the WAL tail from the delta's seq — converging to the
+// primary's exact state.
+func TestHubShipsRawCodecAndChain(t *testing.T) {
+	dir := t.TempDir()
+	g := conn.New(64)
+	b := conn.NewBatcher(g, conn.WithMaxDelay(0), conn.WithDurability(dir),
+		conn.WithWALCodec("v2"), conn.WithGroupSync(4, 300*time.Microsecond),
+		conn.WithCheckpointEvery(4))
+	defer b.Close()
+
+	for i := 0; i < 6; i++ {
+		b.Insert(int32(i), int32(i+1))
+	}
+	if _, err := b.Checkpoint(); err != nil { // full, moves the floor
+		t.Fatal(err)
+	}
+	b.Insert(10, 11)
+	b.Delete(0, 1)
+	if _, err := b.Checkpoint(); err != nil { // delta chained to the full
+		t.Fatal(err)
+	}
+	b.Insert(11, 12) // WAL tail past the delta
+
+	h := NewHub(b, dir, 64)
+	defer h.Stop()
+	const lastCatchUp = 9
+	col := newCollector(lastCatchUp)
+	done := make(chan error, 1)
+	go func() { done <- h.Stream(0, col.send) }() // fromSeq 0 < floor
+	select {
+	case <-col.reach:
+	case err := <-done:
+		t.Fatalf("stream ended early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("catch-up did not reach the log tail")
+	}
+	// Live phase after catch-up: still shipped raw.
+	liveReach := col.retarget(lastCatchUp + 1)
+	b.Insert(12, 13)
+	select {
+	case <-liveReach:
+	case <-time.After(10 * time.Second):
+		t.Fatal("live epoch never arrived")
+	}
+	h.Stop()
+	<-done
+
+	frames := col.snapshot()
+	var sawDelta, sawRaw, sawDecoded bool
+	for _, f := range frames {
+		sawDelta = sawDelta || f.Delta != nil
+		sawRaw = sawRaw || f.EpochRaw != nil
+		sawDecoded = sawDecoded || f.Epoch != nil
+	}
+	if !sawDelta {
+		t.Fatal("below-floor catch-up never shipped the delta checkpoint")
+	}
+	if !sawRaw {
+		t.Fatal("v2 primary never shipped a raw-codec epoch frame")
+	}
+	if sawDecoded {
+		t.Fatal("v2 primary re-encoded an epoch as a decoded frame")
+	}
+
+	fg, applied := replayFrames(t, frames)
+	b.Flush()
+	if want := b.WALSeq(); applied != want {
+		t.Fatalf("follower applied through %d, primary at %d", applied, want)
+	}
+	if fg.NumEdges() != g.NumEdges() {
+		t.Fatalf("follower has %d edges, primary has %d", fg.NumEdges(), g.NumEdges())
+	}
+	for _, e := range []conn.Edge{{U: 10, V: 11}, {U: 11, V: 12}, {U: 12, V: 13}} {
+		if !fg.HasEdge(e.U, e.V) {
+			t.Fatalf("follower missing edge {%d,%d}", e.U, e.V)
+		}
+	}
+	if fg.HasEdge(0, 1) {
+		t.Fatal("delta-shipped deletion missing on the follower")
+	}
+}
+
+// TestFollowerAppliesDeltaAndRawFrames drives streamOnce's delta and
+// epochraw branches through a scripted primary: snapshot, chained delta,
+// then a v2-encoded raw epoch — and verifies a delta whose base does not
+// match the follower's position severs the stream instead of applying.
+func TestFollowerAppliesDeltaAndRawFrames(t *testing.T) {
+	p := newFakePrimary(t)
+	defer p.ln.Close()
+
+	v2, ok := wal.CodecByName("v2")
+	if !ok {
+		t.Fatal("v2 codec unregistered")
+	}
+	raw := v2.Encode(nil, wal.Record{Seq: 21, Ins: []conn.Edge{{U: 7, V: 8}}})
+	p.mu.Lock()
+	p.serve = func(sess int, fromSeq uint64, send func(*wire.Response) error) {
+		if sess > 0 {
+			time.Sleep(time.Hour) // no help for a severed stream: one shot
+		}
+		send(&wire.Response{Snapshot: &wire.SnapshotBody{
+			Seq: 10, N: 32, Final: true, Edges: []wire.Pair{{U: 1, V: 2}, {U: 2, V: 3}},
+		}})
+		send(&wire.Response{Delta: &wire.DeltaBody{
+			Seq: 20, Base: 10, N: 32,
+			Add: []wire.Pair{{U: 5, V: 6}}, Del: []wire.Pair{{U: 2, V: 3}},
+		}})
+		send(&wire.Response{EpochRaw: &wire.EpochRawBody{Seq: 21, Codec: v2.Version(), Enc: raw}})
+		// Mis-chained delta: Base 5 != applied 21. Must error, not apply.
+		send(&wire.Response{Delta: &wire.DeltaBody{
+			Seq: 30, Base: 5, N: 32, Add: []wire.Pair{{U: 9, V: 10}},
+		}})
+		time.Sleep(time.Hour)
+	}
+	p.mu.Unlock()
+
+	a := &oracleApplier{g: conn.New(4)}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		RunFollower(stop, p.ln.Addr().String(), "g", a, FollowerOptions{
+			MinBackoff: 5 * time.Millisecond,
+		})
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for a.AppliedSeq() < 21 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Give the bad delta a moment to (wrongly) land before stopping.
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if a.AppliedSeq() != 21 {
+		t.Fatalf("follower applied through %d, want 21", a.AppliedSeq())
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, e := range []conn.Edge{{U: 1, V: 2}, {U: 5, V: 6}, {U: 7, V: 8}} {
+		if !a.g.HasEdge(e.U, e.V) {
+			t.Fatalf("missing edge {%d,%d}", e.U, e.V)
+		}
+	}
+	if a.g.HasEdge(2, 3) {
+		t.Fatal("delta deletion not applied")
+	}
+	if a.g.HasEdge(9, 10) {
+		t.Fatal("mis-chained delta was applied")
 	}
 }
 

@@ -221,6 +221,15 @@ type nsApplier struct {
 
 func (a *nsApplier) AppliedSeq() uint64 { return a.ns.applied.Load() }
 
+// Universe is the vertex bound raw codec records decode against; the
+// namespace's graph is only ever swapped for one of the same universe
+// (ApplySnapshot carries the primary's n).
+func (a *nsApplier) Universe() int {
+	a.ns.mu.RLock()
+	defer a.ns.mu.RUnlock()
+	return a.ns.g.N()
+}
+
 // ApplyEpoch applies one shipped epoch as one Batcher epoch: a single mixed
 // Do (inserts, then deletes — the Batcher's epoch order matches the WAL's
 // replay order), blocking until it commits, so readers observe primary

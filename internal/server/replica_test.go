@@ -36,6 +36,12 @@ func newEdgeOracle(t *testing.T, n int) *edgeOracle {
 
 func (o *edgeOracle) AppliedSeq() uint64 { return o.applied.Load() }
 
+func (o *edgeOracle) Universe() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.n
+}
+
 func (o *edgeOracle) ApplySnapshot(seq uint64, n int, edges []conn.Edge) error {
 	o.snaps.Add(1)
 	o.mu.Lock()

@@ -33,6 +33,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/repl"
 	"repro/internal/shard"
+	"repro/internal/wal"
 	"repro/internal/wire"
 )
 
@@ -52,6 +53,24 @@ type Options struct {
 	// (zero selects the conn defaults).
 	MaxBatch int
 	MaxDelay time.Duration
+
+	// WALCodec names the record encoding for freshly created WALs ("v1",
+	// "v2"; empty = v1). Existing logs keep the codec in their header, so
+	// changing this never invalidates restored namespaces. New rejects an
+	// unknown name.
+	WALCodec string
+
+	// GroupSyncK, when > 1, enables group-commit fsync scheduling on every
+	// durable namespace: up to K epochs share one fsync, bounded by
+	// GroupSyncMaxWait (zero selects the conn default window). Acked
+	// writes are still always fsynced before the ack.
+	GroupSyncK       int
+	GroupSyncMaxWait time.Duration
+
+	// CheckpointEvery, when > 1, makes every M-th checkpoint a full
+	// snapshot and the ones between incremental deltas against the last
+	// full (see conn.WithCheckpointEvery).
+	CheckpointEvery int
 
 	// DefaultShards, when >= 2, hash-partitions every namespace created
 	// without an explicit shard count across that many engines (the -shards
@@ -156,6 +175,11 @@ func New(opts Options) (*Server, error) {
 		conns:      make(map[net.Conn]struct{}),
 		subConns:   make(map[net.Conn]struct{}),
 	}
+	if opts.WALCodec != "" {
+		if _, ok := wal.CodecByName(opts.WALCodec); !ok {
+			return nil, fmt.Errorf("server: unknown WAL codec %q", opts.WALCodec)
+		}
+	}
 	if opts.ReplicaOf != "" {
 		if opts.DataDir != "" {
 			return nil, errors.New("server: replica mode is memory-only; -replica-of excludes -data")
@@ -222,6 +246,15 @@ func (s *Server) batcherOpts(durDir string) []conn.BatcherOption {
 	}
 	if durDir != "" {
 		o = append(o, conn.WithDurability(durDir))
+		if s.opts.WALCodec != "" {
+			o = append(o, conn.WithWALCodec(s.opts.WALCodec))
+		}
+		if s.opts.GroupSyncK > 1 {
+			o = append(o, conn.WithGroupSync(s.opts.GroupSyncK, s.opts.GroupSyncMaxWait))
+		}
+		if s.opts.CheckpointEvery > 1 {
+			o = append(o, conn.WithCheckpointEvery(s.opts.CheckpointEvery))
+		}
 	}
 	return o
 }
@@ -231,9 +264,16 @@ func (s *Server) batcherOpts(durDir string) []conn.BatcherOption {
 // explicitly — a zero server option must mean the same thing on both paths.
 func (s *Server) shardOpts(durDir string) shard.Options {
 	o := shard.Options{
-		MaxBatch: s.opts.MaxBatch,
-		MaxDelay: s.opts.MaxDelay,
-		DurDir:   durDir,
+		MaxBatch:         s.opts.MaxBatch,
+		MaxDelay:         s.opts.MaxDelay,
+		DurDir:           durDir,
+		GroupSyncK:       s.opts.GroupSyncK,
+		GroupSyncMaxWait: s.opts.GroupSyncMaxWait,
+		CheckpointEvery:  s.opts.CheckpointEvery,
+	}
+	if s.opts.WALCodec != "" {
+		// Validated in New; resolve once so every shard engine shares it.
+		o.WALCodec, _ = wal.CodecByName(s.opts.WALCodec)
 	}
 	if o.MaxDelay == 0 {
 		o.MaxDelay = engine.DefaultMaxDelay
@@ -580,7 +620,8 @@ func (s *Server) subscribe(req *wire.Request, write func(*wire.Response) error) 
 	// and Shutdown stop the hub first, which terminates this pump before
 	// the Batcher closes.
 	err := hub.Stream(req.FromSeq, func(f repl.Frame) error {
-		return write(&wire.Response{ID: req.ID, Snapshot: f.Snapshot, Epoch: f.Epoch})
+		return write(&wire.Response{ID: req.ID, Snapshot: f.Snapshot,
+			Delta: f.Delta, Epoch: f.Epoch, EpochRaw: f.EpochRaw})
 	})
 	if err != nil {
 		// Best effort: tell a still-connected follower why the stream ended
@@ -729,8 +770,12 @@ func (s *Server) handle(req *wire.Request) *wire.Response {
 			SnapshotRebuilds:  uint64(st.SnapshotRebuilds),
 			WALRecords:        uint64(st.WALRecords),
 			WALBytes:          uint64(st.WALBytes),
+			WALRawBytes:       uint64(st.WALRawBytes),
+			WALFsyncs:         uint64(st.WALFsyncs),
+			WALFsyncsSaved:    uint64(st.WALFsyncsSaved),
 			WALAppendNanos:    uint64(st.WALAppendTime.Nanoseconds()),
 			Checkpoints:       uint64(st.Checkpoints),
+			CheckpointsDelta:  uint64(st.CheckpointsDelta),
 			AppliedSeq:        ns.applied.Load(),
 		}
 		if ns.hub != nil {
@@ -793,8 +838,12 @@ func shardedStats(ns *namespace) wire.Stats {
 		ws.SnapshotRebuilds += uint64(st.SnapshotRebuilds)
 		ws.WALRecords += uint64(st.WALRecords)
 		ws.WALBytes += uint64(st.WALBytes)
+		ws.WALRawBytes += uint64(st.WALRawBytes)
+		ws.WALFsyncs += uint64(st.WALFsyncs)
+		ws.WALFsyncsSaved += uint64(st.WALFsyncsSaved)
 		ws.WALAppendNanos += uint64(st.WALAppendTime.Nanoseconds())
 		ws.Checkpoints += uint64(st.Checkpoints)
+		ws.CheckpointsDelta += uint64(st.CheckpointsDelta)
 		ws.Shards = append(ws.Shards, wire.ShardStats{
 			Epochs:     uint64(st.Epochs),
 			Ops:        uint64(st.Ops),

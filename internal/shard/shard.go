@@ -67,6 +67,13 @@ type Options struct {
 	// Existing state is restored; a fresh directory is initialized with a
 	// meta file pinning (shards, n).
 	DurDir string
+	// WALCodec, GroupSyncK, GroupSyncMaxWait and CheckpointEvery are the
+	// durability-pipeline knobs, applied uniformly to every engine (see
+	// engine.Options). Ignored without DurDir.
+	WALCodec         wal.Codec
+	GroupSyncK       int
+	GroupSyncMaxWait time.Duration
+	CheckpointEvery  int
 }
 
 // Coordinator hash-partitions a vertex universe across k shard engines
@@ -149,6 +156,10 @@ func New(n, k int, o Options) (*Coordinator, error) {
 				MaxDelay:          o.MaxDelay,
 				SnapshotThreshold: o.SnapshotThreshold,
 				DurDir:            dir,
+				WALCodec:          o.WALCodec,
+				GroupSyncK:        o.GroupSyncK,
+				GroupSyncMaxWait:  o.GroupSyncMaxWait,
+				CheckpointEvery:   o.CheckpointEvery,
 			})
 		}
 		if err != nil {

@@ -82,8 +82,27 @@ type Config struct {
 	Replicas int           // read replica count (default 2; negative means none)
 	Duration time.Duration // length of the fault-injection phase (default 4s)
 	Schedule string        // overrides defaultPrimarySchedule when non-empty
+
+	// Durability-pipeline knobs for the primary (zero values keep the
+	// defaults: per-epoch fsync, v1 codec, full checkpoints). The harness
+	// verifies the same invariants whatever the pipeline configuration —
+	// acked means durable under group commit and compressed codecs too.
+	WALCodec        string        // WAL record encoding ("v1", "v2")
+	GroupSyncK      int           // > 1 enables group-commit fsync across K epochs
+	GroupSyncWait   time.Duration // ack-latency bound for group commit
+	CheckpointEvery int           // > 1 enables incremental delta checkpoints
+
 	Logf     func(format string, args ...any)
 	ChildLog io.Writer // child process stderr (default: discarded)
+}
+
+func (cfg Config) knobs() durabilityKnobs {
+	return durabilityKnobs{
+		walCodec:   cfg.WALCodec,
+		groupSyncK: cfg.GroupSyncK,
+		groupWait:  cfg.GroupSyncWait,
+		ckptEvery:  cfg.CheckpointEvery,
+	}
 }
 
 func (cfg Config) withDefaults() Config {
@@ -107,6 +126,18 @@ func (cfg Config) repro() string {
 		cfg.Seed, cfg.Shards, cfg.Replicas, cfg.Duration)
 	if cfg.Schedule != "" {
 		s += fmt.Sprintf(" -schedule %q", cfg.Schedule)
+	}
+	if cfg.WALCodec != "" {
+		s += " -wal-codec " + cfg.WALCodec
+	}
+	if cfg.GroupSyncK > 1 {
+		s += fmt.Sprintf(" -group-sync %d", cfg.GroupSyncK)
+	}
+	if cfg.GroupSyncWait > 0 {
+		s += fmt.Sprintf(" -group-wait %s", cfg.GroupSyncWait)
+	}
+	if cfg.CheckpointEvery > 1 {
+		s += fmt.Sprintf(" -ckpt-every %d", cfg.CheckpointEvery)
 	}
 	return s
 }
@@ -163,6 +194,7 @@ type supervisor struct {
 	addr     string
 	data     string
 	primary  string
+	knobs    durabilityKnobs
 
 	done chan struct{}
 }
@@ -181,7 +213,7 @@ func (s *supervisor) loop() {
 			return
 		}
 		cmd := exec.Command(os.Args[0])
-		cmd.Env = childEnv(s.role, s.addr, s.data, s.primary, s.seed, s.schedule)
+		cmd.Env = childEnv(s.role, s.addr, s.data, s.primary, s.seed, s.schedule, s.knobs)
 		cmd.Stdout = s.childLog
 		cmd.Stderr = s.childLog
 		err := cmd.Start()
@@ -431,7 +463,7 @@ func Run(cfg Config) error {
 	prim := &supervisor{
 		name: "primary", logf: logf, childLog: childLog,
 		role: rolePrimary, addr: primaryAddr, data: dataDir,
-		seed: cfg.Seed, schedule: primarySched,
+		seed: cfg.Seed, schedule: primarySched, knobs: cfg.knobs(),
 	}
 	prim.start()
 	defer prim.stopAndWait()

@@ -1,0 +1,95 @@
+package codec
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// FuzzCodecV2 drives the v2 codec from both directions with one corpus.
+//
+// Interpreting the input as an edge stream: encode the derived record, and
+// decode(encode(r)) must reproduce r exactly AND re-encode byte-identical
+// (the canonical-encoding contract replication and the sync scheduler's
+// raw shipping rely on).
+//
+// Interpreting the same input as a hostile payload: Decode must never
+// panic, and whatever it accepts must re-encode to the canonical bytes for
+// the decoded record.
+func FuzzCodecV2(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(V2.Encode(nil, Record{Seq: 1, Ins: []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}}}))
+	f.Add(V2.Encode(nil, Record{Seq: 1, Del: []graph.Edge{{U: 9, V: 3}}}))
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n = 1 << 16
+
+		// Direction 1: data as an edge stream -> canonical round trip.
+		var r Record
+		r.Seq = 1
+		for i := 0; i+4 <= len(data) && i < 4*200; i += 4 {
+			e := graph.Edge{
+				U: int32(uint32(data[i]) | uint32(data[i+1])<<8),
+				V: int32(uint32(data[i+2]) | uint32(data[i+3])<<8),
+			}
+			if i%8 == 0 {
+				r.Ins = append(r.Ins, e)
+			} else {
+				r.Del = append(r.Del, e)
+			}
+		}
+		enc := V2.Encode(nil, r)
+		dec, err := V2.Decode(enc, n, 0)
+		if err != nil {
+			t.Fatalf("Decode(Encode(r)) failed: %v\nrecord: %+v", err, r)
+		}
+		if dec.Seq != r.Seq || len(dec.Ins) != len(r.Ins) || len(dec.Del) != len(r.Del) {
+			t.Fatalf("round trip shape mismatch: %+v vs %+v", dec, r)
+		}
+		for i := range r.Ins {
+			if dec.Ins[i] != r.Ins[i] {
+				t.Fatalf("Ins[%d]: %v vs %v", i, dec.Ins[i], r.Ins[i])
+			}
+		}
+		for i := range r.Del {
+			if dec.Del[i] != r.Del[i] {
+				t.Fatalf("Del[%d]: %v vs %v", i, dec.Del[i], r.Del[i])
+			}
+		}
+		if re := V2.Encode(nil, dec); !bytes.Equal(enc, re) {
+			t.Fatalf("re-encode not byte-identical:\n %x\n %x", enc, re)
+		}
+
+		// Direction 2: data as a hostile payload -> no panic, and anything
+		// accepted is internally consistent.
+		for _, prev := range []uint64{0, 41} {
+			got, err := V2.Decode(data, n, prev)
+			if err != nil {
+				continue
+			}
+			if got.Seq != prev+1 {
+				t.Fatalf("accepted payload with seq %d after prev %d", got.Seq, prev)
+			}
+			for _, e := range append(append([]graph.Edge{}, got.Ins...), got.Del...) {
+				if e.U < 0 || e.V < 0 || int(e.U) >= n || int(e.V) >= n {
+					t.Fatalf("accepted out-of-universe edge %v", e)
+				}
+			}
+		}
+	})
+}
+
+// FuzzCodecV1 holds the legacy codec to the same never-panic bar.
+func FuzzCodecV1(f *testing.F) {
+	f.Add(V1.Encode(nil, Record{Seq: 1, Ins: []graph.Edge{{U: 0, V: 1}}}))
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n = 1 << 16
+		if got, err := V1.Decode(data, n, 0); err == nil {
+			if re := V1.Encode(nil, got); !bytes.Equal(data, re) {
+				t.Fatalf("v1 accepted non-canonical payload:\n %x\n %x", data, re)
+			}
+		}
+	})
+}

@@ -1,20 +1,36 @@
 // Package wal implements the write-ahead log behind conn.Batcher's
 // WithDurability mode: one length-prefixed, CRC-checksummed record per
-// committed epoch that mutated the graph, fsynced before the epoch is
-// applied or acknowledged — group commit in the classic sense, one fsync
-// amortized over the whole coalesced batch, exactly the batching argument
-// the paper makes for its work bounds.
+// committed epoch that mutated the graph, made durable before the epoch is
+// acknowledged — group commit in the classic sense, one fsync amortized
+// over one or more coalesced batches, exactly the batching argument the
+// paper makes for its work bounds.
 //
 // File layout (all integers little-endian):
 //
-//	header  : magic "connwal\x01" (8) | n uint32 | baseSeq uint64 | crc32c uint32
+//	header  : magic "connwal" (7) | version byte | n uint32 | baseSeq uint64 | crc32c uint32
 //	record* : payloadLen uint32 | crc32c(payload) uint32 | payload
-//	payload : seq uint64 | nIns uint32 | nDel uint32 | nIns+nDel edges (u,v uint32 each)
+//
+// The header's version byte names the Codec every payload in the file is
+// encoded with (internal/wal/codec): version 1 is the raw fixed-width
+// format (byte-identical to logs written before the codec seam existed),
+// version 2 is delta+varint for near-sorted edge batches. A log is always
+// read back with the codec its header names; the codec configured at
+// OpenWithCodec takes effect when a fresh file is created — at first open
+// of an empty path, or at the post-checkpoint Reset swap.
 //
 // n is the vertex universe the log belongs to. baseSeq is the sequence
 // number already captured by a checkpoint when the log was last reset; every
 // record in the file has seq > baseSeq, and seqs are strictly sequential
 // (baseSeq+1, baseSeq+2, ...).
+//
+// Durability frontier: AppendRecord only writes; Sync forces everything
+// appended so far to the medium and advances SyncedSeq, the synced
+// frontier. Append is the two fused (the classic one-fsync-per-epoch
+// path). Under the engine's group-sync scheduler several appended epochs
+// share one Sync, and only the scheduler's sync point — never the append —
+// acknowledges, so acked ⇒ durable is preserved exactly; SyncedSeq is what
+// replication catch-up bounds itself by so followers never see a record
+// that could still be lost.
 //
 // Recovery contract: Scan accepts any byte stream and never panics. It
 // stops cleanly at the first frame that is incomplete (torn tail from a
@@ -43,7 +59,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/chaos"
-	"repro/internal/graph"
+	"repro/internal/wal/codec"
 )
 
 // HeaderLen is the byte length of the file header; records start here.
@@ -52,103 +68,95 @@ const HeaderLen = 8 + 4 + 8 + 4
 const (
 	headerLen = HeaderLen
 	frameLen  = 4 + 4 // payloadLen + crc
-	recMinLen = 8 + 4 + 4
+	recMinLen = 8 + 2 // seq + the smallest (v2) count encoding
 
 	// maxPayload bounds a single record (~16M edges); anything larger is
 	// treated as corruption rather than an allocation request.
 	maxPayload = 1 << 27
 )
 
-var magic = [8]byte{'c', 'o', 'n', 'n', 'w', 'a', 'l', 1}
+// magicPrefix is the first 7 header bytes; the 8th is the codec version.
+var magicPrefix = [7]byte{'c', 'o', 'n', 'n', 'w', 'a', 'l'}
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // ErrBadHeader is returned when a WAL file exists but its header is missing,
-// truncated, checksum-corrupt, or disagrees with the expected universe.
+// truncated, checksum-corrupt, names an unknown format version, or
+// disagrees with the expected universe.
 var ErrBadHeader = errors.New("wal: bad or missing file header")
 
-// Record is one durable epoch: the raw insert and delete batches the
-// dispatcher coalesced, in epoch order. Replaying a record is
-// InsertEdges(Ins) followed by DeleteEdges(Del) — the core's batch
-// operations ignore duplicates, present inserts and absent deletes, so the
-// raw batches reproduce exactly the state the epoch committed.
-type Record struct {
-	Seq uint64
-	Ins []graph.Edge
-	Del []graph.Edge
-}
+// Record is one durable epoch (see codec.Record — the payload encodings
+// live in internal/wal/codec, behind the Codec seam).
+type Record = codec.Record
 
-func encodeHeader(n int, baseSeq uint64) []byte {
+// Codec is the payload encoding seam (see internal/wal/codec).
+type Codec = codec.Codec
+
+// The available codecs, re-exported for configuration call sites.
+var (
+	CodecV1 = codec.V1
+	CodecV2 = codec.V2
+)
+
+func encodeHeader(n int, baseSeq uint64, ver byte) []byte {
 	buf := make([]byte, headerLen)
-	copy(buf, magic[:])
+	copy(buf, magicPrefix[:])
+	buf[7] = ver
 	binary.LittleEndian.PutUint32(buf[8:], uint32(n))
 	binary.LittleEndian.PutUint64(buf[12:], baseSeq)
 	binary.LittleEndian.PutUint32(buf[20:], crc32.Checksum(buf[:20], castagnoli))
 	return buf
 }
 
-func decodeHeader(buf []byte) (n int, baseSeq uint64, err error) {
-	if len(buf) < headerLen || [8]byte(buf[:8]) != magic {
-		return 0, 0, ErrBadHeader
+func decodeHeader(buf []byte) (n int, baseSeq uint64, c Codec, err error) {
+	if len(buf) < headerLen || [7]byte(buf[:7]) != magicPrefix {
+		return 0, 0, nil, ErrBadHeader
+	}
+	c, ok := codec.ByVersion(buf[7])
+	if !ok {
+		return 0, 0, nil, fmt.Errorf("%w: unknown format version %d", ErrBadHeader, buf[7])
 	}
 	if crc32.Checksum(buf[:20], castagnoli) != binary.LittleEndian.Uint32(buf[20:24]) {
-		return 0, 0, fmt.Errorf("%w: header checksum mismatch", ErrBadHeader)
+		return 0, 0, nil, fmt.Errorf("%w: header checksum mismatch", ErrBadHeader)
 	}
 	n = int(binary.LittleEndian.Uint32(buf[8:12]))
 	if n <= 0 {
-		return 0, 0, fmt.Errorf("%w: vertex count %d", ErrBadHeader, n)
+		return 0, 0, nil, fmt.Errorf("%w: vertex count %d", ErrBadHeader, n)
 	}
-	return n, binary.LittleEndian.Uint64(buf[12:20]), nil
+	return n, binary.LittleEndian.Uint64(buf[12:20]), c, nil
 }
 
-// EncodeRecord serializes one record as a framed WAL entry.
+// encodeFrame serializes one record as a framed WAL entry under c. The
+// returned payload aliases the tail of the frame buffer and is safe to
+// retain (freshly allocated per call).
+func encodeFrame(c Codec, r Record) (frame, payload []byte) {
+	buf := c.Encode(make([]byte, frameLen, frameLen+codec.RawSize(r)), r)
+	payload = buf[frameLen:]
+	binary.LittleEndian.PutUint32(buf[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(payload, castagnoli))
+	return buf, payload
+}
+
+// EncodeRecord serializes one record as a framed WAL entry in the v1
+// codec — the fixed-width format, byte-identical to pre-codec logs.
 func EncodeRecord(r Record) []byte {
-	payload := recMinLen + 8*(len(r.Ins)+len(r.Del))
-	buf := make([]byte, frameLen+payload)
-	binary.LittleEndian.PutUint32(buf[0:], uint32(payload))
-	p := buf[frameLen:]
-	binary.LittleEndian.PutUint64(p[0:], r.Seq)
-	binary.LittleEndian.PutUint32(p[8:], uint32(len(r.Ins)))
-	binary.LittleEndian.PutUint32(p[12:], uint32(len(r.Del)))
-	o := recMinLen
-	for _, es := range [2][]graph.Edge{r.Ins, r.Del} {
-		for _, e := range es {
-			binary.LittleEndian.PutUint32(p[o:], uint32(e.U))
-			binary.LittleEndian.PutUint32(p[o+4:], uint32(e.V))
-			o += 8
-		}
-	}
-	binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(p, castagnoli))
-	return buf
+	frame, _ := encodeFrame(codec.V1, r)
+	return frame
 }
 
-// decodePayload validates and decodes a CRC-clean payload. n bounds vertex
-// ids; prevSeq enforces the strictly-sequential seq invariant.
-func decodePayload(p []byte, n int, prevSeq uint64) (Record, error) {
-	if len(p) < recMinLen {
-		return Record{}, errors.New("wal: short record payload")
-	}
-	r := Record{Seq: binary.LittleEndian.Uint64(p)}
-	nIns := int(binary.LittleEndian.Uint32(p[8:]))
-	nDel := int(binary.LittleEndian.Uint32(p[12:]))
-	if nIns < 0 || nDel < 0 || recMinLen+8*(nIns+nDel) != len(p) {
-		return Record{}, errors.New("wal: record edge counts disagree with payload length")
-	}
-	if r.Seq != prevSeq+1 {
-		return Record{}, fmt.Errorf("wal: record seq %d after %d", r.Seq, prevSeq)
-	}
-	es := make([]graph.Edge, nIns+nDel)
-	for i := range es {
-		u := int32(binary.LittleEndian.Uint32(p[recMinLen+8*i:]))
-		v := int32(binary.LittleEndian.Uint32(p[recMinLen+8*i+4:]))
-		if u < 0 || v < 0 || int(u) >= n || int(v) >= n {
-			return Record{}, fmt.Errorf("wal: edge {%d,%d} outside universe [0,%d)", u, v, n)
-		}
-		es[i] = graph.Edge{U: u, V: v}
-	}
-	r.Ins, r.Del = es[:nIns:nIns], es[nIns:]
-	return r, nil
-}
+// CodecByName resolves a codec by user-facing name ("v1"/"1", "v2"/"2") —
+// the lookup configuration knobs go through.
+func CodecByName(name string) (Codec, bool) { return codec.ByName(name) }
+
+// CodecByVersion resolves a codec by format-version byte — the lookup a
+// replication follower uses to decode raw records shipped in the primary
+// log's encoding.
+func CodecByVersion(v byte) (Codec, bool) { return codec.ByVersion(v) }
+
+// RawSize returns a record's fixed-width (v1) payload size — the
+// uncompressed baseline the engine's compression counters compare encoded
+// bytes against.
+func RawSize(r Record) int { return codec.RawSize(r) }
 
 // ReadHeader reads and validates only the file header, returning the vertex
 // universe and the checkpoint floor. Recovery uses it to cross-check a WAL
@@ -158,7 +166,8 @@ func ReadHeader(r io.Reader) (n int, baseSeq uint64, err error) {
 	if _, err := io.ReadFull(r, hdr); err != nil {
 		return 0, 0, ErrBadHeader
 	}
-	return decodeHeader(hdr)
+	n, baseSeq, _, err = decodeHeader(hdr)
+	return n, baseSeq, err
 }
 
 // ScanResult summarizes one pass over a WAL byte stream.
@@ -169,13 +178,15 @@ type ScanResult struct {
 	Records  int    // valid records decoded
 	ValidLen int64  // offset one past the last valid record
 	Torn     bool   // trailing bytes after ValidLen were discarded
+	Codec    byte   // format version the header names
 }
 
 // Scan reads a WAL byte stream, invoking fn (if non-nil) for each valid
-// record in order. It never panics on arbitrary input: a bad header returns
-// ErrBadHeader; an incomplete, checksum-corrupt, or inconsistent frame stops
-// the scan cleanly with Torn set. fn's slices are freshly allocated and may
-// be retained. A non-nil fn error aborts the scan and is returned.
+// record in order, decoded with the codec the header names. It never panics
+// on arbitrary input: a bad header returns ErrBadHeader; an incomplete,
+// checksum-corrupt, or inconsistent frame stops the scan cleanly with Torn
+// set. fn's slices are freshly allocated and may be retained. A non-nil fn
+// error aborts the scan and is returned.
 func Scan(r io.Reader, fn func(Record) error) (ScanResult, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	var res ScanResult
@@ -183,11 +194,11 @@ func Scan(r io.Reader, fn func(Record) error) (ScanResult, error) {
 	if _, err := io.ReadFull(br, hdr); err != nil {
 		return res, ErrBadHeader
 	}
-	n, base, err := decodeHeader(hdr)
+	n, base, c, err := decodeHeader(hdr)
 	if err != nil {
 		return res, err
 	}
-	res.N, res.BaseSeq, res.LastSeq = n, base, base
+	res.N, res.BaseSeq, res.LastSeq, res.Codec = n, base, base, c.Version()
 	res.ValidLen = headerLen
 	frame := make([]byte, frameLen)
 	var payload []byte
@@ -213,7 +224,7 @@ func Scan(r io.Reader, fn func(Record) error) (ScanResult, error) {
 			res.Torn = true
 			return res, nil
 		}
-		rec, err := decodePayload(payload, n, res.LastSeq)
+		rec, err := c.Decode(payload, n, res.LastSeq)
 		if err != nil {
 			res.Torn = true
 			return res, nil
@@ -229,25 +240,45 @@ func Scan(r io.Reader, fn func(Record) error) (ScanResult, error) {
 	}
 }
 
-// Log is an append-only WAL handle. Appends, resets and Close are owned by a
-// single goroutine (the Batcher's dispatcher); LastSeq and BaseSeq are atomic
-// and may be read from any goroutine — replication stats and catch-up
-// decisions read them concurrently with appends. Construct with Open.
+// Log is an append-only WAL handle. Appends, resets and Close are owned by
+// a single goroutine (the engine's dispatcher); Sync may additionally be
+// called by the engine's group-sync scheduler, which serializes it against
+// Reset and Close with its own lock. LastSeq, BaseSeq and SyncedSeq are
+// atomic and may be read from any goroutine — replication stats and
+// catch-up decisions read them concurrently with appends. Construct with
+// Open or OpenWithCodec.
 type Log struct {
-	path    string
-	f       *os.File
-	n       int
-	lastSeq atomic.Uint64
-	baseSeq atomic.Uint64
-	closed  bool
+	path      string
+	f         *os.File
+	n         int
+	codec     Codec // the open file's codec (from its header)
+	want      Codec // codec for fresh files (first create, Reset swap)
+	lastSeq   atomic.Uint64
+	syncedSeq atomic.Uint64
+	baseSeq   atomic.Uint64
+	fsyncs    atomic.Uint64
+	closed    bool
 }
 
-// Open opens (or creates) the WAL at path for a universe of n vertices. An
-// existing file is scanned end to end: its header must match n, a torn tail
-// is truncated away, and appends continue after the last valid record's
-// seq. A new file is created with an fsynced header and an fsynced parent
-// directory so the log itself survives a crash immediately after creation.
+// Open opens (or creates) the WAL at path for a universe of n vertices,
+// writing fresh files in the v1 codec. See OpenWithCodec.
 func Open(path string, n int) (*Log, error) {
+	return OpenWithCodec(path, n, codec.V1)
+}
+
+// OpenWithCodec opens (or creates) the WAL at path for a universe of n
+// vertices. An existing file is scanned end to end: its header must match
+// n, a torn tail is truncated away, and appends continue after the last
+// valid record's seq — in the codec the file's header names, regardless of
+// c, so a log written under one codec never holds mixed encodings. c takes
+// effect when a fresh file is written: at creation here, or at the next
+// Reset. A new file is created with an fsynced header and an fsynced
+// parent directory so the log itself survives a crash immediately after
+// creation.
+func OpenWithCodec(path string, n int, c Codec) (*Log, error) {
+	if c == nil {
+		c = codec.V1
+	}
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, err
@@ -257,7 +288,7 @@ func Open(path string, n int) (*Log, error) {
 		_ = f.Close()
 		return nil, err
 	}
-	l := &Log{path: path, f: f, n: n}
+	l := &Log{path: path, f: f, n: n, codec: c, want: c}
 	if st.Size() < headerLen {
 		// Empty, or a partial header from a crash during initial creation —
 		// shorter than the header, the file cannot hold any record, so
@@ -313,28 +344,47 @@ func Open(path string, n int) (*Log, error) {
 		_ = f.Close()
 		return nil, err
 	}
+	fc, _ := codec.ByVersion(res.Codec)
+	l.codec = fc
 	l.lastSeq.Store(res.LastSeq)
+	l.syncedSeq.Store(res.LastSeq)
 	l.baseSeq.Store(res.BaseSeq)
 	return l, nil
 }
 
 // writeFresh initializes l.f (assumed empty) with a header carrying baseSeq
-// and fsyncs both the file and its directory.
+// in the configured codec and fsyncs both the file and its directory.
 func (l *Log) writeFresh(baseSeq uint64) error {
-	if _, err := l.f.Write(encodeHeader(l.n, baseSeq)); err != nil {
+	l.codec = l.want
+	if _, err := l.f.Write(encodeHeader(l.n, baseSeq, l.codec.Version())); err != nil {
 		return err
 	}
 	if err := l.f.Sync(); err != nil {
 		return err
 	}
 	l.lastSeq.Store(baseSeq)
+	l.syncedSeq.Store(baseSeq)
 	l.baseSeq.Store(baseSeq)
 	return SyncDir(filepath.Dir(l.path))
 }
 
-// LastSeq returns the sequence number of the last durable record (or the
-// checkpoint floor if the log holds none). Safe from any goroutine.
+// LastSeq returns the sequence number of the last appended record (or the
+// checkpoint floor if the log holds none). Records at or below SyncedSeq
+// are durable; between SyncedSeq and LastSeq they are written but not yet
+// forced. Safe from any goroutine.
 func (l *Log) LastSeq() uint64 { return l.lastSeq.Load() }
+
+// SyncedSeq returns the synced frontier: the seq of the last record known
+// forced to the medium. Acknowledgements and replication shipping must not
+// pass it. Safe from any goroutine.
+func (l *Log) SyncedSeq() uint64 { return l.syncedSeq.Load() }
+
+// Fsyncs returns the number of Sync calls that reached the medium — the
+// denominator of the bytes-per-fsync and fsyncs-saved stats.
+func (l *Log) Fsyncs() uint64 { return l.fsyncs.Load() }
+
+// Codec returns the codec of the currently open file.
+func (l *Log) Codec() Codec { return l.codec }
 
 // BaseSeq returns the log's checkpoint floor: the sequence number already
 // captured by a checkpoint when the log was last reset (zero for a log that
@@ -343,20 +393,37 @@ func (l *Log) LastSeq() uint64 { return l.lastSeq.Load() }
 // learn the floor.
 func (l *Log) BaseSeq() uint64 { return l.baseSeq.Load() }
 
-// Append writes one record and fsyncs — the group-commit point. r.Seq must
-// be exactly LastSeq()+1. When Append returns a nil error the record is
-// durable: any later Scan of the file yields it. The int is the framed
+// Append writes one record and fsyncs — the classic group-commit point,
+// AppendRecord and Sync fused. When Append returns a nil error the record
+// is durable: any later Scan of the file yields it. The int is the framed
 // byte length written.
 //
 //conn:fsync-barrier
 func (l *Log) Append(r Record) (int, error) {
+	n, _, err := l.AppendRecord(r)
+	if err != nil {
+		return 0, err
+	}
+	if err := l.Sync(); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// AppendRecord writes one framed record without forcing it to the medium:
+// the record is NOT durable until a later Sync returns, and must not be
+// acknowledged or shipped to a replica before then. r.Seq must be exactly
+// LastSeq()+1. The returned payload is the record's codec encoding
+// (freshly allocated, safe to retain) — the engine tees it to the
+// replication hub so followers ship the compressed bytes unchanged.
+func (l *Log) AppendRecord(r Record) (n int, payload []byte, err error) {
 	if l.closed {
-		return 0, errors.New("wal: append to closed log")
+		return 0, nil, errors.New("wal: append to closed log")
 	}
 	if r.Seq != l.lastSeq.Load()+1 {
-		return 0, fmt.Errorf("wal: append seq %d, want %d", r.Seq, l.lastSeq.Load()+1)
+		return 0, nil, fmt.Errorf("wal: append seq %d, want %d", r.Seq, l.lastSeq.Load()+1)
 	}
-	enc := EncodeRecord(r)
+	enc, payload := encodeFrame(l.codec, r)
 	if flt := chaos.Inject(chaos.SiteWALAppendPreFsync); flt != nil {
 		// Torn: a prefix of the frame reaches the file without an fsync —
 		// the tail a crash mid-append leaves. The record was never acked,
@@ -364,30 +431,48 @@ func (l *Log) Append(r Record) (int, error) {
 		if flt.Action == chaos.ActTorn {
 			_, _ = l.f.Write(enc[:len(enc)/2])
 		}
-		return 0, flt.Err()
+		return 0, nil, flt.Err()
 	}
 	if _, err := l.f.Write(enc); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
+	l.lastSeq.Store(r.Seq)
+	return len(enc), payload, nil
+}
+
+// Sync forces every record appended so far to the medium and advances the
+// synced frontier. It is the durability barrier acknowledgements order
+// against: a record is durable — and may be acked or shipped — only once a
+// Sync covering its seq has returned.
+//
+//conn:fsync-barrier
+func (l *Log) Sync() error {
+	if l.closed {
+		return errors.New("wal: sync of closed log")
+	}
+	target := l.lastSeq.Load()
 	if err := l.f.Sync(); err != nil {
-		return 0, err
+		return err
 	}
 	if flt := chaos.Inject(chaos.SiteWALAppendPostFsync); flt != nil {
-		// The fsync completed: the record IS durable, but the caller sees
+		// The fsync completed: the records ARE durable, but the caller sees
 		// failure — a crash between fsync and acknowledgement. A restart
 		// replays a superset of the acked history, which the replay
 		// idempotence contract absorbs.
-		return 0, flt.Err()
+		return flt.Err()
 	}
-	l.lastSeq.Store(r.Seq)
-	return len(enc), nil
+	l.fsyncs.Add(1)
+	l.syncedSeq.Store(target)
+	return nil
 }
 
 // Reset atomically replaces the log with an empty one whose header records
 // baseSeq as the new floor — called after a checkpoint capturing every
-// record up to baseSeq has been durably written. The replacement is
-// write-temp-then-rename, so a crash at any point leaves either the old
-// complete log or the new empty one.
+// record up to baseSeq has been durably written. The fresh header is
+// written in the configured codec, which is where a codec upgrade takes
+// effect on a pre-existing log. The replacement is write-temp-then-rename,
+// so a crash at any point leaves either the old complete log or the new
+// empty one.
 func (l *Log) Reset(baseSeq uint64) error {
 	if l.closed {
 		return errors.New("wal: reset of closed log")
@@ -400,7 +485,7 @@ func (l *Log) Reset(baseSeq uint64) error {
 	if err != nil {
 		return err
 	}
-	if _, err := f.Write(encodeHeader(l.n, baseSeq)); err != nil {
+	if _, err := f.Write(encodeHeader(l.n, baseSeq, l.want.Version())); err != nil {
 		_ = f.Close()
 		return err
 	}
@@ -418,7 +503,9 @@ func (l *Log) Reset(baseSeq uint64) error {
 	}
 	old := l.f
 	l.f = f
+	l.codec = l.want
 	l.lastSeq.Store(baseSeq)
+	l.syncedSeq.Store(baseSeq)
 	l.baseSeq.Store(baseSeq)
 	return old.Close()
 }
@@ -450,9 +537,10 @@ var ErrSeqGone = errors.New("wal: requested sequence precedes the checkpoint flo
 // Tail is a read-only cursor over a WAL file that can follow a live log:
 // Next returns records in order and reports ok=false when it reaches the
 // current end of valid data — including a frame that is only partially
-// written by a concurrent Append — after which a later Next retries from the
-// same offset and succeeds once the frame completes. Replication catch-up
-// uses it to stream the tail of a log that the dispatcher is still writing.
+// written by a concurrent append — after which a later Next retries from the
+// same offset and succeeds once the frame completes. Records decode with
+// the codec the tailed file's header names. Replication catch-up uses it to
+// stream the tail of a log that the dispatcher is still writing.
 //
 // A Tail holds its own file descriptor and never buffers past a record
 // boundary, so it is unaffected by the writer's position; if the log is
@@ -462,6 +550,7 @@ var ErrSeqGone = errors.New("wal: requested sequence precedes the checkpoint flo
 type Tail struct {
 	f       *os.File
 	n       int
+	codec   Codec
 	base    uint64
 	fromSeq uint64
 	scanSeq uint64 // seq of the last record decoded at off (base if none)
@@ -483,7 +572,7 @@ func OpenTail(path string, fromSeq uint64) (*Tail, error) {
 		_ = f.Close()
 		return nil, ErrBadHeader
 	}
-	n, base, err := decodeHeader(hdr)
+	n, base, c, err := decodeHeader(hdr)
 	if err != nil {
 		_ = f.Close()
 		return nil, err
@@ -492,11 +581,14 @@ func OpenTail(path string, fromSeq uint64) (*Tail, error) {
 		_ = f.Close()
 		return nil, fmt.Errorf("%w: want records after seq %d, floor is %d", ErrSeqGone, fromSeq, base)
 	}
-	return &Tail{f: f, n: n, base: base, fromSeq: fromSeq, scanSeq: base, off: headerLen}, nil
+	return &Tail{f: f, n: n, codec: c, base: base, fromSeq: fromSeq, scanSeq: base, off: headerLen}, nil
 }
 
 // BaseSeq returns the checkpoint floor recorded in the tailed file's header.
 func (t *Tail) BaseSeq() uint64 { return t.base }
+
+// Codec returns the format version byte of the tailed file.
+func (t *Tail) Codec() byte { return t.codec.Version() }
 
 // LastSeq returns the seq of the last record Next decoded (the floor if
 // none yet) — the cursor's current position in the epoch sequence.
@@ -513,20 +605,36 @@ func (t *Tail) LastSeq() uint64 {
 // failure reading the file — incomplete or checksum-dirty data is never an
 // error, only "not yet".
 func (t *Tail) Next() (Record, bool, error) {
+	rec, _, ok, err := t.next(^uint64(0), false)
+	return rec, ok, err
+}
+
+// NextBelow is Next bounded by the writer's synced frontier: a record with
+// seq > limit is NOT surfaced (or consumed — a later call with a higher
+// limit returns it). raw is the record's encoded payload in the file's
+// codec, freshly allocated; replication ships it unchanged so followers
+// receive the compressed bytes. Catch-up passes the source's SyncedSeq so
+// an appended-but-unsynced record — one a crash could still take back —
+// never reaches a follower.
+func (t *Tail) NextBelow(limit uint64) (rec Record, raw []byte, ok bool, err error) {
+	return t.next(limit, true)
+}
+
+func (t *Tail) next(limit uint64, copyRaw bool) (Record, []byte, bool, error) {
 	for {
 		var frame [frameLen]byte
 		if _, err := t.f.ReadAt(frame[:], t.off); err != nil {
 			if err == io.EOF || err == io.ErrUnexpectedEOF {
-				return Record{}, false, nil
+				return Record{}, nil, false, nil
 			}
-			return Record{}, false, err
+			return Record{}, nil, false, err
 		}
 		plen := int(binary.LittleEndian.Uint32(frame[:4]))
 		if plen < recMinLen || plen > maxPayload {
 			// Garbage where a length prefix should be: either a torn tail the
 			// writer will truncate on its next open, or mid-file corruption.
 			// Both read as "no further valid records here".
-			return Record{}, false, nil
+			return Record{}, nil, false, nil
 		}
 		if cap(t.payload) < plen {
 			t.payload = make([]byte, plen)
@@ -534,21 +642,30 @@ func (t *Tail) Next() (Record, bool, error) {
 		t.payload = t.payload[:plen]
 		if _, err := t.f.ReadAt(t.payload, t.off+frameLen); err != nil {
 			if err == io.EOF || err == io.ErrUnexpectedEOF {
-				return Record{}, false, nil // frame still being appended
+				return Record{}, nil, false, nil // frame still being appended
 			}
-			return Record{}, false, err
+			return Record{}, nil, false, err
 		}
 		if crc32.Checksum(t.payload, castagnoli) != binary.LittleEndian.Uint32(frame[4:]) {
-			return Record{}, false, nil
+			return Record{}, nil, false, nil
 		}
-		rec, err := decodePayload(t.payload, t.n, t.scanSeq)
+		rec, err := t.codec.Decode(t.payload, t.n, t.scanSeq)
 		if err != nil {
-			return Record{}, false, nil
+			return Record{}, nil, false, nil
+		}
+		if rec.Seq > limit {
+			// Past the caller's frontier: leave the cursor where it is so the
+			// record is surfaced once the frontier advances over it.
+			return Record{}, nil, false, nil
 		}
 		t.scanSeq = rec.Seq
 		t.off += int64(frameLen + plen)
 		if rec.Seq > t.fromSeq {
-			return rec, true, nil
+			var raw []byte
+			if copyRaw {
+				raw = append([]byte(nil), t.payload...)
+			}
+			return rec, raw, true, nil
 		}
 	}
 }

@@ -139,7 +139,7 @@ func TestCRCCorruptionStopsScan(t *testing.T) {
 // Open must re-initialize it instead of failing forever.
 func TestOpenReinitializesSubHeaderStub(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.log")
-	for _, stub := range [][]byte{{}, magic[:4], encodeHeader(16, 0)[:HeaderLen-1]} {
+	for _, stub := range [][]byte{{}, magicPrefix[:4], encodeHeader(16, 0, 1)[:HeaderLen-1]} {
 		if err := os.WriteFile(path, stub, 0o644); err != nil {
 			t.Fatal(err)
 		}
@@ -215,7 +215,7 @@ func TestAppendEnforcesSequentialSeq(t *testing.T) {
 
 func TestScanRejectsOutOfUniverseEdges(t *testing.T) {
 	var buf bytes.Buffer
-	buf.Write(encodeHeader(4, 0))
+	buf.Write(encodeHeader(4, 0, 1))
 	buf.Write(EncodeRecord(Record{Seq: 1, Ins: []graph.Edge{{U: 1, V: 9}}}))
 	res, err := Scan(bytes.NewReader(buf.Bytes()), nil)
 	if err != nil {
@@ -232,9 +232,9 @@ func TestScanRejectsOutOfUniverseEdges(t *testing.T) {
 // every accepted record re-encodes to the exact bytes at its offset).
 func FuzzWALDecode(f *testing.F) {
 	f.Add([]byte{})
-	f.Add(encodeHeader(8, 0))
+	f.Add(encodeHeader(8, 0, 1))
 	f.Add(bytes.Repeat([]byte{0x7F}, 48))
-	valid := append([]byte{}, encodeHeader(8, 0)...)
+	valid := append([]byte{}, encodeHeader(8, 0, 1)...)
 	valid = append(valid, EncodeRecord(Record{Seq: 1, Ins: []graph.Edge{{U: 0, V: 1}}})...)
 	valid = append(valid, EncodeRecord(Record{Seq: 2, Del: []graph.Edge{{U: 0, V: 1}}})...)
 	f.Add(valid)
@@ -242,7 +242,7 @@ func FuzzWALDecode(f *testing.F) {
 	corrupt := append([]byte{}, valid...)
 	corrupt[len(corrupt)-3] ^= 0x01
 	f.Add(corrupt) // CRC-violating tail
-	f.Add(append([]byte{}, encodeHeader(1<<30, 42)...))
+	f.Add(append([]byte{}, encodeHeader(1<<30, 42, 1)...))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var recs []Record
