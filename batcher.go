@@ -44,6 +44,8 @@ import (
 
 	"repro/internal/coalesce"
 	"repro/internal/engine"
+	"repro/internal/query"
+	"repro/internal/snapshot"
 	"repro/internal/wal"
 )
 
@@ -129,6 +131,7 @@ type batcherOptions struct {
 	walCodec      wal.Codec
 	groupSyncK    int
 	groupSyncWait time.Duration
+	groupSyncAuto bool
 	ckptEvery     int
 }
 
@@ -192,12 +195,20 @@ func WithWALCodec(name string) BatcherOption {
 // scheduler only batches the barrier. maxWait bounds the added
 // acknowledgement latency: the sync fires at most that long after the first
 // unsynced epoch even if the group never fills (<= 0 selects the engine
-// default). k <= 1 keeps the classic fsync-per-epoch pipeline. No-op
-// without WithDurability.
+// default).
+//
+// k == 0 selects the adaptive width: instead of a static knob, the
+// scheduler tracks an EWMA of observed fsync latency and picks k so that
+// one fsync amortized over the group costs each epoch at most maxWait/8 —
+// a fast volume converges to per-epoch fsyncs, a slow one widens the group,
+// and nothing needs tuning per deployment (benchconn e18 records the
+// curve). k < 0 or k == 1 keeps the classic fsync-per-epoch pipeline.
+// No-op without WithDurability.
 func WithGroupSync(k int, maxWait time.Duration) BatcherOption {
 	return func(o *batcherOptions) {
 		o.groupSyncK = k
 		o.groupSyncWait = maxWait
+		o.groupSyncAuto = k == 0
 	}
 }
 
@@ -237,6 +248,7 @@ func NewBatcher(g *Graph, opts ...BatcherOption) *Batcher {
 		WALCodec:          o.walCodec,
 		GroupSyncK:        o.groupSyncK,
 		GroupSyncMaxWait:  o.groupSyncWait,
+		GroupSyncAdaptive: o.groupSyncAuto,
 		CheckpointEvery:   o.ckptEvery,
 		// The hook indirects through the Batcher field so tests can install
 		// it after construction (but before the first submission), exactly
@@ -264,6 +276,64 @@ func NewBatcher(g *Graph, opts ...BatcherOption) *Batcher {
 // cancel function removes the subscription and is idempotent.
 func (b *Batcher) SubscribeEpochs(fn func(EpochRecord)) (cancel func()) {
 	return b.e.SubscribeEpochs(fn)
+}
+
+// SnapshotDiff is one published labelling transition as observed by a diff
+// subscriber: the labelling before, the one published in its place, and
+// the vertices whose label changed — exactly the partition-changing epochs.
+// internal/pubsub's Hub.Feed is the intended consumer.
+type SnapshotDiff = snapshot.Diff
+
+// SubscribeDiffs registers fn as a snapshot-diff subscriber: the dispatcher
+// calls it for every epoch that changed the connectivity partition, on the
+// dispatcher goroutine, after the new labelling is published and before the
+// epoch's callers unblock. seq is the epoch's durable WAL position (zero
+// without WithDurability). fn must not block; it fires on memory-only
+// Batchers too. The returned cancel removes the subscription and is
+// idempotent.
+func (b *Batcher) SubscribeDiffs(fn func(seq uint64, d *SnapshotDiff)) (cancel func()) {
+	return b.e.SubscribeDiffs(fn)
+}
+
+// QueryRequest selects a structural query (k-hop neighborhood, component
+// members/size, spanning-forest path, or component aggregates) and its
+// consistency tier; QueryResult is the uniform answer. See internal/query
+// for the kind-by-kind contract.
+type (
+	QueryRequest = query.Request
+	QueryResult  = query.Result
+)
+
+// QueryKind selects the structural query inside a QueryRequest.
+type QueryKind = query.Kind
+
+const (
+	// QueryKHop enumerates every vertex within K edges of U.
+	QueryKHop = query.KindKHop
+	// QueryMembers enumerates U's connected component.
+	QueryMembers = query.KindMembers
+	// QuerySize counts U's connected component.
+	QuerySize = query.KindSize
+	// QueryPath extracts the spanning-forest path from U to V.
+	QueryPath = query.KindPath
+	// QueryAggregate counts components and buckets their sizes.
+	QueryAggregate = query.KindAggregate
+)
+
+// Query executes one structural query. Recent mode (the default) answers
+// label-shaped queries wait-free from the published snapshot and runs
+// traversals read-committed; Linearized mode rides the dispatcher first
+// (a full epoch barrier), ordering the answer after all previously
+// acknowledged writes. Returns ErrClosed once Close has begun.
+func (b *Batcher) Query(req QueryRequest) (QueryResult, error) {
+	if b.e.Closed() {
+		return QueryResult{}, ErrClosed
+	}
+	res, err := query.Run(b.e, req)
+	if err != nil && b.e.Closed() {
+		return QueryResult{}, ErrClosed
+	}
+	return res, err
 }
 
 // WALSeq returns the sequence number of the last durable epoch (zero for a

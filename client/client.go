@@ -522,7 +522,11 @@ func (c *Client) doRead(req *wire.Request) (*wire.Response, error) {
 			// primary for this read.
 			continue
 		}
-		if resp.Seq < fence {
+		seq := resp.Seq
+		if resp.Query != nil {
+			seq = resp.Query.Seq // a query answer's position rides in its body
+		}
+		if seq < fence {
 			continue // too stale: fails read-your-writes
 		}
 		r.markUp()

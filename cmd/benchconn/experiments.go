@@ -598,7 +598,7 @@ func runE18(cfg config) {
 		groupWait = 2 * time.Millisecond
 	)
 	rec := newRecorder(cfg, "e18", "durability pipeline: WAL codec × group-commit fsync",
-		"the v2 delta+varint codec shrinks bytes per fsync and WithGroupSync(k) amortizes the fsync over k epochs — durable throughput rises and acked still means fsynced")
+		"the v2 delta+varint codec shrinks bytes per fsync and WithGroupSync(k) amortizes the fsync over k epochs — durable throughput rises and acked still means fsynced; k=0 (adaptive) sizes the group from the fsync-latency EWMA: per-epoch syncs on a fast volume, wide groups on a slow one")
 	dir, err := os.MkdirTemp("", "benchconn-e18-*")
 	if err != nil {
 		fmt.Printf("skipping e18: %v\n", err)
@@ -611,11 +611,13 @@ func runE18(cfg config) {
 	// per epoch would otherwise dominate the write path).
 	fmt.Printf("n=%d; %d closed-loop clients issue %d mutations (60%% insert / 40%% delete)\n", n, clients, opsTotal)
 	fmt.Printf("(MaxBatch=%d; coalescing window %v; group-commit ack bound %v)\n", maxBatch, window, groupWait)
-	fmt.Printf("%6s %4s %12s %10s %12s %12s %12s %10s\n",
+	fmt.Printf("%6s %8s %12s %10s %12s %12s %12s %10s\n",
 		"codec", "K", "ops/sec", "fsyncs", "bytes/fsync", "enc/rawKB", "p99-ack", "speedup")
 	var base float64
 	for _, codec := range []string{"v1", "v2"} {
-		for _, k := range []int{1, 4, 16} {
+		// k == 0 is the adaptive width: the scheduler picks K from the fsync
+		// latency EWMA instead of a static knob (WithGroupSync(0, maxWait)).
+		for _, k := range []int{1, 4, 16, 0} {
 			sub := filepath.Join(dir, fmt.Sprintf("%s-k%d", codec, k))
 			os.RemoveAll(sub)
 			g := conn.New(n)
@@ -629,7 +631,7 @@ func runE18(cfg config) {
 				conn.WithMaxDelay(window), conn.WithMaxBatch(maxBatch),
 				conn.WithDurability(sub), conn.WithWALCodec(codec),
 			}
-			if k > 1 {
+			if k != 1 {
 				opts = append(opts, conn.WithGroupSync(k, groupWait))
 			}
 			b := conn.NewBatcher(g, opts...)
@@ -682,18 +684,27 @@ func runE18(cfg config) {
 			} else if base > 0 {
 				speedup = fmt.Sprintf("%9.2fx", rate/base)
 			}
-			fmt.Printf("%6s %4d %12.0f %10d %12.0f %6d/%-5d %12v %10s\n",
-				codec, k, rate, fsyncs, bytesPerFsync,
+			kLabel := fmt.Sprintf("%d", k)
+			if k == 0 {
+				// The adaptive row reports where the EWMA policy settled.
+				kLabel = fmt.Sprintf("auto(%d)", s.GroupSyncWidth)
+			}
+			fmt.Printf("%6s %8s %12.0f %10d %12.0f %6d/%-5d %12v %10s\n",
+				codec, kLabel, rate, fsyncs, bytesPerFsync,
 				s.WALBytes/1024, s.WALRawBytes/1024, p99.Round(time.Microsecond), speedup)
+			metrics := map[string]any{
+				"ops_per_sec": rate, "epochs": s.Epochs,
+				"wal_records": s.WALRecords, "wal_bytes": s.WALBytes,
+				"wal_raw_bytes": s.WALRawBytes, "fsyncs": fsyncs,
+				"fsyncs_saved": s.WALFsyncsSaved, "bytes_per_fsync": bytesPerFsync,
+				"p99_ack_us": float64(p99.Nanoseconds()) / 1e3,
+			}
+			if k == 0 {
+				metrics["group_sync_width"] = s.GroupSyncWidth
+			}
 			rec.row(
 				map[string]any{"codec": codec, "group_sync_k": k},
-				map[string]any{
-					"ops_per_sec": rate, "epochs": s.Epochs,
-					"wal_records": s.WALRecords, "wal_bytes": s.WALBytes,
-					"wal_raw_bytes": s.WALRawBytes, "fsyncs": fsyncs,
-					"fsyncs_saved": s.WALFsyncsSaved, "bytes_per_fsync": bytesPerFsync,
-					"p99_ack_us": float64(p99.Nanoseconds()) / 1e3,
-				})
+				metrics)
 		}
 	}
 	rec.flush()

@@ -13,6 +13,13 @@
 //	flush            apply pending updates now
 //	components       print the number of connected components
 //	size <u>         print the size of u's component
+//	khop <u> <k>     print the vertices within k hops of u, ascending
+//	members <u>      print the vertices of u's component, ascending
+//	path <u> <v>     print a spanning-forest path u..v, or "none"
+//	agg              print the component count and log2 size histogram
+//	watch <u> <v>    subscribe to {u,v} connectivity events (-addr only)
+//	watch comps      subscribe to component merge/split events (-addr only)
+//	event            flush, then print the next subscription event (-addr only)
 //	stats            print internal counters
 //	checkpoint       durably snapshot the graph and truncate the WAL (-data only)
 //
@@ -32,13 +39,16 @@
 // namespace (-ns, default "default") through the client package instead of
 // a local graph: 'n <count> [durable]' creates the namespace (omit it if it
 // already exists), updates ride batched CmdBatch frames, '?' is a
-// linearized query, and 'stats' prints the server's counters — including
-// the replication block (connected subscribers, last shipped seq, max
-// follower lag on a primary; applied seq on a replica) and, for a sharded
-// namespace, one line per shard engine with its epoch count and WAL
-// seq/floor, boundary engine last. 'components' and
-// 'size' are local-only (the wire protocol serves connectivity, not
-// component enumeration).
+// linearized query, the structural queries (khop/members/path/agg) ride
+// CmdQuery frames, 'watch'/'event' drive a live CmdSubscribeEvents stream,
+// and 'stats' prints the server's counters — including the replication
+// block (connected subscribers, last shipped seq, max follower lag on a
+// primary; applied seq on a replica), the event-hub block (subscribers,
+// delivered and dropped event counts), and, for a sharded namespace, one
+// line per shard engine with its epoch count and WAL seq/floor, boundary
+// engine last. 'components' and 'size' are local-only (ComponentAggregate
+// and ComponentSize cover them remotely); 'watch'/'event' are remote-only
+// (events are pushed by a server's epoch pipeline).
 //
 //	go run ./cmd/conncli workload.txt
 //	generate-stream | go run ./cmd/conncli
@@ -53,11 +63,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
 	conn "repro"
 	"repro/client"
+	"repro/internal/query"
 )
 
 func main() {
@@ -93,6 +105,7 @@ type session struct {
 	rcl    *client.Client    // non-nil iff the session is remote (-addr)
 	remote *client.Namespace // the driven remote namespace
 	nsName string
+	esub   *client.EventSub // live event subscription ('watch'); at most one
 
 	ins  []conn.Edge
 	dels []conn.Edge
@@ -155,6 +168,10 @@ func (s *session) close() {
 	if s.b != nil {
 		s.b.Close()
 		s.b = nil
+	}
+	if s.esub != nil {
+		s.esub.Close()
+		s.esub = nil
 	}
 	if s.rcl != nil {
 		s.rcl.Close()
@@ -301,6 +318,149 @@ func (s *session) exec(text string) error {
 		}
 		s.flush()
 		fmt.Fprintln(s.out, s.g.ComponentSize(u))
+	case "khop":
+		u, err := argN(1)
+		if err != nil {
+			return err
+		}
+		k, err := argN(2)
+		if err != nil {
+			return err
+		}
+		if k < 0 {
+			return fmt.Errorf("khop: radius must be non-negative")
+		}
+		if err := s.flush(); err != nil {
+			return err
+		}
+		var verts []int32
+		if s.remote != nil {
+			if verts, err = s.remote.KHop(u, uint32(k)); err != nil {
+				return err
+			}
+		} else {
+			verts = query.KHop(s.g.Neighbors, int32(s.g.N()), u, uint32(k))
+		}
+		fmt.Fprintln(s.out, joinVerts(verts))
+	case "members":
+		u, err := argN(1)
+		if err != nil {
+			return err
+		}
+		if err := s.flush(); err != nil {
+			return err
+		}
+		var verts []int32
+		if s.remote != nil {
+			if verts, err = s.remote.ComponentMembers(u); err != nil {
+				return err
+			}
+		} else {
+			// ComponentVertices enumerates in Euler-tour order; the query
+			// layer's contract (and the remote path) is ascending.
+			verts = s.g.ComponentVertices(u)
+			sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
+		}
+		fmt.Fprintln(s.out, joinVerts(verts))
+	case "path":
+		u, err := argN(1)
+		if err != nil {
+			return err
+		}
+		v, err := argN(2)
+		if err != nil {
+			return err
+		}
+		if err := s.flush(); err != nil {
+			return err
+		}
+		var path []int32
+		var found bool
+		if s.remote != nil {
+			if path, found, err = s.remote.TreePath(u, v); err != nil {
+				return err
+			}
+		} else {
+			path, found = query.TreePath(s.g.TreeNeighbors, int32(s.g.N()), u, v)
+		}
+		if !found {
+			fmt.Fprintln(s.out, "none")
+			return nil
+		}
+		fmt.Fprintln(s.out, joinVerts(path))
+	case "agg":
+		if err := s.flush(); err != nil {
+			return err
+		}
+		var count uint64
+		var hist []uint64
+		if s.remote != nil {
+			var err error
+			if count, hist, err = s.remote.ComponentAggregate(); err != nil {
+				return err
+			}
+		} else {
+			lbl := make([]int32, s.g.N())
+			s.g.ComponentLabels(lbl)
+			count, hist = query.Aggregate(lbl)
+		}
+		fmt.Fprintf(s.out, "components=%d hist=%v\n", count, hist)
+	case "watch":
+		if s.remote == nil {
+			return fmt.Errorf("watch is remote-only (events are pushed by a server's epoch pipeline)")
+		}
+		if s.esub != nil {
+			return fmt.Errorf("watch: a subscription is already open")
+		}
+		if err := s.flush(); err != nil {
+			return err
+		}
+		if len(fields) == 2 && fields[1] == "comps" {
+			sub, err := s.remote.SubscribeEvents(true, nil)
+			if err != nil {
+				return err
+			}
+			s.esub = sub
+			return nil
+		}
+		u, err := argN(1)
+		if err != nil {
+			return err
+		}
+		v, err := argN(2)
+		if err != nil {
+			return err
+		}
+		sub, err := s.remote.SubscribeEvents(false, []conn.Edge{{U: u, V: v}})
+		if err != nil {
+			return err
+		}
+		s.esub = sub
+	case "event":
+		if s.remote == nil {
+			return fmt.Errorf("event is remote-only (events are pushed by a server's epoch pipeline)")
+		}
+		if s.esub == nil {
+			return fmt.Errorf("event before 'watch'")
+		}
+		if err := s.flush(); err != nil {
+			return err
+		}
+		ev, ok := <-s.esub.C()
+		if !ok {
+			if err := s.esub.Err(); err != nil {
+				return fmt.Errorf("event: %w", err)
+			}
+			return fmt.Errorf("event: subscription closed")
+		}
+		switch ev.Kind {
+		case client.EventPairConnected, client.EventPairDisconnected:
+			fmt.Fprintf(s.out, "event %s %d %d\n", ev.Kind, ev.U, ev.V)
+		case client.EventMerge, client.EventSplit:
+			fmt.Fprintf(s.out, "event %s label=%d others=%v\n", ev.Kind, ev.Label, ev.Others)
+		default:
+			fmt.Fprintf(s.out, "event %s\n", ev.Kind)
+		}
 	case "stats":
 		if err := s.flush(); err != nil {
 			return err
@@ -318,6 +478,8 @@ func (s *session) exec(text string) error {
 				st.Checkpoints, st.CheckpointsDelta)
 			fmt.Fprintf(s.out, "repl: subscribers=%d last_shipped=%d max_lag=%d applied=%d\n",
 				st.Subscribers, st.LastShippedSeq, st.MaxFollowerLag, st.AppliedSeq)
+			fmt.Fprintf(s.out, "events: subscribers=%d delivered=%d dropped=%d\n",
+				st.EventSubscribers, st.EventsDelivered, st.EventsDropped)
 			// A sharded namespace reports per-engine lines under the
 			// aggregate: shards 0..k-1, then the boundary engine.
 			for i, sh := range st.Shards {
@@ -363,4 +525,20 @@ func (s *session) exec(text string) error {
 		return fmt.Errorf("unknown command %q", cmd)
 	}
 	return nil
+}
+
+// joinVerts renders a vertex list as space-separated ids, "-" when empty, so
+// query output stays one line per command for the golden harness.
+func joinVerts(vs []int32) string {
+	if len(vs) == 0 {
+		return "-"
+	}
+	var sb strings.Builder
+	for i, v := range vs {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%d", v)
+	}
+	return sb.String()
 }

@@ -149,6 +149,34 @@ func TestDurableGoldenScripts(t *testing.T) {
 	}
 }
 
+// TestQueryGoldenScript drives the structural-query subcommands — khop,
+// members, path, agg — against a local in-process graph and compares the
+// output line-for-line. Regenerate with `go test ./cmd/conncli -run Golden -update`.
+func TestQueryGoldenScript(t *testing.T) {
+	script, err := os.ReadFile(filepath.Join("testdata", "query_local.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run(strings.NewReader(string(script)), &out, "", "", "default"); err != nil {
+		t.Fatal(err)
+	}
+	goldenPath := filepath.Join("testdata", "query_local.golden")
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(out.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != string(want) {
+		t.Errorf("output mismatch\n--- got ---\n%s--- want ---\n%s", out.String(), want)
+	}
+}
+
 func TestCheckpointWithoutDataRejected(t *testing.T) {
 	_, err := runScript(t, "n 4\ncheckpoint\n")
 	if err == nil || !strings.Contains(err.Error(), "requires -data") {
@@ -205,10 +233,66 @@ func TestRemoteSession(t *testing.T) {
 		!strings.Contains(got, "wal: records=") {
 		t.Fatalf("stats output missing wal/replication block:\n%s", got)
 	}
+	if !strings.Contains(got, "events: subscribers=0 delivered=0 dropped=0") {
+		t.Fatalf("stats output missing event-hub block:\n%s", got)
+	}
 
 	// Local-only commands must fail loudly, not silently misreport.
 	err = run(strings.NewReader("components\n"), &out, "", ln.Addr().String(), "g")
 	if err == nil || !strings.Contains(err.Error(), "local-only") {
 		t.Fatalf("remote components err = %v", err)
+	}
+}
+
+// TestRemoteQueriesAndEvents drives the CmdQuery subcommands and a live
+// watch/event subscription through -addr mode: the pair-watch must report
+// the disconnection pushed by the server, with no polling in between.
+func TestRemoteQueriesAndEvents(t *testing.T) {
+	srv, err := server.New(server.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Shutdown()
+
+	var out strings.Builder
+	script := `n 16
++ 0 1
++ 1 2
++ 2 3
+khop 0 2
+members 0
+path 0 3
+path 0 9
+agg
+watch 0 3
+- 1 2
+event
+`
+	if err := run(strings.NewReader(script), &out, "", ln.Addr().String(), "g"); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	want := "0 1 2\n" + // khop 0 2
+		"0 1 2 3\n" + // members 0
+		"0 1 2 3\n" + // tree path 0->3
+		"none\n" + // 0 and 9 disconnected
+		"components=13 hist=[12 0 1]\n" + // {0..3} + 12 singletons
+		"event pair-disconnected 0 3\n"
+	if got != want {
+		t.Fatalf("output:\n%s--- want ---\n%s", got, want)
+	}
+
+	// Stream commands are remote-only.
+	for _, cmd := range []string{"watch 0 1", "event"} {
+		var lout strings.Builder
+		err := run(strings.NewReader("n 4\n"+cmd+"\n"), &lout, "", "", "default")
+		if err == nil || !strings.Contains(err.Error(), "remote-only") {
+			t.Fatalf("local %q err = %v", cmd, err)
+		}
 	}
 }

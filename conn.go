@@ -158,6 +158,18 @@ func (g *Graph) ComponentVertices(u int32) []int32 { return g.c.ComponentVertice
 // for Batcher's wait-free ReadRecent tier.
 func (g *Graph) ComponentLabels(dst []int32) { g.c.ComponentLabels(dst) }
 
+// Neighbors appends to dst the vertices currently adjacent to u (tree and
+// non-tree edges). Each live edge contributes exactly one entry, so the
+// result is duplicate-free; order is unspecified. O(degree(u)). The query
+// layer's k-hop traversal bottoms out here.
+func (g *Graph) Neighbors(u int32, dst []int32) []int32 { return g.c.Neighbors(u, dst) }
+
+// TreeNeighbors appends to dst the vertices adjacent to u through
+// spanning-forest edges — u's neighborhood in the forest SpanningForest
+// enumerates. Walking it from any vertex reaches exactly that vertex's
+// component; the query layer's tree-path extraction BFSes over it.
+func (g *Graph) TreeNeighbors(u int32, dst []int32) []int32 { return g.c.TreeNeighbors(u, dst) }
+
 // SpanningForest returns the edges of a spanning forest of the current
 // graph (the structure's top-level forest). Useful for exporting a
 // connectivity certificate; order is unspecified.

@@ -1,124 +1,217 @@
 // Netmon simulates a datacenter-style network monitor: a grid backbone with
 // redundant shortcut links, hit by correlated link-failure storms (a whole
-// batch of links drops at once — a switch dies, a cable bundle is cut). The
-// monitor must answer, immediately after each storm, which monitor pairs
-// lost reachability and how many partitions the network split into.
+// batch of links drops at once — a switch dies, a cable bundle is cut).
 //
-// Because failures arrive in batches, the batch-dynamic structure repairs
-// its spanning forests once per storm instead of once per link, and finds
-// replacement paths (the redundant shortcuts) automatically. The same
-// queries are answered by a recompute-from-scratch baseline for
-// cross-checking and cost comparison.
+// Unlike a poll-loop monitor that re-asks "are these pairs still connected?"
+// after every change, this monitor never polls: it opens one live event
+// subscription against a connserver and lets the server push connectivity
+// transitions at it. Pair alerts ("u,v disconnected") and component
+// merge/split events arrive in commit order on a single stream; the monitor
+// reacts to an alert by running one diagnostic query (how big is the island
+// the endpoint is stranded on?) — queries triggered by events, never by a
+// timer.
 //
-//	go run ./examples/netmon [-rows 128 -cols 128] [-storms 12]
+// Event ordering does the synchronization too. After each storm the
+// simulator toggles a beacon edge between two sentinel switches the monitor
+// also watches: because a subscriber sees events in the order the epoch
+// pipeline committed them, the beacon's transition arriving means every
+// alert from the storm has already been delivered.
+//
+//	go run ./examples/netmon [-rows 32 -cols 32] [-storms 6]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"math/rand"
-	"time"
+	"net"
 
 	conn "repro"
+	"repro/client"
 	"repro/internal/graph"
 	"repro/internal/graphgen"
-	"repro/internal/static"
+	"repro/internal/server"
 )
 
 func main() {
-	rows := flag.Int("rows", 128, "grid rows")
-	cols := flag.Int("cols", 128, "grid columns")
-	storms := flag.Int("storms", 12, "failure storms to simulate")
-	stormSize := flag.Int("storm-size", 800, "links failing per storm")
-	shortcuts := flag.Int("shortcuts", 4000, "random redundant links")
+	rows := flag.Int("rows", 32, "grid rows")
+	cols := flag.Int("cols", 32, "grid columns")
+	storms := flag.Int("storms", 6, "failure storms to simulate")
+	stormSize := flag.Int("storm-size", 120, "links failing per storm")
+	shortcuts := flag.Int("shortcuts", 500, "random redundant links")
 	seed := flag.Int64("seed", 7, "random seed")
 	flag.Parse()
 
+	// The fabric occupies vertices [0, n); two sentinel switches above it
+	// carry the beacon edge that marks end-of-storm on the event stream.
+	// Sentinels never touch the fabric, so every component event with a
+	// label >= n is the beacon's own and is excluded from fabric accounting.
 	n := *rows * *cols
+	s0, s1 := int32(n), int32(n+1)
+
+	srv, err := server.New(server.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Shutdown()
+
+	cl, err := client.Dial(ln.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Create("fabric", n+2, false); err != nil {
+		log.Fatal(err)
+	}
+	ns := cl.Namespace("fabric")
+
 	backbone := graphgen.Grid(*rows, *cols)
 	extra := graphgen.RandomGraph(n, *shortcuts, *seed)
+	topology := append(toConn(backbone), toConn(extra)...)
+	if _, err := ns.InsertEdges(topology); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("topology: %d switches, %d backbone links, %d shortcuts\n",
 		n, len(backbone), len(extra))
 
-	g := conn.New(n)
-	baseline := static.New(n)
-	insert := func(es []graph.Edge) {
-		batch := make([]conn.Edge, len(es))
-		for i, e := range es {
-			batch[i] = conn.Edge{U: e.U, V: e.V}
-		}
-		g.InsertEdges(batch)
-		baseline.BatchInsert(es)
-	}
-	insert(backbone)
-	insert(extra)
-
-	// Monitor pairs: corners and random pairs.
+	// Monitor pairs: far corners plus random probes, and the beacon pair.
 	rng := rand.New(rand.NewSource(*seed + 1))
 	monitors := []conn.Edge{
 		{U: 0, V: int32(n - 1)},
 		{U: int32(*cols - 1), V: int32(n - *cols)},
 	}
-	for len(monitors) < 64 {
+	for len(monitors) < 16 {
 		monitors = append(monitors, conn.Edge{U: int32(rng.Intn(n)), V: int32(rng.Intn(n))})
 	}
+	watch := append(append([]conn.Edge{}, monitors...), conn.Edge{U: s0, V: s1})
 
-	alive := append(append([]graph.Edge{}, backbone...), extra...)
-	var dynTime, statTime time.Duration
+	// One subscription carries everything: pair transitions for the watched
+	// pairs and merge/split events for partition accounting. Opened after
+	// the topology is loaded, so the stream starts quiet.
+	sub, err := ns.SubscribeEvents(true, watch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sub.Close()
+
+	// Partition accounting starts from one aggregate query; every later
+	// update comes from pushed merge/split events. The sentinels are their
+	// own singleton components and are excluded from the fabric count.
+	total, _, err := ns.ComponentAggregate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := &monitor{sub: sub, ns: ns, fence: s0, partitions: int(total) - 2}
+
+	alive := topology
+	beacon := []conn.Edge{{U: s0, V: s1}}
 	for storm := 0; storm < *storms; storm++ {
-		// A storm kills a contiguous run of links (correlated failure).
 		lo := rng.Intn(max(1, len(alive)-*stormSize))
 		dead := alive[lo : lo+*stormSize]
-		batch := make([]conn.Edge, len(dead))
-		for i, e := range dead {
-			batch[i] = conn.Edge{U: e.U, V: e.V}
+		if _, err := ns.DeleteEdges(dead); err != nil {
+			log.Fatal(err)
 		}
-
-		t0 := time.Now()
-		g.DeleteEdges(batch)
-		dynAns := g.ConnectedBatch(monitors)
-		dynTime += time.Since(t0)
-
-		t0 = time.Now()
-		baseline.BatchDelete(dead)
-		statAns := baseline.BatchConnected(dead[:0])
-		_ = statAns
-		statAns = baseline.BatchConnected(toGraph(monitors))
-		statTime += time.Since(t0)
-
-		lostPairs := 0
-		for i := range monitors {
-			if dynAns[i] != statAns[i] {
-				panic(fmt.Sprintf("storm %d: dynamic and static disagree on pair %d", storm, i))
-			}
-			if !dynAns[i] {
-				lostPairs++
-			}
+		if _, err := ns.InsertEdges(beacon); err != nil { // beacon on
+			log.Fatal(err)
 		}
+		lost := m.drain(true)
 		fmt.Printf("storm %2d: %4d links down, %2d/%d monitor pairs unreachable, %d partitions\n",
-			storm, len(dead), lostPairs, len(monitors), g.NumComponents())
+			storm, len(dead), lost, len(monitors), m.partitions)
 
-		// Repair crews restore the links before the next storm.
-		t0 = time.Now()
-		g.InsertEdges(batch)
-		dynTime += time.Since(t0)
-		t0 = time.Now()
-		baseline.BatchInsert(dead)
-		baseline.BatchConnected(toGraph(monitors[:1])) // force recompute
-		statTime += time.Since(t0)
+		// Repair crews restore the links; the stream reports the healing.
+		if _, err := ns.InsertEdges(dead); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := ns.DeleteEdges(beacon); err != nil { // beacon off
+			log.Fatal(err)
+		}
+		m.drain(false)
+		if m.partitions != 1 {
+			log.Fatalf("storm %d: fabric did not heal: %d partitions", storm, m.partitions)
+		}
 	}
-	fmt.Printf("\nper-storm handling (delete + queries + repair):\n")
-	fmt.Printf("  batch-dynamic:     %v total\n", dynTime.Round(time.Millisecond))
-	fmt.Printf("  static recompute:  %v total\n", statTime.Round(time.Millisecond))
-	s := g.Stats()
-	fmt.Printf("dynamic internals: %d replacements found across %d search rounds\n",
-		s.Replaced, s.Rounds)
+
+	st, err := ns.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nevent stream: %d events pushed, %d dropped, %d subscriber(s)\n",
+		st.EventsDelivered, st.EventsDropped, st.EventSubscribers)
 }
 
-func toGraph(es []conn.Edge) []graph.Edge {
-	out := make([]graph.Edge, len(es))
+// monitor consumes the pushed event stream. partitions is the fabric's
+// component count, seeded by one startup query and maintained purely from
+// merge/split events after that.
+type monitor struct {
+	sub        *client.EventSub
+	ns         *client.Namespace
+	fence      int32 // labels >= fence belong to the sentinels
+	partitions int
+}
+
+// drain consumes pushed events until the beacon pair reaches the wanted
+// state (connected after a storm, disconnected after repair) and returns
+// how many watched pairs changed state along the way. On each storm alert
+// it asks the server how big the stranded island is — the only queries the
+// monitor runs are the ones an event triggered.
+func (m *monitor) drain(beaconUp bool) (pairs int) {
+	for ev := range m.sub.C() {
+		switch ev.Kind {
+		case client.EventSplit:
+			// Others lists every fragment (the survivor included), so one
+			// component became len(Others) of them.
+			if ev.Label < m.fence {
+				m.partitions += len(ev.Others) - 1
+			}
+		case client.EventMerge:
+			// Others lists the absorbed components, survivor excluded.
+			if ev.Label < m.fence {
+				m.partitions -= len(ev.Others)
+			}
+		case client.EventPairDisconnected:
+			if ev.U >= m.fence {
+				if !beaconUp {
+					return pairs
+				}
+				continue
+			}
+			pairs++
+			su, err := m.ns.ComponentSize(ev.U)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sv, err := m.ns.ComponentSize(ev.V)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  alert: pair {%d,%d} unreachable — islands of %d and %d switches\n",
+				ev.U, ev.V, su, sv)
+		case client.EventPairConnected:
+			if ev.U >= m.fence {
+				if beaconUp {
+					return pairs
+				}
+				continue
+			}
+			pairs++
+		case client.EventGap:
+			log.Fatal("event stream overflowed; monitor fell too far behind")
+		}
+	}
+	log.Fatalf("event stream closed: %v", m.sub.Err())
+	return pairs
+}
+
+func toConn(es []graph.Edge) []conn.Edge {
+	out := make([]conn.Edge, len(es))
 	for i, e := range es {
-		out[i] = graph.Edge{U: e.U, V: e.V}
+		out[i] = conn.Edge{U: e.U, V: e.V}
 	}
 	return out
 }

@@ -140,6 +140,31 @@ func (s *Store) All(u graph.Vertex, lvl int32, isTree bool) []*Rec {
 	return s.Fetch(u, lvl, isTree, 1<<31-1)
 }
 
+// Neighbors appends to dst the endpoint opposite u of every record in u's
+// lists across all levels — the tree lists always, the non-tree lists unless
+// treeOnly. Each live edge holds exactly one record, so the result is
+// duplicate-free. O(degree); read-only.
+//
+//conn:readonly
+func (s *Store) Neighbors(u graph.Vertex, treeOnly bool, dst []graph.Vertex) []graph.Vertex {
+	pv := s.verts[u]
+	if pv == nil {
+		return dst
+	}
+	for lvl := range pv.lv {
+		for _, r := range pv.lv[lvl].tree {
+			dst = append(dst, r.E.Other(u))
+		}
+		if treeOnly {
+			continue
+		}
+		for _, r := range pv.lv[lvl].nonTree {
+			dst = append(dst, r.E.Other(u))
+		}
+	}
+	return dst
+}
+
 // Delta reports the per-(vertex, level) change in list lengths produced by a
 // batch operation, so the caller can repair ETT augmented values.
 type Delta struct {

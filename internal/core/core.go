@@ -337,6 +337,27 @@ func (c *Conn) ComponentLabels(dst []int32) {
 	}
 }
 
+// Neighbors appends to dst the vertices currently adjacent to u (tree and
+// non-tree edges, all levels). Each live edge contributes exactly one entry,
+// so the result is duplicate-free. O(degree(u)); the query layer's k-hop
+// traversal bottoms out here. Read-only.
+//
+//conn:readonly
+func (c *Conn) Neighbors(u graph.Vertex, dst []graph.Vertex) []graph.Vertex {
+	return c.adj.Neighbors(u, false, dst)
+}
+
+// TreeNeighbors appends to dst the vertices adjacent to u through
+// spanning-forest (tree) edges, across all levels — u's neighborhood in
+// F_top. Walking TreeNeighbors from any vertex reaches exactly its
+// component, by a path of tree edges; the query layer's tree-path
+// extraction runs a BFS over it. Read-only.
+//
+//conn:readonly
+func (c *Conn) TreeNeighbors(u graph.Vertex, dst []graph.Vertex) []graph.Vertex {
+	return c.adj.Neighbors(u, true, dst)
+}
+
 // SpanningForest returns the edges of the current spanning forest (the tree
 // edges of F_top). The slice is freshly allocated; order is unspecified.
 //

@@ -87,8 +87,14 @@ type Options struct {
 	// GroupSyncMaxWait bounds the acknowledgement latency grouping may add:
 	// the sync point fires at most this long after the first unsynced
 	// epoch, even if the group never reaches K. <= 0 selects
-	// DefaultGroupSyncMaxWait. Ignored unless GroupSyncK > 1.
+	// DefaultGroupSyncMaxWait. Ignored unless grouping is enabled.
 	GroupSyncMaxWait time.Duration
+	// GroupSyncAdaptive enables group-commit with an adaptive width: the
+	// scheduler picks K from an EWMA of observed fsync latency (slow disks
+	// group more, fast disks converge to per-epoch) instead of the static
+	// GroupSyncK knob, keeping the amortized fsync cost per epoch below a
+	// fixed fraction of GroupSyncMaxWait. GroupSyncK is ignored when set.
+	GroupSyncAdaptive bool
 	// CheckpointEvery makes every M-th checkpoint a full snapshot and the
 	// ones between incremental deltas against the last full (the WAL is
 	// only truncated at fulls, so a damaged delta can always fall back).
@@ -125,6 +131,15 @@ type epochSub struct {
 	//
 	//conn:ack
 	fn func(EpochRecord)
+}
+
+// diffSub is one registered snapshot-diff subscriber (SubscribeDiffs).
+type diffSub struct {
+	// fn observes a partition-changing epoch's labelling transition, on the
+	// dispatcher goroutine, with the epoch's durable seq. It must not block.
+	//
+	//conn:dispatcher-only
+	fn func(seq uint64, d *snapshot.Diff)
 }
 
 // durability is the dispatcher-owned durable-write state.
@@ -209,6 +224,12 @@ type Engine struct {
 	subsMu sync.Mutex
 	subs   atomic.Pointer[[]*epochSub]
 
+	// diffSubs is the copy-on-write list of snapshot-diff subscribers
+	// (SubscribeDiffs): execEpoch tees each partition-changing labelling
+	// transition — the connectivity event feed.
+	diffSubsMu sync.Mutex
+	diffSubs   atomic.Pointer[[]*diffSub]
+
 	hook func(ops []coalesce.Op, res []bool)
 }
 
@@ -239,8 +260,8 @@ func New(c *core.Conn, o Options) (*Engine, error) {
 		// in the directory (fresh, or from Restore, which replays the full
 		// log), so the applied position starts at the log's end, not zero.
 		e.applied.Store(log.LastSeq())
-		if o.GroupSyncK > 1 {
-			e.gs = newGroupSync(e, o.GroupSyncK, o.GroupSyncMaxWait)
+		if o.GroupSyncAdaptive || o.GroupSyncK > 1 {
+			e.gs = newGroupSync(e, o.GroupSyncK, o.GroupSyncMaxWait, o.GroupSyncAdaptive)
 		}
 	}
 	// core.Conn implements snapshot.Source (ComponentID / ComponentSize /
@@ -398,6 +419,44 @@ func (e *Engine) SubscribeEpochs(fn func(EpochRecord)) (cancel func()) {
 			}
 		}
 		e.subs.Store(&out)
+	}
+}
+
+// SubscribeDiffs registers fn as a snapshot-diff subscriber: the dispatcher
+// calls it for every epoch that changed the connectivity partition, on the
+// dispatcher goroutine, after the new labelling is published and before any
+// caller's future resolves. seq is the epoch's durable WAL position (zero
+// without durability). fn must not block — internal/pubsub's Hub.Feed, the
+// intended consumer, buffers per subscriber and drops on overflow. Unlike
+// SubscribeEpochs this fires on memory-only engines too: events are a
+// property of the partition, not of the log. The returned cancel removes
+// the subscription and is idempotent.
+func (e *Engine) SubscribeDiffs(fn func(seq uint64, d *snapshot.Diff)) (cancel func()) {
+	sub := &diffSub{fn: fn} //conn:dispatcher-entry — hands the diff tee to the dispatcher goroutine
+	e.diffSubsMu.Lock()
+	var cur []*diffSub
+	if p := e.diffSubs.Load(); p != nil {
+		cur = *p
+	}
+	next := make([]*diffSub, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = sub
+	e.diffSubs.Store(&next)
+	e.diffSubsMu.Unlock()
+	return func() {
+		e.diffSubsMu.Lock()
+		defer e.diffSubsMu.Unlock()
+		p := e.diffSubs.Load()
+		if p == nil {
+			return
+		}
+		out := make([]*diffSub, 0, len(*p))
+		for _, s := range *p {
+			if s != sub {
+				out = append(out, s)
+			}
+		}
+		e.diffSubs.Store(&out)
 	}
 }
 
@@ -726,8 +785,18 @@ func (e *Engine) execEpoch(ops []coalesce.Op) ([]bool, uint64) {
 
 	// Publish before the dispatcher resolves the epoch's futures (our
 	// caller, coalesce.drain, closes them after we return): once any caller
-	// observes its commit, ReadRecent already reflects the epoch.
-	e.snap.Publish(touched)
+	// observes its commit, ReadRecent already reflects the epoch. A non-nil
+	// diff means this epoch changed the partition; tee the transition to
+	// the connectivity-event subscribers (internal/pubsub's hub) — still on
+	// the dispatcher, still before any future resolves, so a caller that
+	// observes its commit can also already observe its events.
+	if d := e.snap.Publish(touched); d != nil {
+		if subs := e.diffSubs.Load(); subs != nil && len(*subs) > 0 {
+			for _, s := range *subs {
+				s.fn(epochSeq, d)
+			}
+		}
+	}
 
 	if e.dur != nil {
 		e.serviceCheckpoint()
@@ -864,6 +933,11 @@ type Stats struct {
 	WALAppendTime    time.Duration
 	Checkpoints      int64
 	CheckpointsDelta int64
+
+	// GroupSyncWidth is the group-commit scheduler's current width target:
+	// the configured K for a static width, the EWMA-chosen K under
+	// GroupSyncAdaptive, zero when grouping is off.
+	GroupSyncWidth int64
 }
 
 // AvgEpoch returns the mean operations per committed epoch.
@@ -891,6 +965,9 @@ func (e *Engine) Stats() Stats {
 		out.WALAppendTime = time.Duration(e.dur.appendNanos.Load())
 		out.Checkpoints = e.dur.checkpoints.Load()
 		out.CheckpointsDelta = e.dur.deltas.Load()
+		if e.gs != nil {
+			out.GroupSyncWidth = int64(e.gs.width())
+		}
 	}
 	return out
 }

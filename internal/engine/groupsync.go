@@ -15,6 +15,12 @@
 // fsync moved — callers trade up to maxWait of acknowledgement latency for
 // a 1/k fsync amortization. A crash mid-group loses only epochs whose
 // callers were still blocked, which the recovery contract already allows.
+//
+// The width can also be adaptive (WithGroupSync(0, maxWait)): instead of a
+// static K, the scheduler tracks an EWMA of observed fsync latency and
+// picks K so one fsync amortized over the group costs each epoch at most
+// maxWait/8 — fast volumes converge to per-epoch fsyncs, slow ones widen
+// the group, and nothing has to be tuned per deployment.
 package engine
 
 import (
@@ -36,17 +42,30 @@ type pendingAck struct {
 	release func()
 }
 
+// Adaptive-width policy constants: the scheduler keeps the amortized fsync
+// cost per epoch below maxWait/adaptiveBudgetDiv by targeting
+// K = ceil(ewmaFsync / budget), clamped to [1, adaptiveMaxK]. A fast disk
+// (fsync ≪ budget) converges to K=1 — per-epoch latency, nothing grouped —
+// while a slow disk widens the group until the per-epoch share of one fsync
+// fits the budget again.
+const (
+	adaptiveBudgetDiv = 8
+	adaptiveMaxK      = 64
+)
+
 // groupSync is the group-commit fsync scheduler. The dispatcher feeds it
 // appended-but-unsynced epochs (noteEpoch) and deferred acknowledgements
 // (enqueue); the sync point runs on whichever goroutine reaches it first —
 // the dispatcher hitting the K-epoch target or a checkpoint, or the maxWait
 // timer. mu orders the two; everything below it is mu-protected.
 type groupSync struct {
-	e       *Engine
-	k       int
-	maxWait time.Duration
+	e        *Engine
+	maxWait  time.Duration
+	adaptive bool
 
 	mu       sync.Mutex
+	k        int           // current width target; fixed unless adaptive
+	ewma     time.Duration // EWMA of observed fsync latency (adaptive only)
 	recs     []EpochRecord // appended, unsynced: teed to subscribers at the sync point
 	acks     []pendingAck  // deferred acknowledgements, FIFO
 	unsynced int           // epochs appended since the last sync
@@ -55,11 +74,49 @@ type groupSync struct {
 	closed   bool
 }
 
-func newGroupSync(e *Engine, k int, maxWait time.Duration) *groupSync {
+func newGroupSync(e *Engine, k int, maxWait time.Duration, adaptive bool) *groupSync {
 	if maxWait <= 0 {
 		maxWait = DefaultGroupSyncMaxWait
 	}
-	return &groupSync{e: e, k: k, maxWait: maxWait}
+	if adaptive {
+		// Start ungrouped; the first observed fsyncs teach the EWMA how
+		// expensive the barrier actually is on this volume.
+		k = 1
+	}
+	return &groupSync{e: e, k: k, maxWait: maxWait, adaptive: adaptive}
+}
+
+// width reports the current group-width target (for Stats; the adaptive
+// policy moves it between fsyncs).
+func (gs *groupSync) width() int {
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	return gs.k
+}
+
+// retarget folds one observed fsync latency into the EWMA and re-picks the
+// width target. Caller holds gs.mu; no-op for a static width.
+func (gs *groupSync) retarget(obs time.Duration) {
+	if !gs.adaptive {
+		return
+	}
+	if gs.ewma == 0 {
+		gs.ewma = obs
+	} else {
+		gs.ewma = (7*gs.ewma + obs) / 8
+	}
+	budget := gs.maxWait / adaptiveBudgetDiv
+	if budget <= 0 {
+		budget = 1
+	}
+	k := int((gs.ewma + budget - 1) / budget)
+	if k < 1 {
+		k = 1
+	}
+	if k > adaptiveMaxK {
+		k = adaptiveMaxK
+	}
+	gs.k = k
 }
 
 // noteEpoch registers one appended-but-unsynced epoch. Called by the
@@ -134,9 +191,11 @@ func (gs *groupSync) syncLocked() {
 			panic(fmt.Sprintf("engine: group-sync point failed: %v", flt.Err()))
 		}
 	}
+	t0 := time.Now()
 	if err := gs.e.dur.log.Sync(); err != nil {
 		panic(fmt.Sprintf("engine: durable pipeline cannot sync WAL: %v", err))
 	}
+	gs.retarget(time.Since(t0))
 	gs.armed = false
 	if gs.timer != nil {
 		gs.timer.Stop()

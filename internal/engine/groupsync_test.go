@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/coalesce"
+	"repro/internal/core"
+)
+
+// TestAdaptiveRetargetPolicy pins the width policy in isolation: K tracks
+// ceil(ewma/budget) with budget = maxWait/8, clamped to [1, adaptiveMaxK],
+// and the EWMA weighs history 7:1 against each new observation.
+func TestAdaptiveRetargetPolicy(t *testing.T) {
+	gs := &groupSync{maxWait: 80 * time.Millisecond, adaptive: true, k: 1}
+	budget := gs.maxWait / adaptiveBudgetDiv // 10ms
+
+	// A fast barrier stays ungrouped.
+	gs.retarget(5 * time.Millisecond)
+	if gs.ewma != 5*time.Millisecond || gs.k != 1 {
+		t.Fatalf("after 5ms: ewma=%v k=%d, want 5ms/1", gs.ewma, gs.k)
+	}
+	// A slow barrier widens the group as the EWMA converges: constant 40ms
+	// observations must settle at K = ceil(40ms/10ms) = 4.
+	for i := 0; i < 100; i++ {
+		gs.retarget(40 * time.Millisecond)
+	}
+	if want := int((40*time.Millisecond + budget - 1) / budget); gs.k != want {
+		t.Fatalf("converged k = %d, want %d (ewma %v)", gs.k, want, gs.ewma)
+	}
+	// A pathological barrier clamps at the cap instead of unbounded widths.
+	for i := 0; i < 100; i++ {
+		gs.retarget(10 * time.Second)
+	}
+	if gs.k != adaptiveMaxK {
+		t.Fatalf("clamped k = %d, want %d", gs.k, adaptiveMaxK)
+	}
+	// Recovery: the EWMA forgets, K comes back down to 1.
+	for i := 0; i < 200; i++ {
+		gs.retarget(time.Millisecond)
+	}
+	if gs.k != 1 {
+		t.Fatalf("recovered k = %d (ewma %v), want 1", gs.k, gs.ewma)
+	}
+}
+
+func TestRetargetNoopWhenStatic(t *testing.T) {
+	gs := &groupSync{maxWait: 80 * time.Millisecond, k: 8}
+	gs.retarget(10 * time.Second)
+	if gs.k != 8 || gs.ewma != 0 {
+		t.Fatalf("static scheduler retargeted: k=%d ewma=%v", gs.k, gs.ewma)
+	}
+}
+
+// TestAdaptiveGroupSyncEndToEnd runs a durable engine with the adaptive
+// width under concurrent writers: every acknowledged epoch must be below
+// the synced frontier (acked ⇒ fsynced, the invariant grouping is not
+// allowed to weaken), and the advertised width must stay in policy range.
+func TestAdaptiveGroupSyncEndToEnd(t *testing.T) {
+	const n = 128
+	e, err := New(core.New(n), Options{
+		DurDir:            t.TempDir(),
+		GroupSyncAdaptive: true,
+		GroupSyncMaxWait:  2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := int32(w * (n / 4))
+			for i := 0; i < 40; i++ {
+				u := base + int32(i%31)
+				ops := []coalesce.Op{{Kind: coalesce.OpInsert, U: u, V: u + 1}}
+				if i%3 == 2 {
+					ops[0].Kind = coalesce.OpDelete
+				}
+				_, seq, err := e.Apply(ops)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if synced := e.SyncedSeq(); seq > 0 && synced < seq {
+					t.Errorf("acked epoch %d above synced frontier %d", seq, synced)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := e.Stats()
+	if st.GroupSyncWidth < 1 || st.GroupSyncWidth > adaptiveMaxK {
+		t.Fatalf("advertised width %d outside [1,%d]", st.GroupSyncWidth, adaptiveMaxK)
+	}
+	if st.WALFsyncs == 0 {
+		t.Fatal("no fsyncs recorded on a durable adaptive engine")
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

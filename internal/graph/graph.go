@@ -37,6 +37,8 @@ func FromKey(k uint64) Edge {
 }
 
 // Other returns the endpoint of e that is not x.
+//
+//conn:readonly
 func (e Edge) Other(x Vertex) Vertex {
 	if e.U == x {
 		return e.V

@@ -31,6 +31,8 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/coalesce"
 	"repro/internal/engine"
+	"repro/internal/pubsub"
+	"repro/internal/query"
 	"repro/internal/repl"
 	"repro/internal/shard"
 	"repro/internal/wal"
@@ -137,6 +139,17 @@ type namespace struct {
 	// hub is nil.
 	shardHubs []*repl.Hub
 
+	// ehub fans connectivity events out to CmdSubscribeEvents streams. Every
+	// primary-side namespace has one (nil on a replica — event subscriptions
+	// redirect to the primary, whose epoch pipeline orders the events). The
+	// hub is wired into the namespace's diff stream lazily, while at least
+	// one subscriber exists (evRefs/evCancel under evMu), so an idle sharded
+	// namespace never pays the per-epoch global label recompose.
+	ehub     *pubsub.Hub
+	evMu     sync.Mutex
+	evRefs   int
+	evCancel func()
+
 	mu     sync.RWMutex
 	closed bool
 	g      *conn.Graph
@@ -164,6 +177,34 @@ func (ns *namespace) seq() uint64 {
 		return 0 // no single-number position across k WAL streams
 	}
 	return ns.b.AppliedSeq()
+}
+
+// retainEvents wires the namespace's diff stream into its event hub when the
+// first event subscriber arrives; releaseEvents unwires it when the last one
+// leaves. Feed runs on the dispatcher (or, sharded, on the composing
+// engine's dispatcher) and never blocks — subscriber buffers absorb or drop.
+func (ns *namespace) retainEvents() {
+	ns.evMu.Lock()
+	defer ns.evMu.Unlock()
+	ns.evRefs++
+	if ns.evRefs > 1 {
+		return
+	}
+	if ns.sh != nil {
+		ns.evCancel = ns.sh.SubscribeDiffs(ns.ehub.Feed) //conn:dispatcher-entry
+	} else {
+		ns.evCancel = ns.b.SubscribeDiffs(ns.ehub.Feed) //conn:dispatcher-entry
+	}
+}
+
+func (ns *namespace) releaseEvents() {
+	ns.evMu.Lock()
+	defer ns.evMu.Unlock()
+	ns.evRefs--
+	if ns.evRefs == 0 && ns.evCancel != nil {
+		ns.evCancel()
+		ns.evCancel = nil
+	}
 }
 
 // New builds a server and, if opts.DataDir is set, restores every durable
@@ -210,7 +251,7 @@ func New(opts Options) (*Server, error) {
 				if err != nil {
 					return nil, fmt.Errorf("server: restore namespace %q: %w", name, err)
 				}
-				ns := &namespace{name: name, durable: true, sh: coord}
+				ns := &namespace{name: name, durable: true, sh: coord, ehub: pubsub.NewHub()}
 				ns.shardHubs = newShardHubs(coord, dir)
 				s.namespaces[name] = ns
 				s.logf("restored sharded namespace %q (n=%d, %d shards)", name, n, k)
@@ -227,7 +268,7 @@ func New(opts Options) (*Server, error) {
 			if err != nil {
 				return nil, fmt.Errorf("server: namespace %q: %w", name, err)
 			}
-			ns := &namespace{name: name, durable: true, g: g, b: b}
+			ns := &namespace{name: name, durable: true, g: g, b: b, ehub: pubsub.NewHub()}
 			ns.hub = repl.NewHub(b, dir, g.N())
 			s.namespaces[name] = ns
 			s.logf("restored namespace %q (n=%d, %d edges)", name, g.N(), g.NumEdges())
@@ -412,6 +453,9 @@ func (s *Server) Shutdown() {
 		for _, h := range ns.shardHubs {
 			h.Stop()
 		}
+		if ns.ehub != nil {
+			ns.ehub.Close() // wakes event pumps via their Done channels
+		}
 	}
 	s.mu.RUnlock()
 	// Sever subscription connections outright: their pumps are the one
@@ -535,7 +579,7 @@ func (s *Server) handleConn(c net.Conn) {
 				Msg: "server is draining"})
 			continue
 		}
-		if req.Cmd == wire.CmdSubscribe {
+		if req.Cmd == wire.CmdSubscribe || req.Cmd == wire.CmdSubscribeEvents {
 			// A subscription owns the connection's write side for its
 			// lifetime (frames from other pipelined requests still
 			// interleave safely, but the stream ends by closing the
@@ -549,7 +593,11 @@ func (s *Server) handleConn(c net.Conn) {
 			reqWG.Add(1)
 			go func() {
 				defer reqWG.Done()
-				s.subscribe(req, write)
+				if req.Cmd == wire.CmdSubscribe {
+					s.subscribe(req, write)
+				} else {
+					s.subscribeEvents(req, write)
+				}
 				s.connMu.Lock()
 				delete(s.subConns, c)
 				s.connMu.Unlock()
@@ -628,6 +676,98 @@ func (s *Server) subscribe(req *wire.Request, write func(*wire.Response) error) 
 		// (a lagging follower reconnects into catch-up).
 		write(fail(wire.StatusInternal, "subscription ended: %v", err))
 	}
+}
+
+// subscribeEvents serves one CmdSubscribeEvents stream: register the
+// subscriber with the namespace's event hub, wire the hub into the diff
+// stream (first subscriber only — retainEvents), acknowledge with a hello
+// event, then pump the subscriber's buffer into the connection until the
+// peer goes away or the namespace does. It runs on the request's goroutine;
+// the caller closes the connection when it returns.
+func (s *Server) subscribeEvents(req *wire.Request, write func(*wire.Response) error) {
+	fail := func(st wire.Status, format string, args ...any) *wire.Response {
+		return &wire.Response{ID: req.ID, Status: st, Msg: fmt.Sprintf(format, args...)}
+	}
+	if s.opts.ReplicaOf != "" {
+		// A replica's follower may swap its whole graph during snapshot
+		// catch-up — a labelling jump, not a stream of events. Events come
+		// from the primary, whose epoch pipeline totally orders them.
+		write(fail(wire.StatusReadOnly, "%s", s.opts.ReplicaOf))
+		return
+	}
+	ns, resp := s.lookup(req, fail)
+	if resp != nil {
+		write(resp)
+		return
+	}
+	ns.mu.RLock()
+	closed := ns.closed
+	var n int32
+	if ns.sh != nil {
+		n = int32(ns.sh.N())
+	} else {
+		n = int32(ns.g.N())
+	}
+	ns.mu.RUnlock()
+	if closed {
+		write(fail(wire.StatusNotFound, "namespace %q: dropped", req.NS))
+		return
+	}
+	if !req.Comps && len(req.Pairs) == 0 {
+		write(fail(wire.StatusBadRequest,
+			"event subscription names no component events and no watch pairs"))
+		return
+	}
+	pairs := make([]pubsub.Pair, len(req.Pairs))
+	for i, p := range req.Pairs {
+		if p.U < 0 || p.U >= n || p.V < 0 || p.V >= n {
+			write(fail(wire.StatusBadRequest,
+				"watch pair {%d, %d} out of range [0, %d)", p.U, p.V, n))
+			return
+		}
+		pairs[i] = pubsub.Pair{U: p.U, V: p.V}
+	}
+	sub := ns.ehub.Subscribe(req.Comps, pairs)
+	if sub == nil {
+		write(fail(wire.StatusNotFound, "namespace %q: dropped", req.NS))
+		return
+	}
+	defer ns.ehub.Cancel(sub)
+	ns.retainEvents()
+	defer ns.releaseEvents()
+	// Hello first: it acknowledges the subscription, and every event that
+	// follows reflects a transition that committed after it was sent.
+	if write(&wire.Response{ID: req.ID,
+		Event: &wire.EventBody{Kind: uint8(pubsub.KindHello)}}) != nil {
+		return
+	}
+	for {
+		select {
+		case ev := <-sub.C():
+			if write(eventResponse(req.ID, ev)) != nil {
+				return
+			}
+		case <-sub.Done():
+			// Hub closed: the namespace was dropped or the server is
+			// draining. Best effort — the peer may already be gone.
+			write(fail(wire.StatusNotFound, "namespace %q: dropped", req.NS))
+			return
+		}
+	}
+}
+
+func eventResponse(id uint64, ev pubsub.Event) *wire.Response {
+	return &wire.Response{ID: id, Event: &wire.EventBody{
+		Kind: uint8(ev.Kind), Epoch: ev.Epoch, Seq: ev.Seq,
+		Label: ev.Label, U: ev.U, V: ev.V, Others: ev.Others,
+	}}
+}
+
+func queryResponse(id uint64, res query.Result) *wire.Response {
+	return &wire.Response{ID: id, Query: &wire.QueryBody{
+		Seq: res.Seq, Found: res.Found, Size: res.Size, Count: res.Count,
+		Verts: res.Verts, Hist: res.Hist,
+	}}
 }
 
 // handle executes one request. It runs on a per-request goroutine and may
@@ -757,9 +897,38 @@ func (s *Server) handle(req *wire.Request) *wire.Response {
 			bits = []bool{}
 		}
 		return &wire.Response{ID: req.ID, Bits: bits, Seq: seq}
+	case wire.CmdQuery:
+		qreq := query.Request{Kind: query.Kind(req.QKind), Linearized: req.Linearized,
+			U: req.U, V: req.V, K: req.K}
+		if ns.sh != nil {
+			res, err := ns.sh.Query(qreq)
+			if err != nil {
+				return fail(wire.StatusBadRequest, "%v", err)
+			}
+			return queryResponse(req.ID, res)
+		}
+		if qreq.Linearized && ns.readonly {
+			// A linearized query must observe every acknowledged write;
+			// only the primary can promise that.
+			return fail(wire.StatusReadOnly, "%s", s.opts.ReplicaOf)
+		}
+		// Replica position sampled BEFORE the read, like the read tiers: the
+		// local engine's seq counts locally applied epochs, not primary
+		// stream positions, so the follower's applied seq replaces it.
+		seqBefore := ns.seq()
+		res, err := ns.b.Query(qreq)
+		if err != nil {
+			return fail(wire.StatusBadRequest, "%v", err)
+		}
+		if ns.readonly {
+			res.Seq = seqBefore
+		}
+		return queryResponse(req.ID, res)
 	case wire.CmdStats:
 		if ns.sh != nil {
-			return &wire.Response{ID: req.ID, Stats: shardedStats(ns)}
+			ws := shardedStats(ns)
+			addEventStats(ns, &ws)
+			return &wire.Response{ID: req.ID, Stats: ws}
 		}
 		st := ns.b.Stats()
 		ws := wire.Stats{
@@ -784,6 +953,7 @@ func (s *Server) handle(req *wire.Request) *wire.Response {
 			ws.LastShippedSeq = shipped
 			ws.MaxFollowerLag = lag
 		}
+		addEventStats(ns, &ws)
 		return &wire.Response{ID: req.ID, Stats: ws}
 	case wire.CmdCheckpoint:
 		if ns.readonly {
@@ -821,6 +991,18 @@ func (s *Server) lookup(req *wire.Request, fail failFunc) (*namespace, *wire.Res
 }
 
 type failFunc func(st wire.Status, format string, args ...any) *wire.Response
+
+// addEventStats folds the namespace's event-hub counters into a stats
+// response; a replica namespace has no hub and reports zeros.
+func addEventStats(ns *namespace, ws *wire.Stats) {
+	if ns.ehub == nil {
+		return
+	}
+	subs, delivered, dropped := ns.ehub.Stats()
+	ws.EventSubscribers = uint64(subs)
+	ws.EventsDelivered = uint64(delivered)
+	ws.EventsDropped = uint64(dropped)
+}
 
 // shardedStats aggregates a sharded namespace's counters across its engines
 // and attaches the per-engine breakdown (shards 0..k-1, then the boundary
@@ -911,7 +1093,7 @@ func (s *Server) create(req *wire.Request, fail failFunc) *wire.Response {
 		if err != nil {
 			return fail(wire.StatusInternal, "create %q: %v", req.NS, err)
 		}
-		ns := &namespace{name: req.NS, durable: req.Durable, sh: coord}
+		ns := &namespace{name: req.NS, durable: req.Durable, sh: coord, ehub: pubsub.NewHub()}
 		if req.Durable {
 			ns.shardHubs = newShardHubs(coord, dir)
 		}
@@ -923,7 +1105,7 @@ func (s *Server) create(req *wire.Request, fail failFunc) *wire.Response {
 	if err != nil {
 		return fail(wire.StatusInternal, "create %q: %v", req.NS, err)
 	}
-	ns := &namespace{name: req.NS, durable: req.Durable, g: g, b: b}
+	ns := &namespace{name: req.NS, durable: req.Durable, g: g, b: b, ehub: pubsub.NewHub()}
 	if req.Durable {
 		ns.hub = repl.NewHub(b, dir, g.N())
 	}
@@ -964,6 +1146,9 @@ func (s *Server) drop(req *wire.Request, fail failFunc) *wire.Response {
 	}
 	for _, h := range ns.shardHubs {
 		h.Stop()
+	}
+	if ns.ehub != nil {
+		ns.ehub.Close()
 	}
 	// The write lock waits out every in-flight request on this namespace;
 	// new lookups already miss the map.

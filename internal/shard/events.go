@@ -1,0 +1,112 @@
+// Sharded connectivity events: the coordinator re-derives a GLOBAL
+// labelling transition whenever any engine's local partition changes, so
+// the event hub above it sees exactly the composed graph's merges and
+// splits — never a shard-local artifact (an intra-shard split that stays
+// bridged through the boundary engine produces no global event).
+//
+// Mechanics: every engine's snapshot differ already detects its own
+// partition-changing epochs (engine.SubscribeDiffs). The composer hooks all
+// k+1 of them; on any firing it recomposes the global min-vertex labelling
+// from the engines' published snapshots (composeLabels — wait-free loads),
+// diffs it against the previous composition, and feeds the transition to
+// the coordinator's diff subscribers. The callbacks run on the engines'
+// dispatcher goroutines; composerMu serializes them, so transitions are
+// totally ordered and each global change is emitted exactly once (a
+// dispatcher that recomposes after a concurrent one already integrated its
+// engine's change sees an empty diff and emits nothing). The recompose is
+// O((k+1)·n·α) and is skipped entirely while nobody subscribes.
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/snapshot"
+)
+
+// composer is the coordinator's global-labelling differ.
+type composer struct {
+	c *Coordinator
+
+	nsubs atomic.Int32 // fast-path gate for the per-epoch callbacks
+
+	mu    sync.Mutex
+	prev  *snapshot.Labels // last composed global labelling; nil until first subscriber
+	epoch uint64
+	subs  map[int]func(seq uint64, d *snapshot.Diff)
+	next  int
+}
+
+// initComposer hooks the composer into every engine's diff stream. Called
+// from New; the cancel functions are not retained because the engines and
+// the composer share the coordinator's lifetime.
+func (c *Coordinator) initComposer() {
+	cp := &composer{c: c, subs: make(map[int]func(uint64, *snapshot.Diff))}
+	c.comp = cp
+	for _, e := range c.engines {
+		e.SubscribeDiffs(cp.onDiff) //conn:dispatcher-entry
+	}
+}
+
+// SubscribeDiffs registers fn to observe every GLOBAL partition-changing
+// transition of the combined graph, serialized and in order. seq is always
+// zero (a sharded namespace has no single durable position); the diff's
+// labellings carry the composer's own epoch counter. fn must not block —
+// it runs on an engine dispatcher goroutine. The returned cancel is
+// idempotent. The first subscription snapshots the current composition as
+// the diff baseline.
+func (c *Coordinator) SubscribeDiffs(fn func(seq uint64, d *snapshot.Diff)) (cancel func()) {
+	cp := c.comp
+	cp.mu.Lock()
+	if cp.prev == nil {
+		cp.prev = snapshot.NewLabels(c.composeLabels(), cp.epoch)
+	}
+	id := cp.next
+	cp.next++
+	cp.subs[id] = fn
+	cp.mu.Unlock()
+	cp.nsubs.Add(1)
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			cp.mu.Lock()
+			delete(cp.subs, id)
+			cp.mu.Unlock()
+			cp.nsubs.Add(-1)
+		})
+	}
+}
+
+// onDiff is every engine's diff callback: recompose, diff globally, fan
+// out. Runs on the publishing engine's dispatcher goroutine; cp.mu
+// serializes concurrent engines, and the engine's own ordering guarantees
+// make each engine's transitions arrive here in its epoch order.
+//
+//conn:dispatcher-only
+func (cp *composer) onDiff(_ uint64, _ *snapshot.Diff) {
+	if cp.nsubs.Load() == 0 {
+		return
+	}
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	if cp.prev == nil || len(cp.subs) == 0 {
+		return
+	}
+	lbl := cp.c.composeLabels()
+	var changed []int32
+	for v := range lbl {
+		if lbl[v] != cp.prev.Label(int32(v)) {
+			changed = append(changed, int32(v))
+		}
+	}
+	if len(changed) == 0 {
+		return // another engine's recompose already integrated this change
+	}
+	cp.epoch++
+	cur := snapshot.NewLabels(lbl, cp.epoch)
+	d := &snapshot.Diff{Prev: cp.prev, Cur: cur, Changed: changed}
+	cp.prev = cur
+	for _, fn := range cp.subs {
+		fn(0, d)
+	}
+}

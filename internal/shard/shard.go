@@ -67,13 +67,14 @@ type Options struct {
 	// Existing state is restored; a fresh directory is initialized with a
 	// meta file pinning (shards, n).
 	DurDir string
-	// WALCodec, GroupSyncK, GroupSyncMaxWait and CheckpointEvery are the
-	// durability-pipeline knobs, applied uniformly to every engine (see
-	// engine.Options). Ignored without DurDir.
-	WALCodec         wal.Codec
-	GroupSyncK       int
-	GroupSyncMaxWait time.Duration
-	CheckpointEvery  int
+	// WALCodec, GroupSyncK, GroupSyncMaxWait, GroupSyncAdaptive and
+	// CheckpointEvery are the durability-pipeline knobs, applied uniformly
+	// to every engine (see engine.Options). Ignored without DurDir.
+	WALCodec          wal.Codec
+	GroupSyncK        int
+	GroupSyncMaxWait  time.Duration
+	GroupSyncAdaptive bool
+	CheckpointEvery   int
 }
 
 // Coordinator hash-partitions a vertex universe across k shard engines
@@ -105,6 +106,10 @@ type Coordinator struct {
 
 	buildMu sync.Mutex // serializes index rebuilds
 	idx     atomic.Pointer[compIndex]
+
+	// comp re-derives global labelling transitions from per-engine snapshot
+	// diffs — the sharded connectivity-event feed (see events.go).
+	comp *composer
 
 	closed atomic.Bool
 }
@@ -159,6 +164,7 @@ func New(n, k int, o Options) (*Coordinator, error) {
 				WALCodec:          o.WALCodec,
 				GroupSyncK:        o.GroupSyncK,
 				GroupSyncMaxWait:  o.GroupSyncMaxWait,
+				GroupSyncAdaptive: o.GroupSyncAdaptive,
 				CheckpointEvery:   o.CheckpointEvery,
 			})
 		}
@@ -170,6 +176,7 @@ func New(n, k int, o Options) (*Coordinator, error) {
 			return nil, fmt.Errorf("shard: opening %s: %w", DirName(i, k), err)
 		}
 	}
+	c.initComposer()
 	return c, nil
 }
 

@@ -61,6 +61,32 @@ func (l *Labels) Epoch() uint64 { return l.epoch }
 // Len returns the vertex count.
 func (l *Labels) Len() int { return len(l.lbl) }
 
+// CopyTo copies the labelling into dst (length Len). The sharded event
+// composer gathers every engine's labelling this way before the union-find
+// contraction; copying keeps the published array unaliased.
+//
+//conn:readonly
+func (l *Labels) CopyTo(dst []int32) { copy(dst, l.lbl) }
+
+// NewLabels wraps a caller-built labelling as an immutable Labels — the
+// constructor the sharded composer uses for the globally-composed labelling
+// it diffs and hands to the event hub. Ownership of lbl transfers: the
+// caller must never write to it again.
+func NewLabels(lbl []int32, epoch uint64) *Labels { return &Labels{lbl: lbl, epoch: epoch} }
+
+// Diff describes one published transition: the labelling that was current
+// before, the one published in its place, and the vertices whose label
+// changed (each exactly once, ascending within the rebuild path,
+// unspecified order otherwise). Because labels are canonical min-vertex
+// ids, Changed is non-empty exactly when the epoch changed the partition —
+// this is the partition-changing-epoch detection the connectivity event
+// hub (internal/pubsub) is fed from. Both Labels are immutable; a Diff may
+// be retained and read from any goroutine.
+type Diff struct {
+	Prev, Cur *Labels
+	Changed   []int32
+}
+
 // Source is the read-only view of the live structure the publisher walks.
 // All methods must be safe for the publisher to call while concurrent
 // readers run Labels methods (they are: conn.Graph's implementations are
@@ -141,12 +167,15 @@ func (s *Store) Stats() Stats {
 // A new snapshot is published only when some label actually changes —
 // updates that leave the partition intact (an edge inside a component, a
 // deleted non-bridge) cost the dirty-component walks but allocate nothing
-// and do not advance the epoch counter. Dispatcher-only.
+// and do not advance the epoch counter. Returns the transition when a
+// snapshot was published, nil when the labelling stood: exactly the
+// partition-changing epochs, which the engine tees to connectivity-event
+// subscribers. Dispatcher-only.
 //
 //conn:dispatcher-only
-func (s *Store) Publish(touched []int32) {
+func (s *Store) Publish(touched []int32) *Diff {
 	if len(touched) == 0 {
-		return
+		return nil
 	}
 	prev := s.cur.Load()
 	// Dirty components, deduped by live component id; budget is the total
@@ -168,15 +197,20 @@ func (s *Store) Publish(touched []int32) {
 	if budget > s.threshold {
 		lbl := make([]int32, s.n)
 		s.src.ComponentLabels(lbl)
+		var changed []int32
 		for i := range lbl {
 			if lbl[i] != prev.lbl[i] {
-				s.rebuilds.Add(1)
-				s.publishes.Add(1)
-				s.publish(&Labels{lbl: lbl, epoch: prev.epoch + 1})
-				return
+				changed = append(changed, int32(i))
 			}
 		}
-		return // full relabelling reproduced the published labels
+		if len(changed) == 0 {
+			return nil // full relabelling reproduced the published labels
+		}
+		s.rebuilds.Add(1)
+		s.publishes.Add(1)
+		cur := &Labels{lbl: lbl, epoch: prev.epoch + 1}
+		s.publish(cur)
+		return &Diff{Prev: prev, Cur: cur, Changed: changed}
 	}
 
 	// Walk each dirty component once, recording the components whose labels
@@ -202,15 +236,21 @@ func (s *Store) Publish(touched []int32) {
 		}
 	}
 	if len(patches) == 0 {
-		return
+		return nil
 	}
 	lbl := make([]int32, s.n)
 	copy(lbl, prev.lbl)
+	var changed []int32
 	for _, p := range patches {
 		for _, v := range p.vs {
-			lbl[v] = p.m
+			if lbl[v] != p.m {
+				changed = append(changed, v)
+				lbl[v] = p.m
+			}
 		}
 	}
 	s.publishes.Add(1)
-	s.publish(&Labels{lbl: lbl, epoch: prev.epoch + 1})
+	cur := &Labels{lbl: lbl, epoch: prev.epoch + 1}
+	s.publish(cur)
+	return &Diff{Prev: prev, Cur: cur, Changed: changed}
 }

@@ -1,0 +1,19 @@
+package wire
+
+import (
+	"testing"
+
+	"repro/internal/pubsub"
+	"repro/internal/query"
+)
+
+// The wire package is dependency-free, so it mirrors the query and pubsub
+// enum bounds as constants; this pins the mirrors to the real enums.
+func TestEnumBoundsMatchPackages(t *testing.T) {
+	if maxQueryKind != uint8(query.KindAggregate) {
+		t.Fatalf("maxQueryKind = %d, query.KindAggregate = %d", maxQueryKind, query.KindAggregate)
+	}
+	if maxEventKind != uint8(pubsub.KindGap) {
+		t.Fatalf("maxEventKind = %d, pubsub.KindGap = %d", maxEventKind, pubsub.KindGap)
+	}
+}

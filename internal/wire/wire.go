@@ -35,10 +35,28 @@
 //	CmdCheckpoint : ns                               → path string
 //	CmdPing       : empty                            → empty
 //	CmdSubscribe  : ns | fromSeq uint64 | shard uint32 → epoch stream (below)
+//	CmdQuery      : ns | qkind uint8 | linearized uint8 | u uint32 | v uint32 |
+//	                k uint32
+//	                → seq uint64 | found uint8 | size uint64 | count uint64 |
+//	                  nVerts uint32 | (v uint32)* | nHist uint32 | (uint64)*
+//	CmdSubscribeEvents : ns | comps uint8 | nPairs uint32 | (u,v)*
+//	                → event stream (below)
 //
 // A subscription against a sharded namespace names the shard engine to
 // stream (0..k-1, or k for the boundary engine); against an unsharded
 // namespace the shard field must be zero.
+//
+// CmdQuery's qkind selects a structural query (internal/query's Kind enum:
+// k-hop, members, size, tree path, aggregate); linearized selects the fenced
+// tier. CmdSubscribeEvents turns the connection into a one-way connectivity
+// event stream: comps != 0 subscribes to component merge/split events, and
+// each watch pair subscribes to that pair's connected/disconnected
+// transitions. The server answers with StatusOK responses carrying event
+// bodies (a hello event first, acknowledging the subscription), until the
+// namespace goes away or either side closes the connection:
+//
+//	event : kind uint8 | epoch uint64 | seq uint64 | label uint32 |
+//	        u uint32 | v uint32 | nOthers uint32 | (uint32)*
 //
 // The seq on batch and read-tier responses is the replication position the
 // answer reflects: on a primary the last durable WAL seq, on a replica the
@@ -120,6 +138,8 @@ const (
 	CmdCheckpoint
 	CmdPing
 	CmdSubscribe
+	CmdQuery
+	CmdSubscribeEvents
 )
 
 // Status is a response's result code. Anything but StatusOK is an error and
@@ -211,6 +231,14 @@ type Stats struct {
 	MaxFollowerLag uint64
 	AppliedSeq     uint64
 
+	// Event hub. Connected CmdSubscribeEvents subscribers, events placed in
+	// their buffers, and events discarded because a subscriber's buffer was
+	// full (each drop run is later summarized to that subscriber by one gap
+	// event).
+	EventSubscribers uint64
+	EventsDelivered  uint64
+	EventsDropped    uint64
+
 	// Shards is the per-engine breakdown of a sharded namespace, one entry
 	// per shard engine plus a final entry for the boundary engine. Empty for
 	// unsharded namespaces.
@@ -230,10 +258,10 @@ type ShardStats struct {
 // isZero reports whether the stats block is empty, in which case a response
 // carries no stats body at all.
 func (s *Stats) isZero() bool {
-	return len(s.Shards) == 0 && s.fields() == [17]uint64{}
+	return len(s.Shards) == 0 && s.fields() == [20]uint64{}
 }
 
-const statsLen = 17 * 8
+const statsLen = 20 * 8
 const shardStatsLen = 6 * 8
 
 // Request is one decoded client frame. Fields beyond ID/Cmd are populated
@@ -243,12 +271,32 @@ type Request struct {
 	Cmd     Cmd
 	NS      string
 	Ops     []Op   // CmdBatch
-	Pairs   []Pair // CmdReadNow / CmdReadRecent
+	Pairs   []Pair // CmdReadNow / CmdReadRecent; CmdSubscribeEvents: watch pairs
 	N       uint32 // CmdCreate
 	Durable bool   // CmdCreate
 	Shards  uint32 // CmdCreate: 0 or 1 = unsharded, k >= 2 = hash-partitioned; CmdSubscribe: shard engine selector
 	FromSeq uint64 // CmdSubscribe: resume after this epoch seq
+
+	// CmdQuery: the structural query (QKind is internal/query's Kind enum;
+	// Linearized selects the fenced tier; U/V/K are its operands).
+	QKind      uint8
+	Linearized bool
+	U, V       int32
+	K          uint32
+
+	// CmdSubscribeEvents: subscribe to component merge/split events (the
+	// watch pairs ride in Pairs).
+	Comps bool
 }
+
+// maxQueryKind bounds CmdQuery's QKind byte — the highest internal/query
+// Kind value (KindAggregate). The wire package is dependency-free, so the
+// bound is mirrored here; query_test cross-checks the two enums.
+const maxQueryKind = 4
+
+// maxEventKind bounds an event body's kind byte — the highest
+// internal/pubsub Kind value (KindGap); mirrored like maxQueryKind.
+const maxEventKind = 5
 
 // SnapshotBody is one chunk of a full-state transfer on a subscription
 // stream: the follower discards its state and rebuilds from the edges of
@@ -292,6 +340,31 @@ type DeltaBody struct {
 	Del  []Pair
 }
 
+// QueryBody is a CmdQuery answer: which of Size/Count/Verts/Hist is
+// meaningful depends on the request's QKind (internal/query's Result
+// documents the mapping). Seq is the replication position the answer
+// reflects, zero for sharded namespaces.
+type QueryBody struct {
+	Seq   uint64
+	Found bool
+	Size  uint64
+	Count uint64
+	Verts []int32
+	Hist  []uint64
+}
+
+// EventBody is one connectivity event on a CmdSubscribeEvents stream —
+// internal/pubsub's Event, field for field. Kind is pubsub's Kind enum;
+// Label/U/V/Others are populated per kind.
+type EventBody struct {
+	Kind   uint8
+	Epoch  uint64
+	Seq    uint64
+	Label  int32
+	U, V   int32
+	Others []int32
+}
+
 // Response is one decoded server frame. Msg is set iff Status != StatusOK;
 // the other fields are populated per the request's command.
 type Response struct {
@@ -307,6 +380,8 @@ type Response struct {
 	Delta      *DeltaBody    // CmdSubscribe stream: incremental checkpoint
 	Epoch      *EpochBody    // CmdSubscribe stream: one shipped epoch
 	EpochRaw   *EpochRawBody // CmdSubscribe stream: epoch in WAL codec form
+	Query      *QueryBody    // CmdQuery
+	Event      *EventBody    // CmdSubscribeEvents stream: one connectivity event
 }
 
 // ---------------------------------------------------------------- framing
@@ -424,6 +499,29 @@ func EncodeRequest(r *Request) ([]byte, error) {
 		buf = appendString(buf, r.NS)
 		buf = binary.LittleEndian.AppendUint64(buf, r.FromSeq)
 		buf = binary.LittleEndian.AppendUint32(buf, r.Shards)
+	case CmdQuery:
+		if r.QKind > maxQueryKind {
+			return nil, fmt.Errorf("%w: unknown query kind %d", ErrDecode, r.QKind)
+		}
+		buf = appendString(buf, r.NS)
+		buf = append(buf, r.QKind)
+		var lin uint8
+		if r.Linearized {
+			lin = 1
+		}
+		buf = append(buf, lin)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(r.U))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(r.V))
+		buf = binary.LittleEndian.AppendUint32(buf, r.K)
+	case CmdSubscribeEvents:
+		buf = appendString(buf, r.NS)
+		var comps uint8
+		if r.Comps {
+			comps = 1
+		}
+		buf = append(buf, comps)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Pairs)))
+		buf = appendPairs(buf, r.Pairs)
 	case CmdList, CmdPing:
 		// no body
 	default:
@@ -484,6 +582,41 @@ func EncodeResponse(r *Response) ([]byte, error) {
 		buf = append(buf, er.Codec)
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(er.Enc)))
 		buf = append(buf, er.Enc...)
+	case r.Query != nil:
+		q := r.Query
+		buf = append(buf, bodyQuery)
+		buf = binary.LittleEndian.AppendUint64(buf, q.Seq)
+		var found uint8
+		if q.Found {
+			found = 1
+		}
+		buf = append(buf, found)
+		buf = binary.LittleEndian.AppendUint64(buf, q.Size)
+		buf = binary.LittleEndian.AppendUint64(buf, q.Count)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(q.Verts)))
+		for _, v := range q.Verts {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(q.Hist)))
+		for _, h := range q.Hist {
+			buf = binary.LittleEndian.AppendUint64(buf, h)
+		}
+	case r.Event != nil:
+		ev := r.Event
+		if ev.Kind > maxEventKind {
+			return nil, fmt.Errorf("%w: unknown event kind %d", ErrDecode, ev.Kind)
+		}
+		buf = append(buf, bodyEvent)
+		buf = append(buf, ev.Kind)
+		buf = binary.LittleEndian.AppendUint64(buf, ev.Epoch)
+		buf = binary.LittleEndian.AppendUint64(buf, ev.Seq)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(ev.Label))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(ev.U))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(ev.V))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ev.Others)))
+		for _, o := range ev.Others {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(o))
+		}
 	case r.Namespaces != nil:
 		buf = append(buf, bodyList)
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Namespaces)))
@@ -533,18 +666,21 @@ const (
 	bodyEpoch
 	bodyEpochRaw
 	bodyDelta
+	bodyQuery
+	bodyEvent
 )
 
-func (s *Stats) fields() [17]uint64 {
-	return [17]uint64{
+func (s *Stats) fields() [20]uint64 {
+	return [20]uint64{
 		s.Epochs, s.Ops, s.MaxEpoch, s.SnapshotPublishes, s.SnapshotRebuilds,
 		s.WALRecords, s.WALBytes, s.WALAppendNanos, s.Checkpoints,
 		s.Subscribers, s.LastShippedSeq, s.MaxFollowerLag, s.AppliedSeq,
 		s.WALRawBytes, s.WALFsyncs, s.WALFsyncsSaved, s.CheckpointsDelta,
+		s.EventSubscribers, s.EventsDelivered, s.EventsDropped,
 	}
 }
 
-func (s *Stats) setFields(f [17]uint64) {
+func (s *Stats) setFields(f [20]uint64) {
 	s.Epochs, s.Ops, s.MaxEpoch, s.SnapshotPublishes, s.SnapshotRebuilds,
 		s.WALRecords, s.WALBytes, s.WALAppendNanos, s.Checkpoints =
 		f[0], f[1], f[2], f[3], f[4], f[5], f[6], f[7], f[8]
@@ -552,6 +688,8 @@ func (s *Stats) setFields(f [17]uint64) {
 		f[9], f[10], f[11], f[12]
 	s.WALRawBytes, s.WALFsyncs, s.WALFsyncsSaved, s.CheckpointsDelta =
 		f[13], f[14], f[15], f[16]
+	s.EventSubscribers, s.EventsDelivered, s.EventsDropped =
+		f[17], f[18], f[19]
 }
 
 // ---------------------------------------------------------------- decoding
@@ -603,6 +741,20 @@ func (d *reader) u64() uint64 {
 		return 0
 	}
 	return binary.LittleEndian.Uint64(b)
+}
+
+// flag reads a canonical boolean byte: 0 or 1 only — any other value would
+// not re-encode byte-identically, so it fails the decode.
+func (d *reader) flag() bool {
+	switch d.u8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		d.ok = false
+		return false
+	}
 }
 
 func (d *reader) str() string {
@@ -691,6 +843,20 @@ func DecodeRequest(p []byte) (*Request, error) {
 		r.NS = d.name()
 		r.FromSeq = d.u64()
 		r.Shards = d.u32()
+	case CmdQuery:
+		r.NS = d.name()
+		r.QKind = d.u8()
+		if r.QKind > maxQueryKind {
+			d.ok = false
+		}
+		r.Linearized = d.flag()
+		r.U = int32(d.u32())
+		r.V = int32(d.u32())
+		r.K = d.u32()
+	case CmdSubscribeEvents:
+		r.NS = d.name()
+		r.Comps = d.flag()
+		r.Pairs = d.pairs(d.count(8))
 	case CmdList, CmdPing:
 		// no body
 	default:
@@ -720,6 +886,25 @@ func (d *reader) pairs(n int) []Pair {
 		return nil
 	}
 	return ps
+}
+
+// verts reads n vertex ids; same locally-evident bound re-check as pairs.
+func (d *reader) verts(n int) []int32 {
+	if !d.ok {
+		return nil
+	}
+	if n < 0 || n > len(d.p)/4 {
+		d.ok = false
+		return nil
+	}
+	vs := make([]int32, n)
+	for i := range vs {
+		vs[i] = int32(d.u32())
+	}
+	if !d.ok {
+		return nil
+	}
+	return vs
 }
 
 // DecodeResponse parses a response payload. It never panics on arbitrary
@@ -784,6 +969,28 @@ func DecodeResponse(p []byte) (*Response, error) {
 		if d.ok {
 			r.Delta = dl
 		}
+	case bodyQuery:
+		q := &QueryBody{Seq: d.u64(), Found: d.flag(), Size: d.u64(), Count: d.u64()}
+		q.Verts = d.verts(d.count(4))
+		if n := d.count(8); d.ok && n > 0 {
+			q.Hist = make([]uint64, n)
+			for i := range q.Hist {
+				q.Hist[i] = d.u64()
+			}
+		}
+		if d.ok {
+			r.Query = q
+		}
+	case bodyEvent:
+		ev := &EventBody{Kind: d.u8(), Epoch: d.u64(), Seq: d.u64(),
+			Label: int32(d.u32()), U: int32(d.u32()), V: int32(d.u32())}
+		if ev.Kind > maxEventKind {
+			d.ok = false
+		}
+		ev.Others = d.verts(d.count(4))
+		if d.ok {
+			r.Event = ev
+		}
 	case bodyList:
 		n := d.count(11)
 		if d.ok {
@@ -800,7 +1007,7 @@ func DecodeResponse(p []byte) (*Response, error) {
 	case bodyPath:
 		r.Path = d.str()
 	case bodyStats:
-		var f [17]uint64
+		var f [20]uint64
 		for i := range f {
 			f[i] = d.u64()
 		}

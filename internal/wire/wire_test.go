@@ -51,12 +51,19 @@ func TestRequestRoundTrip(t *testing.T) {
 		{ID: 12, Cmd: CmdSubscribe, NS: "social", FromSeq: 1 << 40},
 		{ID: 13, Cmd: CmdSubscribe, NS: "g"},
 		{ID: 17, Cmd: CmdSubscribe, NS: "wide", FromSeq: 7, Shards: 3},
+		{ID: 18, Cmd: CmdQuery, NS: "social", QKind: 0, Linearized: true, U: 5, K: 3},
+		{ID: 19, Cmd: CmdQuery, NS: "g", QKind: 3, U: 1, V: 9},
+		{ID: 20, Cmd: CmdQuery, NS: "g", QKind: 4},
+		{ID: 21, Cmd: CmdSubscribeEvents, NS: "g", Comps: true, Pairs: []Pair{{1, 2}, {3, 4}}},
+		{ID: 22, Cmd: CmdSubscribeEvents, NS: "g"},
 	}
 	for _, r := range reqs {
 		got := roundTripRequest(t, r)
 		if got.ID != r.ID || got.Cmd != r.Cmd || got.NS != r.NS ||
 			got.N != r.N || got.Durable != r.Durable || got.Shards != r.Shards ||
 			got.FromSeq != r.FromSeq ||
+			got.QKind != r.QKind || got.Linearized != r.Linearized ||
+			got.U != r.U || got.V != r.V || got.K != r.K || got.Comps != r.Comps ||
 			len(got.Ops) != len(r.Ops) || len(got.Pairs) != len(r.Pairs) {
 			t.Fatalf("round trip mismatch: sent %+v, got %+v", r, got)
 		}
@@ -107,6 +114,17 @@ func TestResponseRoundTrip(t *testing.T) {
 			Seq: 20, Codec: 2, Enc: []byte{0x14, 0, 0, 0, 0, 0, 0, 0, 1, 2, 3}}},
 		{ID: 18, Status: StatusOK, Delta: &DeltaBody{
 			Seq: 30, Base: 17, N: 64, Add: []Pair{{1, 2}, {3, 4}}, Del: []Pair{{5, 6}}}},
+		{ID: 19, Status: StatusOK, Stats: Stats{
+			EventSubscribers: 3, EventsDelivered: 120, EventsDropped: 7}},
+		{ID: 20, Status: StatusOK, Query: &QueryBody{
+			Seq: 44, Found: true, Size: 3, Verts: []int32{1, 2, 3}}},
+		{ID: 21, Status: StatusOK, Query: &QueryBody{
+			Seq: 45, Found: true, Count: 4, Verts: []int32{}, Hist: []uint64{2, 1, 1}}},
+		{ID: 22, Status: StatusOK, Query: &QueryBody{Verts: []int32{}}},
+		{ID: 23, Status: StatusOK, Event: &EventBody{
+			Kind: 1, Epoch: 3, Seq: 9, Label: 0, U: 4, V: 5, Others: []int32{6, 7}}},
+		{ID: 24, Status: StatusOK, Event: &EventBody{
+			Kind: 5, Epoch: 8, Seq: 40, Label: -1, U: -1, V: -1, Others: []int32{}}},
 	}
 	for _, r := range resps {
 		p, err := EncodeResponse(r)
@@ -215,6 +233,42 @@ func TestDecodeRequestArbitraryBytes(t *testing.T) {
 	}
 }
 
+func TestDecodeRejectsNonCanonicalQueryBytes(t *testing.T) {
+	// A query request whose kind byte exceeds the enum, or whose linearized
+	// flag is neither 0 nor 1, must be rejected: an accepted value has to
+	// re-encode byte-identically, and the encoder only emits canonical bytes.
+	clean, err := EncodeRequest(&Request{ID: 1, Cmd: CmdQuery, NS: "g", QKind: 2, U: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := 8 + 1 + 2 + 1 // id + cmd + nsLen + ns
+	for _, mut := range []struct {
+		name string
+		at   int
+		b    byte
+	}{
+		{"query kind out of range", off, maxQueryKind + 1},
+		{"non-canonical linearized flag", off + 1, 2},
+	} {
+		dirty := append([]byte(nil), clean...)
+		dirty[mut.at] = mut.b
+		if _, err := DecodeRequest(dirty); err == nil {
+			t.Fatalf("%s decoded successfully", mut.name)
+		}
+	}
+
+	// Same for an event body's kind byte.
+	ev, err := EncodeResponse(&Response{ID: 2, Status: StatusOK,
+		Event: &EventBody{Kind: 1, Epoch: 1, Seq: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev[8+1+1] = maxEventKind + 1 // id + status + tag
+	if _, err := DecodeResponse(ev); err == nil {
+		t.Fatal("event with out-of-range kind decoded successfully")
+	}
+}
+
 func TestWriteFrameRejectsOversize(t *testing.T) {
 	if err := WriteFrame(io.Discard, make([]byte, MaxFrame+1)); !errors.Is(err, ErrFrame) {
 		t.Fatalf("oversized payload: got %v, want ErrFrame", err)
@@ -254,31 +308,73 @@ func FuzzWireDecode(f *testing.F) {
 		f.Add(rp)
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
-		if req, err := DecodeRequest(data); err == nil {
-			re, err := EncodeRequest(req)
-			if err != nil {
-				t.Fatalf("accepted request failed to re-encode: %v", err)
-			}
-			req2, err := DecodeRequest(re)
-			if err != nil {
-				t.Fatalf("re-encoded request failed to decode: %v", err)
-			}
-			if !reflect.DeepEqual(req, req2) {
-				t.Fatalf("request not canonical: %+v vs %+v", req, req2)
-			}
+		checkCanonical(t, data)
+	})
+}
+
+// checkCanonical is the shared accept-implies-canonical oracle: anything
+// either decoder accepts must re-encode and re-decode to the same value.
+func checkCanonical(t *testing.T, data []byte) {
+	t.Helper()
+	if req, err := DecodeRequest(data); err == nil {
+		re, err := EncodeRequest(req)
+		if err != nil {
+			t.Fatalf("accepted request failed to re-encode: %v", err)
 		}
-		if resp, err := DecodeResponse(data); err == nil {
-			re, err := EncodeResponse(resp)
-			if err != nil {
-				t.Fatalf("accepted response failed to re-encode: %v", err)
-			}
-			resp2, err := DecodeResponse(re)
-			if err != nil {
-				t.Fatalf("re-encoded response failed to decode: %v", err)
-			}
-			if !reflect.DeepEqual(resp, resp2) {
-				t.Fatalf("response not canonical: %+v vs %+v", resp, resp2)
-			}
+		req2, err := DecodeRequest(re)
+		if err != nil {
+			t.Fatalf("re-encoded request failed to decode: %v", err)
 		}
+		if !reflect.DeepEqual(req, req2) {
+			t.Fatalf("request not canonical: %+v vs %+v", req, req2)
+		}
+	}
+	if resp, err := DecodeResponse(data); err == nil {
+		re, err := EncodeResponse(resp)
+		if err != nil {
+			t.Fatalf("accepted response failed to re-encode: %v", err)
+		}
+		resp2, err := DecodeResponse(re)
+		if err != nil {
+			t.Fatalf("re-encoded response failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(resp, resp2) {
+			t.Fatalf("response not canonical: %+v vs %+v", resp, resp2)
+		}
+	}
+}
+
+// FuzzQueryWireDecode drives the same canonicality oracle from seeds in the
+// query/event corner of the protocol: CmdQuery and CmdSubscribeEvents
+// requests, query result bodies and event stream bodies, including the
+// non-canonical-byte traps (flag bytes, enum bounds) the seeds sit next to.
+func FuzzQueryWireDecode(f *testing.F) {
+	for _, r := range []*Request{
+		{ID: 1, Cmd: CmdQuery, NS: "g", QKind: 0, U: 3, K: 2},
+		{ID: 2, Cmd: CmdQuery, NS: "g", QKind: 3, Linearized: true, U: 1, V: 7},
+		{ID: 3, Cmd: CmdQuery, NS: "g", QKind: 4},
+		{ID: 4, Cmd: CmdSubscribeEvents, NS: "g", Comps: true, Pairs: []Pair{{0, 5}}},
+		{ID: 5, Cmd: CmdSubscribeEvents, NS: "g", Pairs: []Pair{}},
+	} {
+		p, err := EncodeRequest(r)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(p)
+	}
+	for _, r := range []*Response{
+		{ID: 6, Status: StatusOK, Query: &QueryBody{Seq: 9, Found: true, Size: 2, Verts: []int32{0, 5}}},
+		{ID: 7, Status: StatusOK, Query: &QueryBody{Found: true, Count: 3, Verts: []int32{}, Hist: []uint64{1, 2}}},
+		{ID: 8, Status: StatusOK, Event: &EventBody{Kind: 2, Epoch: 4, Seq: 11, Label: 0, U: 1, V: 2, Others: []int32{9}}},
+		{ID: 9, Status: StatusOK, Event: &EventBody{Kind: 5, Epoch: 6, Seq: 12, Others: []int32{}}},
+	} {
+		p, err := EncodeResponse(r)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(p)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		checkCanonical(t, data)
 	})
 }
